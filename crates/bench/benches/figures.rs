@@ -1,0 +1,99 @@
+//! One bench per paper figure: the exact experiment pipelines at a
+//! scaled-down cell (`l = 256`, `n = 16`, 2 iterations × 50 steps), so
+//! regressions in any figure's critical path show up in CI timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_bench::{bench_drunkard, bench_waypoint, small_problem};
+use manet_core::sim::StationaryAnalysis;
+use manet_core::ModelKind;
+use std::hint::black_box;
+
+/// Figure 2 pipeline: waypoint critical-range quantiles.
+fn fig2(c: &mut Criterion) {
+    c.bench_function("fig2_waypoint_ranges", |b| {
+        let p = small_problem(bench_waypoint());
+        b.iter(|| black_box(p.solve().unwrap()))
+    });
+}
+
+/// Figure 3 pipeline: drunkard critical-range quantiles.
+fn fig3(c: &mut Criterion) {
+    c.bench_function("fig3_drunkard_ranges", |b| {
+        let p = small_problem(bench_drunkard());
+        b.iter(|| black_box(p.solve().unwrap()))
+    });
+}
+
+/// Figure 4 pipeline: waypoint component profiles.
+fn fig4(c: &mut Criterion) {
+    c.bench_function("fig4_waypoint_profiles", |b| {
+        let p = small_problem(bench_waypoint());
+        b.iter(|| black_box(p.component_profiles().unwrap()))
+    });
+}
+
+/// Figure 5 pipeline: drunkard component profiles.
+fn fig5(c: &mut Criterion) {
+    c.bench_function("fig5_drunkard_profiles", |b| {
+        let p = small_problem(bench_drunkard());
+        b.iter(|| black_box(p.component_profiles().unwrap()))
+    });
+}
+
+/// Figure 6 pipeline: rl-target inversion.
+fn fig6(c: &mut Criterion) {
+    c.bench_function("fig6_component_targets", |b| {
+        let p = small_problem(bench_waypoint());
+        b.iter(|| {
+            black_box(
+                p.ranges_for_component_fractions(&[0.9, 0.75, 0.5])
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+/// Figure 7 pipeline: one p_stationary sweep point.
+fn fig7(c: &mut Criterion) {
+    c.bench_function("fig7_pstationary_point", |b| {
+        let p = small_problem(ModelKind::random_waypoint(0.1, 2.56, 10, 0.5).unwrap());
+        b.iter(|| black_box(p.solve().unwrap()))
+    });
+}
+
+/// Figure 8 pipeline: one t_pause sweep point.
+fn fig8(c: &mut Criterion) {
+    c.bench_function("fig8_tpause_point", |b| {
+        let p = small_problem(ModelKind::random_waypoint(0.1, 2.56, 25, 0.0).unwrap());
+        b.iter(|| black_box(p.solve().unwrap()))
+    });
+}
+
+/// Figure 9 pipeline: one v_max sweep point.
+fn fig9(c: &mut Criterion) {
+    c.bench_function("fig9_vmax_point", |b| {
+        let p = small_problem(ModelKind::random_waypoint(0.1, 128.0, 10, 0.0).unwrap());
+        b.iter(|| black_box(p.solve().unwrap()))
+    });
+}
+
+/// S1 pipeline: the stationary calibration behind every figure.
+fn stationary(c: &mut Criterion) {
+    c.bench_function("stationary_calibration", |b| {
+        b.iter(|| black_box(StationaryAnalysis::run::<2>(16, 256.0, 100, 5).unwrap()))
+    });
+}
+
+criterion_group!(
+    figures,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    stationary
+);
+criterion_main!(figures);

@@ -1,0 +1,111 @@
+//! Kernel benches: the inner loops every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_bench::placement;
+use manet_core::graph::{
+    components, critical_range, AdjacencyList, MergeProfile, UnionFind,
+};
+use manet_core::occupancy::Occupancy;
+use manet_core::one_dim;
+use manet_core::stats::FrozenSeries;
+use std::hint::black_box;
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("critical_range_prim");
+    for &n in &[16usize, 64, 128, 256] {
+        let pts = placement(n, 1000.0, 7);
+        group.bench_function(format!("n={n}"), |b| {
+            b.iter(|| black_box(critical_range(black_box(&pts))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_profile_kruskal");
+    for &n in &[16usize, 64, 128] {
+        let pts = placement(n, 1000.0, 8);
+        group.bench_function(format!("n={n}"), |b| {
+            b.iter(|| black_box(MergeProfile::of(black_box(&pts))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    let pts = placement(128, 1000.0, 9);
+    group.bench_function("brute_force_n=128", |b| {
+        b.iter(|| black_box(AdjacencyList::from_points_brute_force(black_box(&pts), 150.0)))
+    });
+    group.bench_function("grid_n=128", |b| {
+        b.iter(|| {
+            black_box(
+                AdjacencyList::from_points_grid(black_box(&pts), 1000.0, 150.0).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let pts = placement(128, 1000.0, 10);
+    let g = AdjacencyList::from_points_brute_force(&pts, 120.0);
+    c.bench_function("connected_components_n=128", |b| {
+        b.iter(|| black_box(components::largest_component_size(black_box(&g))))
+    });
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    c.bench_function("union_find_chain_10k", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new(10_000);
+            for i in 0..9_999 {
+                uf.union(i, i + 1);
+            }
+            black_box(uf.largest_component())
+        })
+    });
+}
+
+fn bench_one_dim_fast_path(c: &mut Criterion) {
+    let xs: Vec<f64> = placement(4096, 4096.0, 11)
+        .into_iter()
+        .map(|p| p.coord(0))
+        .collect();
+    c.bench_function("critical_range_1d_n=4096", |b| {
+        b.iter(|| black_box(one_dim::critical_range_1d(black_box(&xs)).unwrap()))
+    });
+}
+
+fn bench_occupancy_exact(c: &mut Criterion) {
+    c.bench_function("occupancy_pmf_n=500_C=100", |b| {
+        b.iter(|| {
+            let occ = Occupancy::new(500, 100).unwrap();
+            black_box(occ.distribution())
+        })
+    });
+}
+
+fn bench_quantiles(c: &mut Criterion) {
+    let values: Vec<f64> = placement(10_000, 1e6, 12)
+        .into_iter()
+        .map(|p| p.coord(0))
+        .collect();
+    c.bench_function("frozen_series_build_10k", |b| {
+        b.iter(|| black_box(FrozenSeries::new(black_box(values.clone())).unwrap()))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_mst,
+    bench_merge_profile,
+    bench_graph_build,
+    bench_components,
+    bench_union_find,
+    bench_one_dim_fast_path,
+    bench_occupancy_exact,
+    bench_quantiles,
+);
+criterion_main!(kernels);

@@ -1,0 +1,111 @@
+//! Availability framing of connectivity metrics.
+//!
+//! The paper's introduction casts its metrics as a simple availability
+//! model: "assuming that a network is 'up' if all nodes are connected
+//! and 'down' otherwise, then the percentage of time it is connected is
+//! an estimate of network availability", and likewise for partial
+//! connectivity ("at least a given fraction of nodes"). This module
+//! gives those estimates a named type with the derived quantities
+//! dependability engineers expect (downtime fractions, an
+//! availability-class label).
+
+use crate::CoreError;
+
+/// An availability estimate over an observation campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Availability {
+    fraction_up: f64,
+}
+
+impl Availability {
+    /// Wraps a fraction of "up" time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] unless `0 <= fraction_up <= 1`.
+    pub fn new(fraction_up: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&fraction_up) || fraction_up.is_nan() {
+            return Err(CoreError::Invalid {
+                reason: format!("availability must be in [0, 1], got {fraction_up}"),
+            });
+        }
+        Ok(Availability { fraction_up })
+    }
+
+    /// The fraction of time the network was up.
+    pub fn fraction_up(&self) -> f64 {
+        self.fraction_up
+    }
+
+    /// The complementary downtime fraction.
+    pub fn fraction_down(&self) -> f64 {
+        1.0 - self.fraction_up
+    }
+
+    /// Number of "nines" of availability (`0.999 → 3`); `None` for
+    /// availability below 0.9 or equal to 1 (infinitely many nines).
+    pub fn nines(&self) -> Option<u32> {
+        if self.fraction_up >= 1.0 {
+            return None;
+        }
+        if self.fraction_up < 0.9 {
+            return None;
+        }
+        // `1 - 0.99` rounds a hair above 0.01; nudge before flooring
+        // so exact decimal availabilities count their nines correctly.
+        Some((-self.fraction_down().log10() + 1e-9).floor() as u32)
+    }
+
+    /// Expected downtime out of a mission of `mission_steps` steps.
+    pub fn expected_downtime_steps(&self, mission_steps: u64) -> f64 {
+        self.fraction_down() * mission_steps as f64
+    }
+}
+
+impl core::fmt::Display for Availability {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.4}% up", self.fraction_up * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Availability::new(-0.1).is_err());
+        assert!(Availability::new(1.1).is_err());
+        assert!(Availability::new(f64::NAN).is_err());
+        assert!(Availability::new(0.0).is_ok());
+        assert!(Availability::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn complements() {
+        let a = Availability::new(0.93).unwrap();
+        assert!((a.fraction_up() + a.fraction_down() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nines_counting() {
+        assert_eq!(Availability::new(0.9).unwrap().nines(), Some(1));
+        assert_eq!(Availability::new(0.99).unwrap().nines(), Some(2));
+        assert_eq!(Availability::new(0.9995).unwrap().nines(), Some(3));
+        assert_eq!(Availability::new(0.5).unwrap().nines(), None);
+        assert_eq!(Availability::new(1.0).unwrap().nines(), None);
+    }
+
+    #[test]
+    fn downtime_steps() {
+        let a = Availability::new(0.9).unwrap();
+        assert!((a.expected_downtime_steps(10_000) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        let a = Availability::new(0.905).unwrap();
+        assert!(a.to_string().contains("90.5"));
+    }
+}

@@ -1,0 +1,484 @@
+//! The mobile MINIMUM TRANSMITTING RANGE problem (MTRM).
+//!
+//! > *Suppose `n` nodes are placed in `[0, l]^d`, and assume that nodes
+//! > are allowed to move during a time interval `[0, T]`. What is the
+//! > minimum value of `r` such that the resulting communication graph
+//! > is connected during some fraction `f` of the interval?* (paper §4)
+//!
+//! [`MtrmProblem`] bundles a simulation configuration with a mobility
+//! model ([`ModelKind`]) and exposes the paper's metrics: the
+//! connectivity ranges `r100/r90/r10/r0`, the component-size targets
+//! `rl90/rl75/rl50`, and availability estimates at arbitrary ranges.
+
+use crate::CoreError;
+use manet_geom::{Point, Region};
+use manet_mobility::{
+    Drunkard, Mobility, RandomDirection, RandomWalk, RandomWaypoint, StationaryModel,
+};
+use manet_sim::{
+    simulate_component_ranges, simulate_critical_ranges, simulate_fixed_range, simulate_profiles,
+    CriticalRangeResults, FixedRangeReport, MobileRangeSummary, ProfileResults, SimConfig,
+};
+use rand::Rng;
+
+/// A closed enumeration of the workspace's mobility models, usable
+/// directly as a [`Mobility`] implementation (by delegation) and easy
+/// to store in configurations.
+#[derive(Debug, Clone)]
+pub enum ModelKind<const D: usize> {
+    /// Intentional movement toward random waypoints (paper §4.1).
+    RandomWaypoint(RandomWaypoint<D>),
+    /// Non-intentional drunkard jumps (paper §4.1).
+    Drunkard(Drunkard<D>),
+    /// Fixed-step random walk (extension).
+    RandomWalk(RandomWalk<D>),
+    /// Straight travel until the boundary (extension).
+    RandomDirection(RandomDirection<D>),
+    /// No movement (the stationary case).
+    Stationary(StationaryModel),
+}
+
+impl<const D: usize> ModelKind<D> {
+    /// Random waypoint with the given parameters (see
+    /// [`RandomWaypoint::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Model`].
+    pub fn random_waypoint(
+        v_min: f64,
+        v_max: f64,
+        pause_steps: u32,
+        p_stationary: f64,
+    ) -> Result<Self, CoreError> {
+        Ok(ModelKind::RandomWaypoint(RandomWaypoint::new(
+            v_min,
+            v_max,
+            pause_steps,
+            p_stationary,
+        )?))
+    }
+
+    /// Drunkard with the given parameters (see [`Drunkard::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Model`].
+    pub fn drunkard(p_stationary: f64, p_pause: f64, radius: f64) -> Result<Self, CoreError> {
+        Ok(ModelKind::Drunkard(Drunkard::new(
+            p_stationary,
+            p_pause,
+            radius,
+        )?))
+    }
+
+    /// Random walk with the given parameters (see [`RandomWalk::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Model`].
+    pub fn random_walk(step_length: f64, p_stationary: f64) -> Result<Self, CoreError> {
+        Ok(ModelKind::RandomWalk(RandomWalk::new(
+            step_length,
+            p_stationary,
+        )?))
+    }
+
+    /// Random direction with the given parameters (see
+    /// [`RandomDirection::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Model`].
+    pub fn random_direction(
+        v_min: f64,
+        v_max: f64,
+        pause_steps: u32,
+        p_stationary: f64,
+    ) -> Result<Self, CoreError> {
+        Ok(ModelKind::RandomDirection(RandomDirection::new(
+            v_min,
+            v_max,
+            pause_steps,
+            p_stationary,
+        )?))
+    }
+
+    /// The stationary model.
+    pub fn stationary() -> Self {
+        ModelKind::Stationary(StationaryModel::new())
+    }
+}
+
+impl<const D: usize> Mobility<D> for ModelKind<D> {
+    fn init(&mut self, positions: &[Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
+        match self {
+            ModelKind::RandomWaypoint(m) => m.init(positions, region, rng),
+            ModelKind::Drunkard(m) => m.init(positions, region, rng),
+            ModelKind::RandomWalk(m) => m.init(positions, region, rng),
+            ModelKind::RandomDirection(m) => m.init(positions, region, rng),
+            ModelKind::Stationary(m) => Mobility::<D>::init(m, positions, region, rng),
+        }
+    }
+
+    fn step(&mut self, positions: &mut [Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
+        match self {
+            ModelKind::RandomWaypoint(m) => m.step(positions, region, rng),
+            ModelKind::Drunkard(m) => m.step(positions, region, rng),
+            ModelKind::RandomWalk(m) => m.step(positions, region, rng),
+            ModelKind::RandomDirection(m) => m.step(positions, region, rng),
+            ModelKind::Stationary(m) => Mobility::<D>::step(m, positions, region, rng),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ModelKind::RandomWaypoint(m) => m.name(),
+            ModelKind::Drunkard(m) => m.name(),
+            ModelKind::RandomWalk(m) => m.name(),
+            ModelKind::RandomDirection(m) => m.name(),
+            ModelKind::Stationary(m) => Mobility::<D>::name(m),
+        }
+    }
+}
+
+/// An MTRM problem instance: configuration plus mobility model.
+#[derive(Debug, Clone)]
+pub struct MtrmProblem<const D: usize> {
+    config: SimConfig<D>,
+    model: ModelKind<D>,
+}
+
+/// Solution of an MTRM instance: the paper's range metrics.
+#[derive(Debug, Clone)]
+pub struct MtrmSolution {
+    /// Across-iteration moments of `r100/r90/r10/r0`.
+    pub ranges: MobileRangeSummary,
+    /// The underlying critical-range results (for further queries).
+    pub critical: CriticalRangeResults,
+}
+
+impl<const D: usize> MtrmProblem<D> {
+    /// Starts building an instance.
+    pub fn builder() -> MtrmProblemBuilder<D> {
+        MtrmProblemBuilder::default()
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig<D> {
+        &self.config
+    }
+
+    /// The mobility model.
+    pub fn model(&self) -> &ModelKind<D> {
+        &self.model
+    }
+
+    /// Solves for the connectivity ranges (`r100/r90/r10/r0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Sim`].
+    pub fn solve(&self) -> Result<MtrmSolution, CoreError> {
+        let critical = simulate_critical_ranges(&self.config, &self.model)?;
+        let ranges = critical.summary()?;
+        Ok(MtrmSolution { ranges, critical })
+    }
+
+    /// The minimum range keeping the network connected during
+    /// `fraction` of the time (mean across iterations) — MTRM for an
+    /// arbitrary `f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Sim`].
+    pub fn range_for_time_fraction(&self, fraction: f64) -> Result<f64, CoreError> {
+        let critical = simulate_critical_ranges(&self.config, &self.model)?;
+        Ok(critical.mean_range_for_fraction(fraction)?)
+    }
+
+    /// The ranges at which the **average largest component** reaches
+    /// each `fraction·n` (the paper's `rl90/rl75/rl50` for fractions
+    /// 0.9/0.75/0.5), as `(fraction, mean range)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Sim`].
+    pub fn ranges_for_component_fractions(
+        &self,
+        fractions: &[f64],
+    ) -> Result<Vec<(f64, f64)>, CoreError> {
+        let profiles = self.component_profiles()?;
+        let mut out = Vec::with_capacity(fractions.len());
+        for &f in fractions {
+            out.push((f, profiles.mean_range_for_average_fraction(f)?));
+        }
+        Ok(out)
+    }
+
+    /// The raw component-size profiles (Figures 4–5 material).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Sim`].
+    pub fn component_profiles(&self) -> Result<ProfileResults, CoreError> {
+        Ok(simulate_profiles(&self.config, &self.model)?)
+    }
+
+    /// Availability estimate: fraction of time the whole network is
+    /// connected at range `r`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Sim`].
+    pub fn availability_at(&self, r: f64) -> Result<f64, CoreError> {
+        let critical = simulate_critical_ranges(&self.config, &self.model)?;
+        Ok(critical.connectivity_fraction_at(r))
+    }
+
+    /// Partial-connectivity availability: fraction of time the largest
+    /// component holds at least `component_fraction·n` nodes at range
+    /// `r`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Sim`].
+    pub fn partial_availability_at(
+        &self,
+        r: f64,
+        component_fraction: f64,
+    ) -> Result<f64, CoreError> {
+        let res = simulate_component_ranges(&self.config, &self.model, component_fraction)?;
+        Ok(res.availability_at(r))
+    }
+
+    /// The paper's literal simulator at a fixed range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Sim`].
+    pub fn fixed_range_report(&self, r: f64) -> Result<FixedRangeReport, CoreError> {
+        Ok(simulate_fixed_range(&self.config, &self.model, r)?)
+    }
+
+    /// Up/down run structure at range `r`: availability, MTBF/MTTR (in
+    /// steps), failures per iteration and the worst outage — the
+    /// dependability reading of the introduction's availability
+    /// framing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Sim`].
+    pub fn uptime_at(&self, r: f64) -> Result<manet_sim::UptimeSummary, CoreError> {
+        Ok(manet_sim::simulate_uptime(&self.config, &self.model, r)?)
+    }
+}
+
+/// Builder for [`MtrmProblem`].
+#[derive(Debug, Clone, Default)]
+pub struct MtrmProblemBuilder<const D: usize> {
+    nodes: usize,
+    side: f64,
+    iterations: usize,
+    steps: usize,
+    seed: u64,
+    threads: Option<usize>,
+    profile_stride: Option<usize>,
+    profile_bins: Option<usize>,
+    model: Option<ModelKind<D>>,
+}
+
+impl<const D: usize> MtrmProblemBuilder<D> {
+    /// Sets the number of nodes (required).
+    pub fn nodes(&mut self, n: usize) -> &mut Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Sets the region side (required).
+    pub fn side(&mut self, l: f64) -> &mut Self {
+        self.side = l;
+        self
+    }
+
+    /// Sets the iteration count (required, >= 1).
+    pub fn iterations(&mut self, it: usize) -> &mut Self {
+        self.iterations = it;
+        self
+    }
+
+    /// Sets the mobility steps per iteration (required, >= 1).
+    pub fn steps(&mut self, steps: usize) -> &mut Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Sets the master seed (default 0).
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the worker thread count.
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Collect component profiles every `stride` steps.
+    pub fn profile_stride(&mut self, stride: usize) -> &mut Self {
+        self.profile_stride = Some(stride);
+        self
+    }
+
+    /// Range-grid resolution for component profiles.
+    pub fn profile_bins(&mut self, bins: usize) -> &mut Self {
+        self.profile_bins = Some(bins);
+        self
+    }
+
+    /// Sets the mobility model (required).
+    pub fn model(&mut self, model: ModelKind<D>) -> &mut Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Validates and builds the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] when the model is missing and
+    /// propagates [`CoreError::Sim`] for configuration failures.
+    pub fn build(&self) -> Result<MtrmProblem<D>, CoreError> {
+        let model = self.model.clone().ok_or_else(|| CoreError::Invalid {
+            reason: "a mobility model is required (builder.model(...))".into(),
+        })?;
+        let mut b = SimConfig::<D>::builder();
+        b.nodes(self.nodes)
+            .side(self.side)
+            .iterations(self.iterations.max(1))
+            .steps(self.steps.max(1))
+            .seed(self.seed);
+        if let Some(t) = self.threads {
+            b.threads(t);
+        }
+        if let Some(s) = self.profile_stride {
+            b.profile_stride(s);
+        }
+        if let Some(bins) = self.profile_bins {
+            b.profile_bins(bins);
+        }
+        Ok(MtrmProblem {
+            config: b.build()?,
+            model,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_problem(model: ModelKind<2>) -> MtrmProblem<2> {
+        MtrmProblem::<2>::builder()
+            .nodes(10)
+            .side(100.0)
+            .iterations(3)
+            .steps(25)
+            .seed(99)
+            .model(model)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_model() {
+        let err = MtrmProblem::<2>::builder()
+            .nodes(5)
+            .side(10.0)
+            .iterations(1)
+            .steps(1)
+            .build();
+        assert!(matches!(err, Err(CoreError::Invalid { .. })));
+    }
+
+    #[test]
+    fn model_kind_constructors_validate() {
+        assert!(ModelKind::<2>::random_waypoint(0.0, 1.0, 0, 0.0).is_err());
+        assert!(ModelKind::<2>::drunkard(0.1, 0.3, -1.0).is_err());
+        assert!(ModelKind::<2>::random_walk(0.0, 0.0).is_err());
+        assert!(ModelKind::<2>::random_direction(1.0, 0.5, 0, 0.0).is_err());
+        assert!(ModelKind::<2>::random_waypoint(0.1, 1.0, 5, 0.2).is_ok());
+    }
+
+    #[test]
+    fn model_kind_names_delegate() {
+        assert_eq!(
+            Mobility::<2>::name(&ModelKind::<2>::stationary()),
+            "stationary"
+        );
+        assert_eq!(
+            Mobility::<2>::name(&ModelKind::<2>::drunkard(0.1, 0.3, 1.0).unwrap()),
+            "drunkard"
+        );
+    }
+
+    #[test]
+    fn solve_produces_ordered_ranges() {
+        let p = small_problem(ModelKind::random_waypoint(0.5, 2.0, 2, 0.0).unwrap());
+        let sol = p.solve().unwrap();
+        assert!(sol.ranges.r100.mean() >= sol.ranges.r90.mean());
+        assert!(sol.ranges.r90.mean() >= sol.ranges.r10.mean());
+        assert!(sol.ranges.r10.mean() >= sol.ranges.r0.mean());
+        assert_eq!(sol.ranges.r100.count(), 3);
+    }
+
+    #[test]
+    fn component_fractions_are_ordered() {
+        let p = small_problem(ModelKind::drunkard(0.0, 0.2, 2.0).unwrap());
+        let rl = p
+            .ranges_for_component_fractions(&[0.5, 0.75, 0.9])
+            .unwrap();
+        assert!(rl[0].1 <= rl[1].1 + 1e-12);
+        assert!(rl[1].1 <= rl[2].1 + 1e-12);
+    }
+
+    #[test]
+    fn availability_matches_solution_queries() {
+        let p = small_problem(ModelKind::random_waypoint(0.5, 2.0, 0, 0.0).unwrap());
+        let sol = p.solve().unwrap();
+        let r = sol.ranges.r90.mean();
+        let avail = p.availability_at(r).unwrap();
+        assert!((0.0..=1.0).contains(&avail));
+        // r90 keeps the network up about 90% of the time.
+        assert!(avail >= 0.8, "availability at r90 was {avail}");
+        // Partial connectivity is easier than full connectivity.
+        let partial = p.partial_availability_at(r, 0.5).unwrap();
+        assert!(partial >= avail - 1e-12);
+    }
+
+    #[test]
+    fn fixed_range_report_consistent_with_solution() {
+        let p = small_problem(ModelKind::random_waypoint(0.5, 2.0, 0, 0.0).unwrap());
+        let sol = p.solve().unwrap();
+        let r = sol.ranges.r100.max() * 1.01;
+        let report = p.fixed_range_report(r).unwrap();
+        assert_eq!(report.connectivity_fraction(), 1.0);
+    }
+
+    #[test]
+    fn stationary_model_collapses_metrics() {
+        let p = small_problem(ModelKind::stationary());
+        let sol = p.solve().unwrap();
+        assert!((sol.ranges.r100.mean() - sol.ranges.r0.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_for_time_fraction_between_extremes() {
+        let p = small_problem(ModelKind::random_waypoint(0.5, 2.0, 0, 0.0).unwrap());
+        let sol = p.solve().unwrap();
+        let r50 = p.range_for_time_fraction(0.5).unwrap();
+        assert!(r50 <= sol.ranges.r100.mean() + 1e-9);
+        assert!(r50 >= sol.ranges.r0.mean() - 1e-9);
+    }
+}

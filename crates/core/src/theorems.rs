@@ -1,0 +1,233 @@
+//! The paper's analytical results for 1-dimensional networks.
+//!
+//! * **Theorem 3** (upper bound, from \[1\]): if `r·n ∈ Θ(l log l)` and
+//!   `r >> 1`, the communication graph is a.a.s. connected.
+//! * **Theorem 4** (lower bound, the paper's contribution): if
+//!   `l << r·n << l log l`, the probability of a `{10*1}` occupancy gap
+//!   — hence of disconnection — stays bounded away from zero.
+//! * **Theorem 5** (tight characterization): for `1 << r << l`, the
+//!   graph is a.a.s. connected **iff** `r·n ∈ Ω(l log l)`.
+//!
+//! The section closes comparing against placement baselines: worst-case
+//! placements (nodes clustered at the ends) need `r = Ω(l)`, best-case
+//! (equally spaced) need only `l/n`.
+
+use crate::CoreError;
+
+/// The critical product: `r·n` must reach `l·ln(l)` (up to constants)
+/// for a.a.s. connectivity (Theorem 5).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Invalid`] when `l <= 1` (the asymptotic form
+/// needs `log l > 0`).
+pub fn connectivity_product_threshold(l: f64) -> Result<f64, CoreError> {
+    if !(l.is_finite() && l > 1.0) {
+        return Err(CoreError::Invalid {
+            reason: format!("l must be finite and > 1, got {l}"),
+        });
+    }
+    Ok(l * l.ln())
+}
+
+/// The Theorem 5 threshold transmitting range for `n` nodes on
+/// `[0, l]`: `r* = l·ln(l) / n`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Invalid`] when `l <= 1` or `n == 0`.
+pub fn threshold_range(n: usize, l: f64) -> Result<f64, CoreError> {
+    if n == 0 {
+        return Err(CoreError::Invalid {
+            reason: "n must be at least 1".into(),
+        });
+    }
+    Ok(connectivity_product_threshold(l)? / n as f64)
+}
+
+/// The dimensionless ratio `β = r·n / (l·ln l)` governing the regime.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Invalid`] when `l <= 1` or `r <= 0`.
+pub fn threshold_ratio(n: usize, r: f64, l: f64) -> Result<f64, CoreError> {
+    if !(r.is_finite() && r > 0.0) {
+        return Err(CoreError::Invalid {
+            reason: format!("r must be positive, got {r}"),
+        });
+    }
+    Ok(r * n as f64 / connectivity_product_threshold(l)?)
+}
+
+/// Which side of the Theorem 5 threshold a parameter triple falls on.
+///
+/// Classification of a *finite* triple uses the documented convention
+/// on `β = r·n/(l ln l)`: `β >= 1` is the a.a.s.-connected regime,
+/// `β <= 1/ln l` (i.e. `r·n <= l`) is the strongly disconnected regime
+/// of Theorem 4's hypothesis floor, and in between is the critical
+/// window `l << r·n << l log l` where Theorem 4 shows disconnection
+/// probability does not vanish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ConnectivityRegime {
+    /// `r·n ≳ l log l`: asymptotically almost surely connected.
+    AasConnected,
+    /// `l ≲ r·n ≲ l log l`: the Theorem 4 window — disconnection
+    /// probability bounded away from 0.
+    CriticalWindow,
+    /// `r·n ≲ l`: below the window; disconnected with probability
+    /// approaching 1.
+    Subcritical,
+}
+
+impl ConnectivityRegime {
+    /// Classifies `(n, r, l)` per the convention above.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Invalid`] from [`threshold_ratio`].
+    pub fn classify(n: usize, r: f64, l: f64) -> Result<Self, CoreError> {
+        let beta = threshold_ratio(n, r, l)?;
+        if beta >= 1.0 {
+            Ok(ConnectivityRegime::AasConnected)
+        } else if beta * l.ln() > 1.0 {
+            Ok(ConnectivityRegime::CriticalWindow)
+        } else {
+            Ok(ConnectivityRegime::Subcritical)
+        }
+    }
+}
+
+impl core::fmt::Display for ConnectivityRegime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ConnectivityRegime::AasConnected => "a.a.s. connected (rn ≳ l log l)",
+            ConnectivityRegime::CriticalWindow => "critical window (l ≲ rn ≲ l log l)",
+            ConnectivityRegime::Subcritical => "subcritical (rn ≲ l)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Worst-case placement baseline: with nodes clustered at opposite
+/// ends, connectivity needs `r ≈ l·√d` (the region diameter).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Invalid`] for non-positive `l` or `d == 0`.
+pub fn worst_case_range(l: f64, d: usize) -> Result<f64, CoreError> {
+    if !(l.is_finite() && l > 0.0) {
+        return Err(CoreError::Invalid {
+            reason: format!("l must be positive, got {l}"),
+        });
+    }
+    if d == 0 {
+        return Err(CoreError::Invalid {
+            reason: "dimension must be at least 1".into(),
+        });
+    }
+    Ok(l * (d as f64).sqrt())
+}
+
+/// Best-case placement baseline for `d = 1`: nodes equally spaced at
+/// intervals of `l/n` connect with `r = l/n` (paper §3, closing
+/// discussion).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Invalid`] for non-positive `l` or `n == 0`.
+pub fn best_case_range_1d(n: usize, l: f64) -> Result<f64, CoreError> {
+    if !(l.is_finite() && l > 0.0) {
+        return Err(CoreError::Invalid {
+            reason: format!("l must be positive, got {l}"),
+        });
+    }
+    if n == 0 {
+        return Err(CoreError::Invalid {
+            reason: "n must be at least 1".into(),
+        });
+    }
+    Ok(l / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_formulas() {
+        let l = 1024.0;
+        let p = connectivity_product_threshold(l).unwrap();
+        assert!((p - 1024.0 * 1024f64.ln()).abs() < 1e-9);
+        let r = threshold_range(32, l).unwrap();
+        assert!((r - p / 32.0).abs() < 1e-9);
+        let beta = threshold_ratio(32, r, l).unwrap();
+        assert!((beta - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(connectivity_product_threshold(1.0).is_err());
+        assert!(connectivity_product_threshold(-3.0).is_err());
+        assert!(threshold_range(0, 100.0).is_err());
+        assert!(threshold_ratio(5, 0.0, 100.0).is_err());
+        assert!(worst_case_range(0.0, 2).is_err());
+        assert!(worst_case_range(10.0, 0).is_err());
+        assert!(best_case_range_1d(0, 10.0).is_err());
+    }
+
+    #[test]
+    fn regimes_bracket_the_threshold() {
+        let (n, l) = (100, 10_000.0);
+        let r_star = threshold_range(n, l).unwrap();
+        assert_eq!(
+            ConnectivityRegime::classify(n, r_star * 2.0, l).unwrap(),
+            ConnectivityRegime::AasConnected
+        );
+        // r·n = 3·l sits inside the window (3 < ln l ≈ 9.2).
+        assert_eq!(
+            ConnectivityRegime::classify(n, 3.0 * l / n as f64, l).unwrap(),
+            ConnectivityRegime::CriticalWindow
+        );
+        // r·n = l/2: subcritical.
+        assert_eq!(
+            ConnectivityRegime::classify(n, 0.5 * l / n as f64, l).unwrap(),
+            ConnectivityRegime::Subcritical
+        );
+    }
+
+    #[test]
+    fn baselines_bracket_random_placement() {
+        // Worst >> threshold >> best, as §3's closing remarks note
+        // for n linear in l.
+        let l = 4096.0;
+        let n = 4096;
+        let worst = worst_case_range(l, 1).unwrap();
+        let best = best_case_range_1d(n, l).unwrap();
+        let random = threshold_range(n, l).unwrap();
+        assert!(worst > random);
+        assert!(random > best);
+        // Random placement needs Θ(log l) here: l ln l / l = ln l.
+        assert!((random - l.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ConnectivityRegime::AasConnected
+            .to_string()
+            .contains("connected"));
+        assert!(ConnectivityRegime::CriticalWindow
+            .to_string()
+            .contains("critical"));
+    }
+
+    #[test]
+    fn worst_case_scales_with_dimension() {
+        let w1 = worst_case_range(10.0, 1).unwrap();
+        let w2 = worst_case_range(10.0, 2).unwrap();
+        let w3 = worst_case_range(10.0, 3).unwrap();
+        assert_eq!(w1, 10.0);
+        assert!((w2 - 10.0 * 2f64.sqrt()).abs() < 1e-12);
+        assert!(w3 > w2);
+    }
+}

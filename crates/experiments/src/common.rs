@@ -1,0 +1,306 @@
+//! Shared experiment plumbing: options, parameter sets, table/CSV
+//! output, and the `r_stationary` calibration used by every figure.
+
+use manet_core::{CoreError, ModelKind, MtrProblem};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The paper's system sizes: `l ∈ {256, 1K, 4K, 16K}`, `n = √l`.
+pub const L_VALUES: [f64; 4] = [256.0, 1024.0, 4096.0, 16384.0];
+
+/// `n = √l` for each entry of [`L_VALUES`].
+pub fn nodes_for_side(l: f64) -> usize {
+    (l.sqrt().round() as usize).max(2)
+}
+
+/// The connection-probability quantile defining `r_stationary`.
+pub const R_STATIONARY_QUANTILE: f64 = 0.99;
+
+/// The paper's simulation horizon, to which pause times are anchored.
+pub const PAPER_STEPS: usize = 10_000;
+
+/// Scale preset / overrides parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Iterations per campaign.
+    pub iterations: usize,
+    /// Mobility steps per iteration.
+    pub steps: usize,
+    /// Stationary placements for `r_stationary`.
+    pub placements: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Pinned thread count (None = auto).
+    pub threads: Option<usize>,
+    /// CSV output directory.
+    pub out_dir: PathBuf,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            iterations: 20,
+            steps: 2_000,
+            placements: 1_000,
+            seed: 20_020_623, // DSN 2002 conference date
+            threads: None,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl RunOptions {
+    /// Parses `--flag value` style options.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = RunOptions::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    opts.iterations = 5;
+                    opts.steps = 500;
+                    opts.placements = 200;
+                }
+                "--paper" => {
+                    opts.iterations = 50;
+                    opts.steps = PAPER_STEPS;
+                    opts.placements = 5_000;
+                }
+                "--iterations" => opts.iterations = take_usize(args, &mut i)?,
+                "--steps" => opts.steps = take_usize(args, &mut i)?,
+                "--placements" => opts.placements = take_usize(args, &mut i)?,
+                "--seed" => opts.seed = take_usize(args, &mut i)? as u64,
+                "--threads" => opts.threads = Some(take_usize(args, &mut i)?),
+                "--out" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--out requires a directory")?;
+                    opts.out_dir = PathBuf::from(v);
+                }
+                // Sub-command words (e.g. `theory t1`) are consumed by
+                // the caller; tolerate bare words here.
+                w if !w.starts_with("--") => {}
+                other => return Err(format!("unknown option `{other}`")),
+            }
+            i += 1;
+        }
+        if opts.iterations == 0 || opts.steps == 0 || opts.placements == 0 {
+            return Err("iterations, steps and placements must be positive".into());
+        }
+        Ok(opts)
+    }
+
+    /// Pause times the paper anchors to its 10000-step horizon, scaled
+    /// to this run's horizon (identity under `--paper`).
+    pub fn scale_steps(&self, paper_value: u32) -> u32 {
+        ((paper_value as f64) * self.steps as f64 / PAPER_STEPS as f64).round() as u32
+    }
+
+    /// The paper's random waypoint model for side `l` (§4.2 defaults),
+    /// pause time scaled to the run horizon.
+    pub fn paper_waypoint(&self, l: f64) -> Result<ModelKind<2>, CoreError> {
+        ModelKind::random_waypoint(0.1, 0.01 * l, self.scale_steps(2000), 0.0)
+    }
+
+    /// The paper's drunkard model for side `l` (§4.2 defaults).
+    pub fn paper_drunkard(&self, l: f64) -> Result<ModelKind<2>, CoreError> {
+        ModelKind::drunkard(0.1, 0.3, 0.01 * l)
+    }
+}
+
+fn take_usize(args: &[String], i: &mut usize) -> Result<usize, String> {
+    *i += 1;
+    let v = args
+        .get(*i)
+        .ok_or_else(|| format!("{} requires a value", args[*i - 1]))?;
+    v.parse()
+        .map_err(|_| format!("invalid value `{v}` for {}", args[*i - 1]))
+}
+
+/// Computes `r_stationary` for `(n, l)` at the standard quantile.
+pub fn r_stationary(opts: &RunOptions, l: f64) -> Result<f64, CoreError> {
+    let n = nodes_for_side(l);
+    let problem = MtrProblem::<2>::new(n, l)?;
+    problem.r_stationary(R_STATIONARY_QUANTILE, opts.placements, opts.seed ^ 0x5747)
+}
+
+/// A simple aligned-table printer for stdout.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        println!("{}", line.trim_end());
+        println!("{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{c:>w$}  ");
+            }
+            println!("{}", line.trim_end());
+        }
+    }
+
+    /// Writes the table as CSV to `out_dir/name.csv`.
+    pub fn write_csv(&self, out_dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(out_dir)?;
+        let path = out_dir.join(format!("{name}.csv"));
+        let mut text = self.headers.join(",");
+        text.push('\n');
+        for row in &self.rows {
+            text.push_str(&row.join(","));
+            text.push('\n');
+        }
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunOptions, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        RunOptions::parse(&owned)
+    }
+
+    #[test]
+    fn defaults_are_mid_scale() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.iterations, 20);
+        assert_eq!(o.steps, 2_000);
+        assert_eq!(o.placements, 1_000);
+        assert_eq!(o.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn quick_and_paper_presets() {
+        let q = parse(&["--quick"]).unwrap();
+        assert_eq!((q.iterations, q.steps), (5, 500));
+        let p = parse(&["--paper"]).unwrap();
+        assert_eq!((p.iterations, p.steps), (50, PAPER_STEPS));
+        assert_eq!(p.placements, 5_000);
+    }
+
+    #[test]
+    fn overrides_after_preset_win() {
+        let o = parse(&["--paper", "--iterations", "7", "--steps", "123"]).unwrap();
+        assert_eq!((o.iterations, o.steps), (7, 123));
+    }
+
+    #[test]
+    fn option_errors() {
+        assert!(parse(&["--iterations"]).is_err());
+        assert!(parse(&["--iterations", "abc"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--iterations", "0"]).is_err());
+    }
+
+    #[test]
+    fn bare_words_tolerated_for_subcommands() {
+        let o = parse(&["t3", "--quick"]).unwrap();
+        assert_eq!(o.iterations, 5);
+    }
+
+    #[test]
+    fn scale_steps_anchors_to_paper_horizon() {
+        let mut o = RunOptions {
+            steps: PAPER_STEPS,
+            ..RunOptions::default()
+        };
+        assert_eq!(o.scale_steps(2000), 2000);
+        o.steps = 1000;
+        assert_eq!(o.scale_steps(2000), 200);
+        assert_eq!(o.scale_steps(0), 0);
+    }
+
+    #[test]
+    fn nodes_follow_sqrt_l() {
+        assert_eq!(nodes_for_side(256.0), 16);
+        assert_eq!(nodes_for_side(1024.0), 32);
+        assert_eq!(nodes_for_side(4096.0), 64);
+        assert_eq!(nodes_for_side(16384.0), 128);
+    }
+
+    #[test]
+    fn paper_models_match_section_4_2() {
+        let o = RunOptions::default();
+        assert!(o.paper_waypoint(4096.0).is_ok());
+        assert!(o.paper_drunkard(4096.0).is_ok());
+        // Tiny region: waypoint speed range is empty.
+        assert!(o.paper_waypoint(5.0).is_err());
+    }
+
+    #[test]
+    fn table_renders_and_writes_csv() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let dir = std::env::temp_dir().join("manet_experiments_test");
+        let path = t.write_csv(&dir, "unit").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,bb\n1,2\n333,4\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fmt_covers_magnitudes() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234567), "0.1235");
+        assert_eq!(fmt(4.5678), "4.568");
+        assert_eq!(fmt(12345.6), "12345.6");
+    }
+}

@@ -1,0 +1,288 @@
+//! Figures 2–9 of the paper.
+
+use crate::common::{self, banner, fmt, nodes_for_side, r_stationary, RunOptions, Table};
+use manet_core::{CoreError, ModelKind, MtrmProblem};
+
+/// Builds the MTRM problem for one `(l, model)` cell of the figures.
+fn problem(
+    opts: &RunOptions,
+    l: f64,
+    n: usize,
+    model: ModelKind<2>,
+) -> Result<MtrmProblem<2>, CoreError> {
+    let mut b = MtrmProblem::<2>::builder();
+    b.nodes(n)
+        .side(l)
+        .iterations(opts.iterations)
+        .steps(opts.steps)
+        .seed(opts.seed)
+        .profile_stride(5)
+        .model(model);
+    if let Some(t) = opts.threads {
+        b.threads(t);
+    }
+    b.build()
+}
+
+/// Figures 2 (random waypoint) and 3 (drunkard): the ratios
+/// `r100/r90/r10/r0 ÷ r_stationary` for growing system size.
+///
+/// Metrics are quantiles of the steps **pooled over all iterations**
+/// ("averaged over 50 simulations of 10000 steps" in the paper's
+/// phrasing): with that reading, `r100` at `p_stationary = 1`
+/// degenerates to the max stationary CTR ≈ `r_stationary`, which is
+/// exactly the paper's Figure 7 anchor. The per-iteration-then-average
+/// aggregation remains available in the library
+/// (`CriticalRangeResults::summary`) and is ablated in DESIGN.md §6.
+fn range_ratio_figure<F>(
+    opts: &RunOptions,
+    name: &str,
+    title: &str,
+    make_model: F,
+) -> Result<(), CoreError>
+where
+    F: Fn(&RunOptions, f64) -> Result<ModelKind<2>, CoreError>,
+{
+    banner(title);
+    let mut table = Table::new(&[
+        "l", "n", "r_stat", "r100/rs", "r90/rs", "r10/rs", "r0/rs", "r100_sd", "r90_sd",
+    ]);
+    for &l in &common::L_VALUES {
+        let n = nodes_for_side(l);
+        let rs = r_stationary(opts, l)?;
+        let p = problem(opts, l, n, make_model(opts, l)?)?;
+        let sol = p.solve()?;
+        let pooled = sol.critical.pooled().map_err(CoreError::Sim)?;
+        let q = manet_core::sim::RangeQuantiles::from_series(&pooled).map_err(CoreError::Sim)?;
+        table.row(vec![
+            fmt(l),
+            n.to_string(),
+            fmt(rs),
+            fmt(q.r100 / rs),
+            fmt(q.r90 / rs),
+            fmt(q.r10 / rs),
+            fmt(q.r0 / rs),
+            fmt(sol.ranges.r100.sample_std_dev() / rs),
+            fmt(sol.ranges.r90.sample_std_dev() / rs),
+        ]);
+    }
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, name)
+        .map_err(|e| CoreError::Invalid {
+            reason: format!("cannot write CSV: {e}"),
+        })?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Figure 2: `r_x / r_stationary` vs `l`, random waypoint.
+pub fn fig2(opts: &RunOptions) -> Result<(), CoreError> {
+    range_ratio_figure(
+        opts,
+        "fig2",
+        "Figure 2: r_x / r_stationary vs l (random waypoint)",
+        |o, l| o.paper_waypoint(l),
+    )
+}
+
+/// Figure 3: `r_x / r_stationary` vs `l`, drunkard.
+pub fn fig3(opts: &RunOptions) -> Result<(), CoreError> {
+    range_ratio_figure(
+        opts,
+        "fig3",
+        "Figure 3: r_x / r_stationary vs l (drunkard)",
+        |o, l| o.paper_drunkard(l),
+    )
+}
+
+/// Figures 4 (random waypoint) and 5 (drunkard): average size of the
+/// largest connected component (fraction of `n`) at `r90`, `r10`, `r0`.
+fn component_figure<F>(
+    opts: &RunOptions,
+    name: &str,
+    title: &str,
+    make_model: F,
+) -> Result<(), CoreError>
+where
+    F: Fn(&RunOptions, f64) -> Result<ModelKind<2>, CoreError>,
+{
+    banner(title);
+    let mut table = Table::new(&["l", "n", "at_r90", "at_r10", "at_r0"]);
+    for &l in &common::L_VALUES {
+        let n = nodes_for_side(l);
+        let p = problem(opts, l, n, make_model(opts, l)?)?;
+        let sol = p.solve()?;
+        let pooled = sol.critical.pooled().map_err(CoreError::Sim)?;
+        let q = manet_core::sim::RangeQuantiles::from_series(&pooled).map_err(CoreError::Sim)?;
+        let profiles = p.component_profiles()?;
+        let at = |r: f64| profiles.mean_average_fraction_at(r);
+        table.row(vec![
+            fmt(l),
+            n.to_string(),
+            fmt(at(q.r90)),
+            fmt(at(q.r10)),
+            fmt(at(q.r0)),
+        ]);
+    }
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, name)
+        .map_err(|e| CoreError::Invalid {
+            reason: format!("cannot write CSV: {e}"),
+        })?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Figure 4: largest-component fraction at `r90/r10/r0`, waypoint.
+pub fn fig4(opts: &RunOptions) -> Result<(), CoreError> {
+    component_figure(
+        opts,
+        "fig4",
+        "Figure 4: avg largest component fraction at r90/r10/r0 (random waypoint)",
+        |o, l| o.paper_waypoint(l),
+    )
+}
+
+/// Figure 5: largest-component fraction at `r90/r10/r0`, drunkard.
+pub fn fig5(opts: &RunOptions) -> Result<(), CoreError> {
+    component_figure(
+        opts,
+        "fig5",
+        "Figure 5: avg largest component fraction at r90/r10/r0 (drunkard)",
+        |o, l| o.paper_drunkard(l),
+    )
+}
+
+/// Figure 6: `rl90/rl75/rl50 ÷ r_stationary` vs `l`, random waypoint.
+pub fn fig6(opts: &RunOptions) -> Result<(), CoreError> {
+    banner("Figure 6: rl90/rl75/rl50 over r_stationary vs l (random waypoint)");
+    let mut table = Table::new(&["l", "n", "r_stat", "rl90/rs", "rl75/rs", "rl50/rs"]);
+    for &l in &common::L_VALUES {
+        let n = nodes_for_side(l);
+        let rs = r_stationary(opts, l)?;
+        let p = problem(opts, l, n, opts.paper_waypoint(l)?)?;
+        let rl = p.ranges_for_component_fractions(&[0.9, 0.75, 0.5])?;
+        table.row(vec![
+            fmt(l),
+            n.to_string(),
+            fmt(rs),
+            fmt(rl[0].1 / rs),
+            fmt(rl[1].1 / rs),
+            fmt(rl[2].1 / rs),
+        ]);
+    }
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, "fig6")
+        .map_err(|e| CoreError::Invalid {
+            reason: format!("cannot write CSV: {e}"),
+        })?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// The `l = 4096`, `n = 64` single-cell sweep shared by Figures 7–9.
+fn sweep_r100<F>(
+    opts: &RunOptions,
+    name: &str,
+    title: &str,
+    axis: &str,
+    points: &[f64],
+    make_model: F,
+) -> Result<(), CoreError>
+where
+    F: Fn(f64) -> Result<ModelKind<2>, CoreError>,
+{
+    banner(title);
+    let l = 4096.0;
+    let n = 64;
+    let rs = r_stationary(opts, l)?;
+    let mut table = Table::new(&[axis, "r100/rs", "r100_sd/rs"]);
+    for &x in points {
+        let p = problem(opts, l, n, make_model(x)?)?;
+        let sol = p.solve()?;
+        let pooled = sol.critical.pooled().map_err(CoreError::Sim)?;
+        table.row(vec![
+            fmt(x),
+            fmt(pooled.max() / rs),
+            fmt(sol.ranges.r100.sample_std_dev() / rs),
+        ]);
+    }
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, name)
+        .map_err(|e| CoreError::Invalid {
+            reason: format!("cannot write CSV: {e}"),
+        })?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Figure 7: `r100/r_stationary` vs `p_stationary` (coarse 0..1 plus
+/// the paper's fine sweep of the 0.4–0.6 threshold window).
+pub fn fig7(opts: &RunOptions) -> Result<(), CoreError> {
+    let mut points: Vec<f64> = vec![0.0, 0.2, 0.8, 1.0];
+    let mut p: f64 = 0.40;
+    while p <= 0.601 {
+        points.push((p * 100.0).round() / 100.0);
+        p += 0.02;
+    }
+    points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let l = 4096.0;
+    let pause = opts.scale_steps(2000);
+    sweep_r100(
+        opts,
+        "fig7",
+        "Figure 7: r100/r_stationary vs p_stationary (random waypoint, l=4096, n=64)",
+        "p_stat",
+        &points,
+        |p_stat| ModelKind::random_waypoint(0.1, 0.01 * l, pause, p_stat),
+    )
+}
+
+/// Figure 8: `r100/r_stationary` vs `t_pause` (axis scaled with the
+/// run horizon; equals the paper's 0..10000 under `--paper`).
+pub fn fig8(opts: &RunOptions) -> Result<(), CoreError> {
+    let points: Vec<f64> = [0u32, 2000, 4000, 6000, 8000, 10_000]
+        .iter()
+        .map(|&t| opts.scale_steps(t) as f64)
+        .collect();
+    let l = 4096.0;
+    sweep_r100(
+        opts,
+        "fig8",
+        "Figure 8: r100/r_stationary vs t_pause (random waypoint, l=4096, n=64)",
+        "t_pause",
+        &points,
+        |t| ModelKind::random_waypoint(0.1, 0.01 * l, t as u32, 0.0),
+    )
+}
+
+/// Figure 9: `r100/r_stationary` vs `v_max` (in units of `l`).
+pub fn fig9(opts: &RunOptions) -> Result<(), CoreError> {
+    let points = [0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let l = 4096.0;
+    let pause = opts.scale_steps(2000);
+    sweep_r100(
+        opts,
+        "fig9",
+        "Figure 9: r100/r_stationary vs v_max/l (random waypoint, l=4096, n=64)",
+        "vmax/l",
+        &points,
+        |v| ModelKind::random_waypoint(0.1, v * l, pause, 0.0),
+    )
+}
+
+/// Runs Figures 2–9 in order.
+pub fn all(opts: &RunOptions) -> Result<(), CoreError> {
+    fig2(opts)?;
+    fig3(opts)?;
+    fig4(opts)?;
+    fig5(opts)?;
+    fig6(opts)?;
+    fig7(opts)?;
+    fig8(opts)?;
+    fig9(opts)
+}

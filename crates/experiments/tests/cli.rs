@@ -1,0 +1,136 @@
+//! End-to-end tests of the `manet-repro` binary: spawn the real
+//! executable, parse its stdout, verify its CSV artifacts.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_manet-repro"))
+}
+
+fn temp_out(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("manet_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = repro().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage"));
+    assert!(text.contains("fig2"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = repro().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn bad_option_fails() {
+    let out = repro().args(["fig2", "--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stationary_produces_csv_with_all_sizes() {
+    let dir = temp_out("stationary");
+    let out = repro()
+        .args([
+            "stationary",
+            "--iterations",
+            "2",
+            "--steps",
+            "10",
+            "--placements",
+            "50",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(dir.join("stationary.csv")).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 4 system sizes");
+    assert!(lines[0].starts_with("l,n,"));
+    for (i, l) in ["256", "1024", "4096", "16384"].iter().enumerate() {
+        assert!(
+            lines[i + 1].starts_with(l),
+            "row {i} should start with {l}: {}",
+            lines[i + 1]
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn fig7_sweep_covers_fine_window() {
+    let dir = temp_out("fig7");
+    let out = repro()
+        .args([
+            "fig7",
+            "--iterations",
+            "2",
+            "--steps",
+            "20",
+            "--placements",
+            "30",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(dir.join("fig7.csv")).unwrap();
+    // Coarse points + the 0.40..0.60 fine sweep (11 points) + header.
+    let rows = csv.lines().count() - 1;
+    assert_eq!(rows, 15, "expected 15 sweep points, got {rows}");
+    // Ratios are positive numbers.
+    for line in csv.lines().skip(1) {
+        let ratio: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+        assert!(ratio > 0.0);
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn theory_t4_reports_gap_probabilities() {
+    let dir = temp_out("t4");
+    let out = repro()
+        .args(["theory", "t4", "--placements", "50", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(dir.join("theory_t4.csv")).unwrap();
+    let mut window_col = Vec::new();
+    let mut connected_col = Vec::new();
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        window_col.push(cells[1].parse::<f64>().unwrap());
+        connected_col.push(cells[3].parse::<f64>().unwrap());
+    }
+    // Theorem 4: bounded away from zero in the window...
+    assert!(window_col.iter().all(|&p| p > 0.9));
+    // ...Theorem 3: decaying above the threshold.
+    assert!(connected_col.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,381 @@
+//! Uniform-grid spatial index for fixed-radius neighbor queries.
+//!
+//! Building the communication graph naively costs `O(n²)` distance
+//! checks. A [`CellGrid`] with cell width `>= r` buckets nodes so that
+//! all neighbors of a node within range `r` lie in its own or the `3^D`
+//! adjacent cells, giving expected `O(n + E)` graph construction for
+//! uniformly placed nodes. The brute-force path is kept in
+//! `manet-graph` and the two are cross-checked by property tests.
+
+use crate::{GeomError, Point};
+
+/// A bucket grid over `[0, side]^D` with cells of width `>= cell_size`.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::{CellGrid, Point};
+///
+/// let pts = vec![
+///     Point::new([0.5, 0.5]),
+///     Point::new([1.0, 0.5]),
+///     Point::new([9.0, 9.0]),
+/// ];
+/// let grid = CellGrid::build(&pts, 10.0, 1.0)?;
+/// let mut pairs = Vec::new();
+/// grid.for_each_pair_within(1.0, |i, j, _d2| pairs.push((i, j)));
+/// assert_eq!(pairs, vec![(0, 1)]);
+/// # Ok::<(), manet_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellGrid<const D: usize> {
+    cells_per_side: usize,
+    cell_width: f64,
+    /// `start[c]..start[c+1]` indexes into `order` for cell `c`.
+    start: Vec<u32>,
+    /// Point indices sorted by cell.
+    order: Vec<u32>,
+    points: Vec<Point<D>>,
+}
+
+impl<const D: usize> CellGrid<D> {
+    /// Builds the index over `points` living in `[0, side]^D`, with
+    /// cells at least `cell_size` wide.
+    ///
+    /// Points outside the region are tolerated: they are bucketed into
+    /// the nearest boundary cell, and distance checks remain exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositive`] when `side` or `cell_size`
+    /// is not strictly positive, and [`GeomError::NonFinite`] when
+    /// either is NaN/infinite.
+    pub fn build(points: &[Point<D>], side: f64, cell_size: f64) -> Result<Self, GeomError> {
+        if !side.is_finite() || !cell_size.is_finite() {
+            return Err(GeomError::NonFinite { name: "side/cell_size" });
+        }
+        if side <= 0.0 {
+            return Err(GeomError::NonPositive {
+                name: "side",
+                value: side,
+            });
+        }
+        if cell_size <= 0.0 {
+            return Err(GeomError::NonPositive {
+                name: "cell_size",
+                value: cell_size,
+            });
+        }
+        let cells_per_side = ((side / cell_size).floor() as usize).max(1);
+        let cell_width = side / cells_per_side as f64;
+        let n_cells = cells_per_side.pow(D as u32);
+
+        // Counting sort of points into cells.
+        let mut counts = vec![0u32; n_cells + 1];
+        let cell_of = |p: &Point<D>| -> usize {
+            let mut idx = 0usize;
+            for i in 0..D {
+                let c = ((p.coord(i) / cell_width).floor() as isize)
+                    .clamp(0, cells_per_side as isize - 1) as usize;
+                idx = idx * cells_per_side + c;
+            }
+            idx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let start = counts.clone();
+        let mut cursor = counts;
+        let mut order = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            order[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        Ok(CellGrid {
+            cells_per_side,
+            cell_width,
+            start,
+            order,
+            points: points.to_vec(),
+        })
+    }
+
+    /// Number of cells along each axis.
+    pub fn cells_per_side(&self) -> usize {
+        self.cells_per_side
+    }
+
+    /// Actual width of each cell (`>= cell_size` requested at build).
+    pub fn cell_width(&self) -> f64 {
+        self.cell_width
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn cell_coords(&self, p: &Point<D>) -> [usize; D] {
+        let mut out = [0usize; D];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = ((p.coord(i) / self.cell_width).floor() as isize)
+                .clamp(0, self.cells_per_side as isize - 1) as usize;
+        }
+        out
+    }
+
+    fn linear_index(&self, coords: &[usize; D]) -> usize {
+        let mut idx = 0usize;
+        for c in coords {
+            idx = idx * self.cells_per_side + c;
+        }
+        idx
+    }
+
+    /// Visits each unordered pair `(i, j)` with `i < j` and
+    /// `dist(points[i], points[j]) <= radius` exactly once, passing the
+    /// squared distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` exceeds the cell width — neighbors could then
+    /// sit beyond adjacent cells and the enumeration would be
+    /// incomplete. Build the grid with `cell_size >= radius`.
+    pub fn for_each_pair_within<F: FnMut(usize, usize, f64)>(&self, radius: f64, mut f: F) {
+        assert!(
+            radius <= self.cell_width * (1.0 + 1e-9),
+            "radius {radius} exceeds cell width {}",
+            self.cell_width
+        );
+        let r2 = radius * radius;
+        for idx_pos in 0..self.order.len() {
+            let i = self.order[idx_pos] as usize;
+            let pi = self.points[i];
+            let base = self.cell_coords(&pi);
+            self.for_each_neighbor_cell(&base, |cell| {
+                let s = self.start[cell] as usize;
+                let e = self.start[cell + 1] as usize;
+                for &j_raw in &self.order[s..e] {
+                    let j = j_raw as usize;
+                    if j <= i {
+                        continue;
+                    }
+                    let d2 = pi.distance_sq(&self.points[j]);
+                    if d2 <= r2 {
+                        f(i, j, d2);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Indices of all points within `radius` of point `i` (excluding
+    /// `i` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `radius` exceeds the cell
+    /// width (see [`CellGrid::for_each_pair_within`]).
+    pub fn neighbors_within(&self, i: usize, radius: f64) -> Vec<usize> {
+        assert!(i < self.points.len(), "point index {i} out of range");
+        assert!(
+            radius <= self.cell_width * (1.0 + 1e-9),
+            "radius {radius} exceeds cell width {}",
+            self.cell_width
+        );
+        let r2 = radius * radius;
+        let pi = self.points[i];
+        let base = self.cell_coords(&pi);
+        let mut out = Vec::new();
+        self.for_each_neighbor_cell(&base, |cell| {
+            let s = self.start[cell] as usize;
+            let e = self.start[cell + 1] as usize;
+            for &j_raw in &self.order[s..e] {
+                let j = j_raw as usize;
+                if j != i && pi.distance_sq(&self.points[j]) <= r2 {
+                    out.push(j);
+                }
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// Calls `f` with the linear index of every cell adjacent to (or
+    /// equal to) the cell at `base`, iterating offsets in `{-1,0,1}^D`.
+    fn for_each_neighbor_cell<F: FnMut(usize)>(&self, base: &[usize; D], mut f: F) {
+        let n_offsets = 3usize.pow(D as u32);
+        'outer: for code in 0..n_offsets {
+            let mut coords = [0usize; D];
+            let mut c = code;
+            for k in 0..D {
+                let off = (c % 3) as isize - 1;
+                c /= 3;
+                let v = base[k] as isize + off;
+                if v < 0 || v >= self.cells_per_side as isize {
+                    continue 'outer;
+                }
+                coords[k] = v as usize;
+            }
+            f(self.linear_index(&coords));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn brute_force_pairs<const D: usize>(
+        pts: &[Point<D>],
+        r: f64,
+    ) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i].distance(&pts[j]) <= r {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn build_validates() {
+        let pts = [Point::new([0.5])];
+        assert!(CellGrid::build(&pts, 0.0, 1.0).is_err());
+        assert!(CellGrid::build(&pts, 1.0, 0.0).is_err());
+        assert!(CellGrid::build(&pts, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_point_set() {
+        let grid: CellGrid<2> = CellGrid::build(&[], 10.0, 1.0).unwrap();
+        assert!(grid.is_empty());
+        let mut called = false;
+        grid.for_each_pair_within(1.0, |_, _, _| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn cell_width_at_least_requested() {
+        let pts = [Point::new([0.5, 0.5])];
+        let grid = CellGrid::build(&pts, 10.0, 3.0).unwrap();
+        assert!(grid.cell_width() >= 3.0);
+        assert_eq!(grid.cells_per_side(), 3);
+    }
+
+    #[test]
+    fn tiny_region_single_cell() {
+        let pts = [Point::new([0.1]), Point::new([0.9])];
+        let grid = CellGrid::build(&pts, 1.0, 5.0).unwrap();
+        assert_eq!(grid.cells_per_side(), 1);
+        let mut pairs = Vec::new();
+        grid.for_each_pair_within(1.0, |i, j, _| pairs.push((i, j)));
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn pairs_match_brute_force_2d() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let n = 50 + trial;
+            let pts: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]))
+                .collect();
+            let r = rng.random_range(2.0..15.0);
+            let grid = CellGrid::build(&pts, 100.0, r).unwrap();
+            let mut got = Vec::new();
+            grid.for_each_pair_within(r, |i, j, _| got.push((i, j)));
+            got.sort_unstable();
+            let mut want = brute_force_pairs(&pts, r);
+            want.sort_unstable();
+            assert_eq!(got, want, "trial {trial} r={r}");
+        }
+    }
+
+    #[test]
+    fn pairs_match_brute_force_1d_and_3d() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let pts1: Vec<Point<1>> = (0..200)
+            .map(|_| Point::new([rng.random_range(0.0..50.0)]))
+            .collect();
+        let grid1 = CellGrid::build(&pts1, 50.0, 2.0).unwrap();
+        let mut got = Vec::new();
+        grid1.for_each_pair_within(2.0, |i, j, _| got.push((i, j)));
+        got.sort_unstable();
+        let mut want = brute_force_pairs(&pts1, 2.0);
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        let pts3: Vec<Point<3>> = (0..100)
+            .map(|_| {
+                Point::new([
+                    rng.random_range(0.0..20.0),
+                    rng.random_range(0.0..20.0),
+                    rng.random_range(0.0..20.0),
+                ])
+            })
+            .collect();
+        let grid3 = CellGrid::build(&pts3, 20.0, 4.0).unwrap();
+        let mut got3 = Vec::new();
+        grid3.for_each_pair_within(4.0, |i, j, _| got3.push((i, j)));
+        got3.sort_unstable();
+        let mut want3 = brute_force_pairs(&pts3, 4.0);
+        want3.sort_unstable();
+        assert_eq!(got3, want3);
+    }
+
+    #[test]
+    fn neighbors_within_matches_pairs() {
+        let pts = vec![
+            Point::new([1.0, 1.0]),
+            Point::new([1.5, 1.0]),
+            Point::new([5.0, 5.0]),
+            Point::new([1.0, 1.4]),
+        ];
+        let grid = CellGrid::build(&pts, 10.0, 1.0).unwrap();
+        assert_eq!(grid.neighbors_within(0, 1.0), vec![1, 3]);
+        assert_eq!(grid.neighbors_within(2, 1.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cell width")]
+    fn radius_larger_than_cell_panics() {
+        let pts = [Point::new([0.5, 0.5]), Point::new([3.0, 3.0])];
+        let grid = CellGrid::build(&pts, 10.0, 1.0).unwrap();
+        grid.for_each_pair_within(5.0, |_, _, _| {});
+    }
+
+    #[test]
+    fn points_on_boundary_are_indexed() {
+        let pts = vec![Point::new([0.0, 0.0]), Point::new([10.0, 10.0])];
+        let grid = CellGrid::build(&pts, 10.0, 1.0).unwrap();
+        assert_eq!(grid.len(), 2);
+        // The corner point at side=10 must be clamped into the last cell.
+        assert_eq!(grid.neighbors_within(1, 1.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn squared_distance_reported() {
+        let pts = vec![Point::new([0.0]), Point::new([0.6])];
+        let grid = CellGrid::build(&pts, 10.0, 1.0).unwrap();
+        let mut seen = None;
+        grid.for_each_pair_within(1.0, |i, j, d2| seen = Some((i, j, d2)));
+        let (i, j, d2) = seen.unwrap();
+        assert_eq!((i, j), (0, 1));
+        assert!((d2 - 0.36).abs() < 1e-12);
+    }
+}

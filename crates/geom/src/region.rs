@@ -1,0 +1,232 @@
+//! The deployment region `[0, l]^d`.
+
+use crate::{GeomError, Point};
+use rand::{Rng, RngExt};
+
+/// How positions that would leave the region are handled.
+///
+/// The paper does not specify boundary behaviour for the drunkard
+/// model; [`BoundaryPolicy::Resample`] (rejection) is the default used
+/// in the reproduction and [`BoundaryPolicy::Reflect`] is provided for
+/// ablation (see DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BoundaryPolicy {
+    /// Re-draw the proposed position until it falls inside the region.
+    #[default]
+    Resample,
+    /// Reflect the offending coordinates back into the region.
+    Reflect,
+    /// Clamp the offending coordinates to the boundary.
+    Clamp,
+}
+
+/// The cube `[0, side]^D` in which nodes live.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::{Point, Region};
+///
+/// let r: Region<2> = Region::new(10.0)?;
+/// assert!(r.contains(&Point::new([5.0, 5.0])));
+/// assert!(!r.contains(&Point::new([11.0, 5.0])));
+/// assert_eq!(r.diameter(), 200.0f64.sqrt());
+/// # Ok::<(), manet_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Region<const D: usize> {
+    side: f64,
+}
+
+impl<const D: usize> Region<D> {
+    /// Creates the region `[0, side]^D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositive`] when `side <= 0` and
+    /// [`GeomError::NonFinite`] when it is NaN or infinite.
+    pub fn new(side: f64) -> Result<Self, GeomError> {
+        if !side.is_finite() {
+            return Err(GeomError::NonFinite { name: "side" });
+        }
+        if side <= 0.0 {
+            return Err(GeomError::NonPositive {
+                name: "side",
+                value: side,
+            });
+        }
+        Ok(Region { side })
+    }
+
+    /// Side length `l`.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Spatial dimension `d`.
+    pub fn dimension(&self) -> usize {
+        D
+    }
+
+    /// `l^d`, the volume (length/area/volume) of the region.
+    pub fn volume(&self) -> f64 {
+        self.side.powi(D as i32)
+    }
+
+    /// Length of the region's main diagonal, `l·√d` — the worst-case
+    /// transmitting range when node positions are adversarial.
+    pub fn diameter(&self) -> f64 {
+        self.side * (D as f64).sqrt()
+    }
+
+    /// Whether `p` lies inside the closed cube.
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        p.coords().iter().all(|&c| (0.0..=self.side).contains(&c))
+    }
+
+    /// Draws a point uniformly at random in the region.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point<D> {
+        let mut out = [0.0; D];
+        for c in &mut out {
+            *c = rng.random_range(0.0..=self.side);
+        }
+        Point::new(out)
+    }
+
+    /// Places `n` nodes independently and uniformly at random — the
+    /// paper's placement assumption for both MTR and MTRM.
+    pub fn place_uniform<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Point<D>> {
+        (0..n).map(|_| self.sample_uniform(rng)).collect()
+    }
+
+    /// Clamps each coordinate of `p` into `[0, side]`.
+    pub fn clamp(&self, p: &Point<D>) -> Point<D> {
+        let mut out = p.coords();
+        for c in &mut out {
+            *c = c.clamp(0.0, self.side);
+        }
+        Point::new(out)
+    }
+
+    /// Reflects each out-of-range coordinate back into the region
+    /// (mirror at the violated boundary, repeated until inside).
+    pub fn reflect(&self, p: &Point<D>) -> Point<D> {
+        let mut out = p.coords();
+        let period = 2.0 * self.side;
+        for c in &mut out {
+            if !(0.0..=self.side).contains(c) {
+                // Fold into [0, 2l) then mirror the upper half.
+                let mut x = *c % period;
+                if x < 0.0 {
+                    x += period;
+                }
+                if x > self.side {
+                    x = period - x;
+                }
+                *c = x;
+            }
+        }
+        Point::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Region::<2>::new(0.0).is_err());
+        assert!(Region::<2>::new(-3.0).is_err());
+        assert!(Region::<2>::new(f64::NAN).is_err());
+        assert!(Region::<2>::new(f64::INFINITY).is_err());
+        assert!(Region::<2>::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn geometry_quantities() {
+        let r: Region<3> = Region::new(2.0).unwrap();
+        assert_eq!(r.side(), 2.0);
+        assert_eq!(r.dimension(), 3);
+        assert_eq!(r.volume(), 8.0);
+        assert!((r.diameter() - 2.0 * 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let r: Region<1> = Region::new(5.0).unwrap();
+        assert!(r.contains(&Point::new([0.0])));
+        assert!(r.contains(&Point::new([5.0])));
+        assert!(!r.contains(&Point::new([5.0 + 1e-12])));
+        assert!(!r.contains(&Point::new([-1e-12])));
+    }
+
+    #[test]
+    fn uniform_samples_inside() {
+        let r: Region<2> = Region::new(7.0).unwrap();
+        let mut g = rng();
+        for _ in 0..1000 {
+            assert!(r.contains(&r.sample_uniform(&mut g)));
+        }
+    }
+
+    #[test]
+    fn uniform_samples_cover_the_region() {
+        // Mean of uniform on [0, l] is l/2; with 20k draws the sample
+        // mean is within ~1% of l/2 with overwhelming probability.
+        let r: Region<1> = Region::new(10.0).unwrap();
+        let mut g = rng();
+        let mean: f64 =
+            (0..20_000).map(|_| r.sample_uniform(&mut g)[0]).sum::<f64>() / 20_000.0;
+        assert!((mean - 5.0).abs() < 0.15, "mean = {mean}");
+    }
+
+    #[test]
+    fn place_uniform_counts() {
+        let r: Region<2> = Region::new(1.0).unwrap();
+        let pts = r.place_uniform(37, &mut rng());
+        assert_eq!(pts.len(), 37);
+        assert!(pts.iter().all(|p| r.contains(p)));
+    }
+
+    #[test]
+    fn clamp_projects_to_boundary() {
+        let r: Region<2> = Region::new(1.0).unwrap();
+        let p = r.clamp(&Point::new([-0.5, 1.7]));
+        assert_eq!(p, Point::new([0.0, 1.0]));
+        // Inside points unchanged.
+        let q = Point::new([0.3, 0.4]);
+        assert_eq!(r.clamp(&q), q);
+    }
+
+    #[test]
+    fn reflect_mirrors_small_overshoot() {
+        let r: Region<1> = Region::new(10.0).unwrap();
+        assert!((r.reflect(&Point::new([10.5]))[0] - 9.5).abs() < 1e-12);
+        assert!((r.reflect(&Point::new([-0.5]))[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflect_handles_large_overshoot() {
+        let r: Region<1> = Region::new(10.0).unwrap();
+        // 25 -> fold to 5; -13 -> fold to 7
+        assert!((r.reflect(&Point::new([25.0]))[0] - 5.0).abs() < 1e-12);
+        assert!((r.reflect(&Point::new([-13.0]))[0] - 7.0).abs() < 1e-12);
+        // Result always inside.
+        for x in [-100.0, -7.3, 3.0, 17.9, 99.9] {
+            assert!(r.contains(&r.reflect(&Point::new([x]))), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn boundary_policy_default_is_resample() {
+        assert_eq!(BoundaryPolicy::default(), BoundaryPolicy::Resample);
+    }
+}

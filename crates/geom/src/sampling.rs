@@ -1,0 +1,165 @@
+//! Uniform sampling in balls and related helpers.
+//!
+//! The drunkard mobility model moves a node to a point chosen uniformly
+//! at random in the disk of radius `m` centered at its current
+//! location (paper §4.1). [`sample_in_ball`] implements that draw for
+//! any dimension via rejection from the bounding cube — for `d <= 3`
+//! the acceptance probability is at least `π/6 ≈ 0.52`, so the expected
+//! number of draws is below 2.
+
+use crate::{GeomError, Point};
+use rand::{Rng, RngExt};
+
+/// Draws a point uniformly from the closed ball of radius `radius`
+/// centered at `center`.
+///
+/// # Errors
+///
+/// Returns [`GeomError::NonPositive`] when `radius <= 0` and
+/// [`GeomError::NonFinite`] when it is not finite.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::{sampling::sample_in_ball, Point};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let c = Point::new([5.0, 5.0]);
+/// let p = sample_in_ball(&c, 2.0, &mut rng)?;
+/// assert!(c.distance(&p) <= 2.0);
+/// # Ok::<(), manet_geom::GeomError>(())
+/// ```
+pub fn sample_in_ball<const D: usize, R: Rng + ?Sized>(
+    center: &Point<D>,
+    radius: f64,
+    rng: &mut R,
+) -> Result<Point<D>, GeomError> {
+    if !radius.is_finite() {
+        return Err(GeomError::NonFinite { name: "radius" });
+    }
+    if radius <= 0.0 {
+        return Err(GeomError::NonPositive {
+            name: "radius",
+            value: radius,
+        });
+    }
+    loop {
+        let mut offset = [0.0; D];
+        let mut norm_sq = 0.0;
+        for c in &mut offset {
+            *c = rng.random_range(-radius..=radius);
+            norm_sq += *c * *c;
+        }
+        if norm_sq <= radius * radius {
+            let mut out = center.coords();
+            for (o, d) in out.iter_mut().zip(&offset) {
+                *o += d;
+            }
+            return Ok(Point::new(out));
+        }
+    }
+}
+
+/// Draws a unit vector uniformly from the sphere `S^{D-1}`.
+///
+/// Implemented by rejection-sampling a point in the unit ball
+/// (excluding a tiny core for numerical stability) and normalizing.
+/// Used by the random-direction mobility extension.
+pub fn sample_unit_vector<const D: usize, R: Rng + ?Sized>(rng: &mut R) -> Point<D> {
+    loop {
+        let mut v = [0.0; D];
+        let mut norm_sq: f64 = 0.0;
+        for c in &mut v {
+            *c = rng.random_range(-1.0..=1.0);
+            norm_sq += *c * *c;
+        }
+        if norm_sq <= 1.0 && norm_sq > 1e-12 {
+            let norm = norm_sq.sqrt();
+            for c in &mut v {
+                *c /= norm;
+            }
+            return Point::new(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(777)
+    }
+
+    #[test]
+    fn ball_samples_stay_in_ball() {
+        let c = Point::new([10.0, -3.0]);
+        let mut g = rng();
+        for _ in 0..2000 {
+            let p = sample_in_ball(&c, 1.5, &mut g).unwrap();
+            assert!(c.distance(&p) <= 1.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ball_sampling_validates_radius() {
+        let c = Point::new([0.0]);
+        let mut g = rng();
+        assert!(sample_in_ball(&c, 0.0, &mut g).is_err());
+        assert!(sample_in_ball(&c, -1.0, &mut g).is_err());
+        assert!(sample_in_ball(&c, f64::NAN, &mut g).is_err());
+    }
+
+    #[test]
+    fn ball_samples_are_uniform_not_clustered() {
+        // For the uniform law on a disk, E[dist²]/r² = 1/2.
+        let c = Point::new([0.0, 0.0]);
+        let mut g = rng();
+        let trials = 20_000;
+        let mean_d2: f64 = (0..trials)
+            .map(|_| {
+                let p = sample_in_ball(&c, 2.0, &mut g).unwrap();
+                c.distance_sq(&p) / 4.0
+            })
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean_d2 - 0.5).abs() < 0.01, "E[d²]/r² = {mean_d2}");
+    }
+
+    #[test]
+    fn ball_sampling_1d_is_interval() {
+        let c: Point<1> = 5.0.into();
+        let mut g = rng();
+        for _ in 0..500 {
+            let p = sample_in_ball(&c, 0.5, &mut g).unwrap();
+            assert!((4.5..=5.5).contains(&p[0]));
+        }
+    }
+
+    #[test]
+    fn unit_vectors_have_unit_norm() {
+        let mut g = rng();
+        for _ in 0..1000 {
+            let v: Point<3> = sample_unit_vector(&mut g);
+            assert!((v.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unit_vectors_cover_directions() {
+        // Mean of each coordinate over the sphere is 0.
+        let mut g = rng();
+        let trials = 20_000;
+        let mut sums = [0.0; 2];
+        for _ in 0..trials {
+            let v: Point<2> = sample_unit_vector(&mut g);
+            sums[0] += v[0];
+            sums[1] += v[1];
+        }
+        for s in sums {
+            assert!((s / trials as f64).abs() < 0.02, "direction bias: {s}");
+        }
+    }
+}

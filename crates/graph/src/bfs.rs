@@ -1,0 +1,142 @@
+//! Breadth-first search: hop distances, eccentricity, diameter.
+//!
+//! Wireless ad hoc networks are *multi-hop*: a message travels through
+//! intermediate nodes. Hop distances quantify relay depth — e.g. how
+//! many car-to-car hops a congestion warning needs on the paper's
+//! freeway scenario (`examples/freeway.rs`).
+
+use crate::adjacency::AdjacencyList;
+use std::collections::VecDeque;
+
+/// Hop distance from `src` to every node; `None` for unreachable nodes.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::Point;
+/// use manet_graph::{bfs::hop_distances, AdjacencyList};
+///
+/// let pts = vec![Point::new([0.0]), Point::new([1.0]), Point::new([2.0])];
+/// let g = AdjacencyList::from_points_brute_force(&pts, 1.0);
+/// let d = hop_distances(&g, 0);
+/// assert_eq!(d, vec![Some(0), Some(1), Some(2)]);
+/// ```
+pub fn hop_distances(graph: &AdjacencyList, src: usize) -> Vec<Option<u32>> {
+    assert!(src < graph.len(), "source {src} out of range");
+    let mut dist = vec![None; graph.len()];
+    dist[src] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(src as u32);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize].expect("enqueued nodes have distances");
+        for &w in graph.neighbors(v as usize) {
+            if dist[w as usize].is_none() {
+                dist[w as usize] = Some(dv + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `src`: the largest hop distance to any reachable
+/// node (0 for a graph with a single node).
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn eccentricity(graph: &AdjacencyList, src: usize) -> u32 {
+    hop_distances(graph, src)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Hop diameter of the graph: `None` when the graph is disconnected
+/// (the diameter is then infinite), `Some(0)` for graphs with at most
+/// one node.
+pub fn hop_diameter(graph: &AdjacencyList) -> Option<u32> {
+    let n = graph.len();
+    if n <= 1 {
+        return Some(0);
+    }
+    let mut diameter = 0;
+    for v in 0..n {
+        let d = hop_distances(graph, v);
+        let mut local_max = 0;
+        for dv in d {
+            match dv {
+                Some(x) => local_max = local_max.max(x),
+                None => return None,
+            }
+        }
+        diameter = diameter.max(local_max);
+    }
+    Some(diameter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_geom::Point;
+
+    fn path(n: usize) -> AdjacencyList {
+        let pts: Vec<Point<1>> = (0..n).map(|i| Point::new([i as f64])).collect();
+        AdjacencyList::from_points_brute_force(&pts, 1.0)
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path(5);
+        let d = hop_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        let d2 = hop_distances(&g, 2);
+        assert_eq!(d2, vec![Some(2), Some(1), Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_none() {
+        let mut g = AdjacencyList::empty(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let d = hop_distances(&g, 0);
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let g = path(5);
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+    }
+
+    #[test]
+    fn diameter_of_path_and_disconnected() {
+        assert_eq!(hop_diameter(&path(6)), Some(5));
+        let mut g = AdjacencyList::empty(3);
+        g.add_edge(0, 1);
+        assert_eq!(hop_diameter(&g), None);
+    }
+
+    #[test]
+    fn diameter_edge_cases() {
+        assert_eq!(hop_diameter(&AdjacencyList::empty(0)), Some(0));
+        assert_eq!(hop_diameter(&AdjacencyList::empty(1)), Some(0));
+    }
+
+    #[test]
+    fn star_has_diameter_two() {
+        let mut g = AdjacencyList::empty(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf);
+        }
+        assert_eq!(hop_diameter(&g), Some(2));
+        assert_eq!(eccentricity(&g, 0), 1);
+    }
+}

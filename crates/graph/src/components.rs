@@ -1,0 +1,198 @@
+//! Connected components of a point graph.
+//!
+//! The paper's availability metrics all reduce to two questions about
+//! each simulated step: *is the graph connected?* and *how large is the
+//! largest connected component?* This module answers both from an
+//! [`AdjacencyList`] via iterative depth-first search.
+
+use crate::adjacency::AdjacencyList;
+
+/// Sizes and labeling of all connected components.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::Point;
+/// use manet_graph::{AdjacencyList, ComponentSummary};
+///
+/// let pts = vec![
+///     Point::new([0.0]),
+///     Point::new([1.0]),
+///     Point::new([10.0]),
+/// ];
+/// let g = AdjacencyList::from_points_brute_force(&pts, 1.5);
+/// let c = ComponentSummary::of(&g);
+/// assert_eq!(c.count(), 2);
+/// assert_eq!(c.largest_size(), 2);
+/// assert_eq!(c.label(0), c.label(1));
+/// assert_ne!(c.label(0), c.label(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ComponentSummary {
+    labels: Vec<u32>,
+    sizes: Vec<u32>,
+}
+
+impl ComponentSummary {
+    /// Computes the components of `graph`.
+    pub fn of(graph: &AdjacencyList) -> Self {
+        let n = graph.len();
+        let mut labels = vec![u32::MAX; n];
+        let mut sizes = Vec::new();
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if labels[start] != u32::MAX {
+                continue;
+            }
+            let label = sizes.len() as u32;
+            let mut size = 0u32;
+            labels[start] = label;
+            stack.push(start as u32);
+            while let Some(v) = stack.pop() {
+                size += 1;
+                for &w in graph.neighbors(v as usize) {
+                    if labels[w as usize] == u32::MAX {
+                        labels[w as usize] = label;
+                        stack.push(w);
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        ComponentSummary { labels, sizes }
+    }
+
+    /// Number of connected components (0 for the empty graph).
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component label of node `i` (labels are dense, `0..count()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// Sizes of all components, indexed by label.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn largest_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Whether the graph is connected. Graphs with at most one node
+    /// are connected by convention.
+    pub fn is_connected(&self) -> bool {
+        self.sizes.len() <= 1
+    }
+}
+
+/// Convenience: whether `graph` is connected.
+pub fn is_connected(graph: &AdjacencyList) -> bool {
+    if graph.len() <= 1 {
+        return true;
+    }
+    // Early exit: any isolated node disconnects the graph.
+    if graph.min_degree() == Some(0) {
+        return false;
+    }
+    ComponentSummary::of(graph).is_connected()
+}
+
+/// Convenience: size of the largest connected component.
+pub fn largest_component_size(graph: &AdjacencyList) -> usize {
+    ComponentSummary::of(graph).largest_size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_geom::Point;
+
+    fn line_graph(gaps: &[f64], range: f64) -> AdjacencyList {
+        // Build points at cumulative positions of `gaps`.
+        let mut pos = vec![0.0];
+        for g in gaps {
+            pos.push(pos.last().unwrap() + g);
+        }
+        let pts: Vec<Point<1>> = pos.into_iter().map(|x| Point::new([x])).collect();
+        AdjacencyList::from_points_brute_force(&pts, range)
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = AdjacencyList::empty(0);
+        assert!(is_connected(&g));
+        assert_eq!(ComponentSummary::of(&g).count(), 0);
+        assert_eq!(largest_component_size(&g), 0);
+    }
+
+    #[test]
+    fn singleton_is_connected() {
+        let g = AdjacencyList::empty(1);
+        assert!(is_connected(&g));
+        assert_eq!(largest_component_size(&g), 1);
+    }
+
+    #[test]
+    fn two_isolated_nodes_disconnected() {
+        let g = AdjacencyList::empty(2);
+        assert!(!is_connected(&g));
+        let c = ComponentSummary::of(&g);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.largest_size(), 1);
+    }
+
+    #[test]
+    fn chain_connectivity_depends_on_largest_gap() {
+        // Gaps 1, 1, 3, 1 with range 2: the 3-gap splits the chain.
+        let g = line_graph(&[1.0, 1.0, 3.0, 1.0], 2.0);
+        assert!(!is_connected(&g));
+        let c = ComponentSummary::of(&g);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.largest_size(), 3);
+
+        let g2 = line_graph(&[1.0, 1.0, 3.0, 1.0], 3.0);
+        assert!(is_connected(&g2));
+    }
+
+    #[test]
+    fn labels_are_dense_and_consistent() {
+        let g = line_graph(&[1.0, 5.0, 1.0], 2.0);
+        let c = ComponentSummary::of(&g);
+        assert_eq!(c.count(), 2);
+        for i in 0..g.len() {
+            assert!(c.label(i) < c.count() as u32);
+        }
+        assert_eq!(c.label(0), c.label(1));
+        assert_eq!(c.label(2), c.label(3));
+        assert_ne!(c.label(0), c.label(2));
+        let total: u32 = c.sizes().iter().sum();
+        assert_eq!(total as usize, g.len());
+    }
+
+    #[test]
+    fn star_graph_connected() {
+        let mut g = AdjacencyList::empty(6);
+        for leaf in 1..6 {
+            g.add_edge(0, leaf);
+        }
+        assert!(is_connected(&g));
+        assert_eq!(largest_component_size(&g), 6);
+    }
+
+    #[test]
+    fn early_exit_isolated_node() {
+        let mut g = AdjacencyList::empty(3);
+        g.add_edge(0, 1);
+        // node 2 isolated -> early path must say disconnected
+        assert!(!is_connected(&g));
+    }
+}

@@ -1,0 +1,58 @@
+//! Graph algorithms for geometric point graphs.
+//!
+//! The paper's *communication graph* `G_M(t)` places an edge between
+//! two nodes iff their Euclidean distance is at most the common
+//! transmitting range `r` (a *point graph*, after Sen & Huson). This
+//! crate implements, from scratch, everything the reproduction needs to
+//! reason about such graphs:
+//!
+//! * [`UnionFind`] — disjoint sets with size tracking, the engine
+//!   behind component counting and the Kruskal merge process;
+//! * [`AdjacencyList`] — point-graph construction (grid-accelerated or
+//!   brute force) and degree/isolation queries;
+//! * [`components`] — connected components, largest component size;
+//! * [`mst`] — dense Prim Euclidean MST and the **critical
+//!   transmitting range** (the bottleneck = longest MST edge), the
+//!   single quantity from which all of the paper's `r_f` metrics are
+//!   derived;
+//! * [`merge`] — the full Kruskal merge profile: largest component
+//!   size as a step function of the range;
+//! * [`bfs`] — hop distances and diameter (multi-hop relay depth);
+//! * [`kconn`] — vertex connectivity (an extension beyond the paper's
+//!   1-connectivity, useful for dependability margins).
+//!
+//! # Example
+//!
+//! ```
+//! use manet_geom::Point;
+//! use manet_graph::{critical_range, AdjacencyList};
+//!
+//! let pts = vec![
+//!     Point::new([0.0, 0.0]),
+//!     Point::new([1.0, 0.0]),
+//!     Point::new([2.5, 0.0]),
+//! ];
+//! // Longest MST edge: the 1.5 gap.
+//! let ctr = critical_range(&pts);
+//! assert!((ctr - 1.5).abs() < 1e-12);
+//!
+//! let graph = AdjacencyList::from_points_brute_force(&pts, 1.5);
+//! assert!(manet_graph::components::is_connected(&graph));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod bfs;
+pub mod components;
+pub mod dsu;
+pub mod kconn;
+pub mod merge;
+pub mod mst;
+
+pub use adjacency::AdjacencyList;
+pub use components::ComponentSummary;
+pub use dsu::UnionFind;
+pub use merge::MergeProfile;
+pub use mst::{critical_range, minimum_spanning_tree, MstEdge};

@@ -1,0 +1,140 @@
+//! Property-based tests for the graph algorithms, centered on the
+//! invariant the whole reproduction rests on: the MST bottleneck is the
+//! exact connectivity threshold of the point graph.
+
+use manet_geom::Point;
+use manet_graph::{
+    components, critical_range, kconn, minimum_spanning_tree, AdjacencyList, MergeProfile,
+    UnionFind,
+};
+use proptest::prelude::*;
+
+fn points_strategy(max_n: usize) -> impl Strategy<Value = Vec<Point<2>>> {
+    prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 2..max_n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new([x, y])).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn critical_range_is_the_exact_threshold(pts in points_strategy(40)) {
+        let ctr = critical_range(&pts);
+        let at = AdjacencyList::from_points_brute_force(&pts, ctr * (1.0 + 1e-12));
+        prop_assert!(components::is_connected(&at));
+        if ctr > 0.0 {
+            let below = AdjacencyList::from_points_brute_force(&pts, ctr * (1.0 - 1e-9));
+            prop_assert!(!components::is_connected(&below));
+        }
+    }
+
+    #[test]
+    fn mst_has_n_minus_1_edges_and_spans(pts in points_strategy(40)) {
+        let mst = minimum_spanning_tree(&pts);
+        prop_assert_eq!(mst.len(), pts.len() - 1);
+        let mut uf = UnionFind::new(pts.len());
+        for e in &mst {
+            prop_assert!(uf.union(e.a as usize, e.b as usize), "MST contains a cycle");
+        }
+        prop_assert!(uf.is_single_component());
+    }
+
+    #[test]
+    fn mst_is_minimum_against_kruskal(pts in points_strategy(30)) {
+        let prim_total: f64 = minimum_spanning_tree(&pts).iter().map(|e| e.length).sum();
+        // Independent Kruskal oracle.
+        let n = pts.len();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((pts[i].distance(&pts[j]), i, j));
+            }
+        }
+        edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut uf = UnionFind::new(n);
+        let mut kruskal_total = 0.0;
+        for (d, i, j) in edges {
+            if uf.union(i, j) {
+                kruskal_total += d;
+            }
+        }
+        prop_assert!((prim_total - kruskal_total).abs() < 1e-7);
+    }
+
+    #[test]
+    fn merge_profile_matches_components_at_any_range(
+        pts in points_strategy(30),
+        r in 0.0..150.0f64,
+    ) {
+        let profile = MergeProfile::of(&pts);
+        let g = AdjacencyList::from_points_brute_force(&pts, r);
+        prop_assert_eq!(
+            profile.largest_component_at(r),
+            components::largest_component_size(&g)
+        );
+    }
+
+    #[test]
+    fn component_sizes_partition_nodes(pts in points_strategy(40), r in 0.0..100.0f64) {
+        let g = AdjacencyList::from_points_brute_force(&pts, r);
+        let summary = components::ComponentSummary::of(&g);
+        let total: u32 = summary.sizes().iter().sum();
+        prop_assert_eq!(total as usize, pts.len());
+        prop_assert!(summary.largest_size() <= pts.len());
+        prop_assert_eq!(summary.is_connected(), components::is_connected(&g));
+    }
+
+    #[test]
+    fn grid_and_brute_force_graphs_identical(pts in points_strategy(50), r in 0.5..30.0f64) {
+        let brute = AdjacencyList::from_points_brute_force(&pts, r);
+        let grid = AdjacencyList::from_points_grid(&pts, 100.0, r).unwrap();
+        prop_assert_eq!(brute, grid);
+    }
+
+    #[test]
+    fn vertex_connectivity_bounded_by_min_degree(pts in points_strategy(14), r in 10.0..80.0f64) {
+        let g = AdjacencyList::from_points_brute_force(&pts, r);
+        let kappa = kconn::vertex_connectivity(&g);
+        prop_assert!(kappa <= g.min_degree().unwrap_or(0));
+        // k-connectivity predicate consistent with kappa.
+        prop_assert!(kconn::is_k_connected(&g, kappa));
+        prop_assert!(!kconn::is_k_connected(&g, kappa + 1));
+    }
+
+    #[test]
+    fn union_find_agrees_with_component_labels(pts in points_strategy(30), r in 0.0..100.0f64) {
+        let g = AdjacencyList::from_points_brute_force(&pts, r);
+        let mut uf = UnionFind::new(pts.len());
+        for (a, b) in g.edges() {
+            uf.union(a, b);
+        }
+        let summary = components::ComponentSummary::of(&g);
+        prop_assert_eq!(uf.component_count(), summary.count());
+        prop_assert_eq!(uf.largest_component(), summary.largest_size());
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                prop_assert_eq!(
+                    uf.connected(i, j),
+                    summary.label(i) == summary.label(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_inclusive_range_semantics(pts in points_strategy(25), r in 0.0..100.0f64) {
+        let g = AdjacencyList::from_points_brute_force(&pts, r);
+        let manual = {
+            let mut c = 0;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    if pts[i].distance_sq(&pts[j]) <= r * r {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        prop_assert_eq!(g.edge_count(), manual);
+    }
+}

@@ -1,0 +1,199 @@
+//! Mobility models for ad hoc network simulation.
+//!
+//! Section 4.1 of Santi & Blough (DSN 2002) extends their stationary
+//! simulator with two mobility models, both reproduced here behind the
+//! [`Mobility`] trait:
+//!
+//! * [`RandomWaypoint`] — *intentional* movement: each node repeatedly
+//!   picks a uniform destination in the region, travels toward it at a
+//!   speed drawn uniformly from `[v_min, v_max]`, then pauses for
+//!   `t_pause` steps. A fraction `p_stationary` of nodes never moves.
+//! * [`Drunkard`] — *non-intentional* movement: at each step a mobile
+//!   node pauses with probability `p_pause`, otherwise jumps to a point
+//!   chosen uniformly at random in the ball of radius `m` around its
+//!   current position. Again `p_stationary` of the nodes never move.
+//!
+//! Two further classical models are provided as extensions (useful for
+//! testing the paper's claim that the *pattern* of motion matters less
+//! than the *quantity* of motion): [`RandomWalk`] and
+//! [`RandomDirection`]. [`StationaryModel`] is the degenerate model of
+//! the stationary analysis.
+//!
+//! All models are deterministic functions of the RNG handed to them,
+//! `Clone` (so parallel simulation iterations can each own a fresh
+//! copy), and validated at construction.
+//!
+//! # Example
+//!
+//! ```
+//! use manet_geom::Region;
+//! use manet_mobility::{Mobility, RandomWaypoint};
+//! use rand::SeedableRng;
+//!
+//! let region: Region<2> = Region::new(100.0).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//! let mut positions = region.place_uniform(16, &mut rng);
+//!
+//! let mut model = RandomWaypoint::new(0.1, 1.0, 20, 0.0)?;
+//! model.init(&positions, &region, &mut rng);
+//! for _ in 0..100 {
+//!     model.step(&mut positions, &region, &mut rng);
+//! }
+//! assert!(positions.iter().all(|p| region.contains(p)));
+//! # Ok::<(), manet_mobility::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod direction;
+pub mod drunkard;
+pub mod stationary;
+pub mod walk;
+pub mod waypoint;
+
+pub use direction::RandomDirection;
+pub use drunkard::Drunkard;
+pub use stationary::StationaryModel;
+pub use walk::RandomWalk;
+pub use waypoint::RandomWaypoint;
+
+use manet_geom::{Point, Region};
+use rand::Rng;
+
+/// A mobility model: per-node state evolving in discrete steps.
+///
+/// Usage protocol: call [`Mobility::init`] once with the initial
+/// placement, then [`Mobility::step`] once per mobility step. Models
+/// must keep every node inside the region.
+///
+/// Models draw all randomness from the `rng` argument, so a model clone
+/// driven by an identically seeded RNG reproduces the same trajectory.
+pub trait Mobility<const D: usize> {
+    /// Initializes per-node state for `positions.len()` nodes.
+    fn init(&mut self, positions: &[Point<D>], region: &Region<D>, rng: &mut dyn Rng);
+
+    /// Advances all nodes by one mobility step, updating `positions`
+    /// in place.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `positions.len()` differs from
+    /// the length passed to `init` (a logic error in the driver).
+    fn step(&mut self, positions: &mut [Point<D>], region: &Region<D>, rng: &mut dyn Rng);
+
+    /// Short human-readable model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Errors from mobility-model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A speed/radius parameter was not strictly positive.
+    NonPositive {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// `v_min > v_max`.
+    EmptySpeedRange {
+        /// Minimum speed requested.
+        v_min: f64,
+        /// Maximum speed requested.
+        v_max: f64,
+    },
+    /// A parameter was NaN or infinite.
+    NonFinite {
+        /// Parameter name.
+        name: &'static str,
+    },
+}
+
+impl core::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelError::InvalidProbability { name, value } => {
+                write!(f, "probability `{name}` must be in [0, 1], got {value}")
+            }
+            ModelError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            ModelError::EmptySpeedRange { v_min, v_max } => {
+                write!(f, "speed range [{v_min}, {v_max}] is empty")
+            }
+            ModelError::NonFinite { name } => write!(f, "parameter `{name}` must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+pub(crate) fn validate_probability(name: &'static str, value: f64) -> Result<(), ModelError> {
+    if !value.is_finite() {
+        return Err(ModelError::NonFinite { name });
+    }
+    if !(0.0..=1.0).contains(&value) {
+        return Err(ModelError::InvalidProbability { name, value });
+    }
+    Ok(())
+}
+
+pub(crate) fn validate_positive(name: &'static str, value: f64) -> Result<(), ModelError> {
+    if !value.is_finite() {
+        return Err(ModelError::NonFinite { name });
+    }
+    if value <= 0.0 {
+        return Err(ModelError::NonPositive { name, value });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ModelError::InvalidProbability {
+                name: "p",
+                value: 2.0,
+            },
+            ModelError::NonPositive {
+                name: "m",
+                value: 0.0,
+            },
+            ModelError::EmptySpeedRange {
+                v_min: 2.0,
+                v_max: 1.0,
+            },
+            ModelError::NonFinite { name: "v" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn validators() {
+        assert!(validate_probability("p", 0.0).is_ok());
+        assert!(validate_probability("p", 1.0).is_ok());
+        assert!(validate_probability("p", -0.1).is_err());
+        assert!(validate_probability("p", f64::NAN).is_err());
+        assert!(validate_positive("x", 0.1).is_ok());
+        assert!(validate_positive("x", 0.0).is_err());
+        assert!(validate_positive("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn<const D: usize>(_m: &mut dyn Mobility<D>) {}
+    }
+}

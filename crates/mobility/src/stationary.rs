@@ -1,0 +1,56 @@
+//! The degenerate stationary "model".
+//!
+//! Setting `#steps = 1` in the paper's simulator reduces the mobile
+//! study to the stationary one; [`StationaryModel`] makes that
+//! degenerate case a first-class citizen so stationary and mobile
+//! analyses run through the same engine.
+
+use crate::Mobility;
+use manet_geom::{Point, Region};
+use rand::Rng;
+
+/// A mobility model in which nothing moves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StationaryModel;
+
+impl StationaryModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        StationaryModel
+    }
+}
+
+impl<const D: usize> Mobility<D> for StationaryModel {
+    fn init(&mut self, _positions: &[Point<D>], _region: &Region<D>, _rng: &mut dyn Rng) {}
+
+    fn step(&mut self, _positions: &mut [Point<D>], _region: &Region<D>, _rng: &mut dyn Rng) {}
+
+    fn name(&self) -> &'static str {
+        "stationary"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positions_never_change() {
+        let region: Region<2> = Region::new(10.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut pos = region.place_uniform(12, &mut rng);
+        let before = pos.clone();
+        let mut m = StationaryModel::new();
+        Mobility::<2>::init(&mut m, &pos, &region, &mut rng);
+        for _ in 0..10 {
+            m.step(&mut pos, &region, &mut rng);
+        }
+        assert_eq!(pos, before);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Mobility::<2>::name(&StationaryModel::new()), "stationary");
+    }
+}

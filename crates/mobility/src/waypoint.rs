@@ -1,0 +1,357 @@
+//! The random waypoint model (Johnson & Maltz), with a stationary
+//! fraction.
+//!
+//! Paper §4.1: "every node chooses uniformly at random a destination in
+//! `[0,l]^d`, and moves toward it with a velocity chosen uniformly at
+//! random in the interval `[v_min, v_max]`. When it reaches the
+//! destination, it remains stationary for a predefined pause time
+//! `t_pause`, and then it starts moving again according to the same
+//! rule." A node is *permanently* stationary with probability
+//! `p_stationary`, modeling sensors that land entangled in obstacles or
+//! mixed deployments of fixed and mobile nodes.
+
+use crate::{validate_positive, validate_probability, Mobility, ModelError};
+use manet_geom::{Point, Region};
+use rand::{Rng, RngExt};
+
+/// Per-node kinematic state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase<const D: usize> {
+    /// Never moves (selected with probability `p_stationary` at init).
+    Stationary,
+    /// Waiting at a reached destination for `remaining` further steps.
+    Paused { remaining: u32 },
+    /// Traveling toward `dest` at `speed` distance units per step.
+    Moving { dest: Point<D>, speed: f64 },
+}
+
+/// The random waypoint mobility model.
+///
+/// Velocities are in distance units **per mobility step**; the pause
+/// time is in steps (both following the paper's discrete-step
+/// simulator). The paper's moderate-mobility defaults are
+/// `v_min = 0.1`, `v_max = 0.01·l`, `t_pause = 2000`,
+/// `p_stationary = 0`.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint<const D: usize> {
+    v_min: f64,
+    v_max: f64,
+    pause_steps: u32,
+    p_stationary: f64,
+    state: Vec<Phase<D>>,
+}
+
+impl<const D: usize> RandomWaypoint<D> {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NonPositive`] when `v_min <= 0`;
+    /// * [`ModelError::EmptySpeedRange`] when `v_min > v_max`;
+    /// * [`ModelError::InvalidProbability`] when `p_stationary` is
+    ///   outside `[0, 1]`;
+    /// * [`ModelError::NonFinite`] for NaN/infinite parameters.
+    pub fn new(
+        v_min: f64,
+        v_max: f64,
+        pause_steps: u32,
+        p_stationary: f64,
+    ) -> Result<Self, ModelError> {
+        validate_positive("v_min", v_min)?;
+        validate_positive("v_max", v_max)?;
+        if v_min > v_max {
+            return Err(ModelError::EmptySpeedRange { v_min, v_max });
+        }
+        validate_probability("p_stationary", p_stationary)?;
+        Ok(RandomWaypoint {
+            v_min,
+            v_max,
+            pause_steps,
+            p_stationary,
+            state: Vec::new(),
+        })
+    }
+
+    /// The paper's moderate-mobility parameters for region side `l`:
+    /// `v_min = 0.1`, `v_max = 0.01·l`, `t_pause = 2000`,
+    /// `p_stationary = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] when `0.01·l < 0.1` (regions smaller
+    /// than `l = 10` make the paper's speed range empty).
+    pub fn paper_defaults(side: f64) -> Result<Self, ModelError> {
+        RandomWaypoint::new(0.1, 0.01 * side, 2000, 0.0)
+    }
+
+    /// Minimum speed (distance per step).
+    pub fn v_min(&self) -> f64 {
+        self.v_min
+    }
+
+    /// Maximum speed (distance per step).
+    pub fn v_max(&self) -> f64 {
+        self.v_max
+    }
+
+    /// Pause duration in steps.
+    pub fn pause_steps(&self) -> u32 {
+        self.pause_steps
+    }
+
+    /// Probability that a node is permanently stationary.
+    pub fn p_stationary(&self) -> f64 {
+        self.p_stationary
+    }
+
+    /// Number of permanently stationary nodes in the current state
+    /// (0 before `init`).
+    pub fn stationary_count(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| matches!(s, Phase::Stationary))
+            .count()
+    }
+
+    fn new_leg(&self, region: &Region<D>, rng: &mut dyn Rng) -> Phase<D> {
+        let dest = region.sample_uniform(rng);
+        let speed = if self.v_min == self.v_max {
+            self.v_min
+        } else {
+            rng.random_range(self.v_min..=self.v_max)
+        };
+        Phase::Moving { dest, speed }
+    }
+}
+
+impl<const D: usize> Mobility<D> for RandomWaypoint<D> {
+    fn init(&mut self, positions: &[Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
+        self.state = positions
+            .iter()
+            .map(|_| {
+                if self.p_stationary > 0.0 && rng.random_bool(self.p_stationary) {
+                    Phase::Stationary
+                } else {
+                    self.new_leg(region, rng)
+                }
+            })
+            .collect();
+    }
+
+    fn step(&mut self, positions: &mut [Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
+        assert_eq!(
+            positions.len(),
+            self.state.len(),
+            "step called with a different node count than init"
+        );
+        for (i, phase) in self.state.iter_mut().enumerate() {
+            match *phase {
+                Phase::Stationary => {}
+                Phase::Paused { remaining } => {
+                    if remaining > 0 {
+                        *phase = Phase::Paused {
+                            remaining: remaining - 1,
+                        };
+                    } else {
+                        // Pause over: start a new leg and move this step.
+                        let mut leg = {
+                            let dest = region.sample_uniform(rng);
+                            let speed = if self.v_min == self.v_max {
+                                self.v_min
+                            } else {
+                                rng.random_range(self.v_min..=self.v_max)
+                            };
+                            Phase::Moving { dest, speed }
+                        };
+                        advance(&mut positions[i], &mut leg, self.pause_steps);
+                        *phase = leg;
+                    }
+                }
+                Phase::Moving { .. } => {
+                    advance(&mut positions[i], phase, self.pause_steps);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-waypoint"
+    }
+}
+
+/// Moves one node along its current leg; on arrival switches to
+/// `Paused` (or keeps a zero pause as an immediate re-plan next step).
+fn advance<const D: usize>(pos: &mut Point<D>, phase: &mut Phase<D>, pause_steps: u32) {
+    if let Phase::Moving { dest, speed } = *phase {
+        let (next, arrived) = pos.step_toward(&dest, speed);
+        *pos = next;
+        if arrived {
+            *phase = Phase::Paused {
+                remaining: pause_steps,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn region() -> Region<2> {
+        Region::new(100.0).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(RandomWaypoint::<2>::new(0.0, 1.0, 0, 0.0).is_err());
+        assert!(RandomWaypoint::<2>::new(2.0, 1.0, 0, 0.0).is_err());
+        assert!(RandomWaypoint::<2>::new(0.1, 1.0, 0, 1.5).is_err());
+        assert!(RandomWaypoint::<2>::new(f64::NAN, 1.0, 0, 0.0).is_err());
+        assert!(RandomWaypoint::<2>::new(0.1, 1.0, 5, 0.3).is_ok());
+    }
+
+    #[test]
+    fn paper_defaults_match_section_4_2() {
+        let m = RandomWaypoint::<2>::paper_defaults(4096.0).unwrap();
+        assert_eq!(m.v_min(), 0.1);
+        assert!((m.v_max() - 40.96).abs() < 1e-12);
+        assert_eq!(m.pause_steps(), 2000);
+        assert_eq!(m.p_stationary(), 0.0);
+        // Too-small region: speed range empty.
+        assert!(RandomWaypoint::<2>::paper_defaults(5.0).is_err());
+    }
+
+    #[test]
+    fn nodes_stay_in_region() {
+        let r = region();
+        let mut g = rng(1);
+        let mut pos = r.place_uniform(20, &mut g);
+        let mut m = RandomWaypoint::new(0.5, 5.0, 3, 0.2).unwrap();
+        m.init(&pos, &r, &mut g);
+        for _ in 0..500 {
+            m.step(&mut pos, &r, &mut g);
+            assert!(pos.iter().all(|p| r.contains(p)));
+        }
+    }
+
+    #[test]
+    fn p_stationary_one_freezes_everything() {
+        let r = region();
+        let mut g = rng(2);
+        let mut pos = r.place_uniform(10, &mut g);
+        let before = pos.clone();
+        let mut m = RandomWaypoint::new(0.5, 5.0, 0, 1.0).unwrap();
+        m.init(&pos, &r, &mut g);
+        assert_eq!(m.stationary_count(), 10);
+        for _ in 0..50 {
+            m.step(&mut pos, &r, &mut g);
+        }
+        assert_eq!(pos, before);
+    }
+
+    #[test]
+    fn p_stationary_zero_moves_everything_eventually() {
+        let r = region();
+        let mut g = rng(3);
+        let mut pos = r.place_uniform(10, &mut g);
+        let before = pos.clone();
+        let mut m = RandomWaypoint::new(0.5, 5.0, 0, 0.0).unwrap();
+        m.init(&pos, &r, &mut g);
+        assert_eq!(m.stationary_count(), 0);
+        for _ in 0..100 {
+            m.step(&mut pos, &r, &mut g);
+        }
+        for (a, b) in pos.iter().zip(&before) {
+            assert_ne!(a, b, "every mobile node should have moved");
+        }
+    }
+
+    #[test]
+    fn stationary_fraction_is_respected_on_average() {
+        let r = region();
+        let mut g = rng(4);
+        let pos = r.place_uniform(2000, &mut g);
+        let mut m = RandomWaypoint::new(0.5, 5.0, 0, 0.3).unwrap();
+        m.init(&pos, &r, &mut g);
+        let frac = m.stationary_count() as f64 / 2000.0;
+        // Binomial sd ≈ 0.01; allow 5σ.
+        assert!((frac - 0.3).abs() < 0.05, "stationary fraction {frac}");
+    }
+
+    #[test]
+    fn speed_bounds_respected_per_step() {
+        let r = region();
+        let mut g = rng(5);
+        let mut pos = r.place_uniform(15, &mut g);
+        let mut m = RandomWaypoint::new(1.0, 2.0, 0, 0.0).unwrap();
+        m.init(&pos, &r, &mut g);
+        for _ in 0..200 {
+            let before = pos.clone();
+            m.step(&mut pos, &r, &mut g);
+            for (a, b) in before.iter().zip(&pos) {
+                // A node moves at most v_max per step (arrivals move less).
+                assert!(a.distance(b) <= 2.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pause_holds_node_at_destination() {
+        let r: Region<1> = Region::new(10.0).unwrap();
+        let mut g = rng(6);
+        // Single node; huge speed so it arrives in one step.
+        let mut pos = vec![Point::new([5.0])];
+        let mut m = RandomWaypoint::new(100.0, 100.0, 4, 0.0).unwrap();
+        m.init(&pos, &r, &mut g);
+        m.step(&mut pos, &r, &mut g); // arrives somewhere
+        let dest = pos[0];
+        // 4 pause steps: position must not change.
+        for _ in 0..4 {
+            m.step(&mut pos, &r, &mut g);
+            assert_eq!(pos[0], dest);
+        }
+        // Next step starts a new leg: it may move again (almost surely).
+        m.step(&mut pos, &r, &mut g);
+        assert_ne!(pos[0], dest);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let r = region();
+        let run = |seed| {
+            let mut g = rng(seed);
+            let mut pos = r.place_uniform(8, &mut g);
+            let mut m = RandomWaypoint::new(0.5, 3.0, 2, 0.25).unwrap();
+            m.init(&pos, &r, &mut g);
+            for _ in 0..50 {
+                m.step(&mut pos, &r, &mut g);
+            }
+            pos
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "different node count")]
+    fn step_with_wrong_count_panics() {
+        let r = region();
+        let mut g = rng(7);
+        let pos = r.place_uniform(5, &mut g);
+        let mut m = RandomWaypoint::new(0.5, 3.0, 2, 0.0).unwrap();
+        m.init(&pos, &r, &mut g);
+        let mut other = r.place_uniform(6, &mut g);
+        m.step(&mut other, &r, &mut g);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        let m = RandomWaypoint::<2>::new(0.1, 1.0, 0, 0.0).unwrap();
+        assert_eq!(m.name(), "random-waypoint");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the mobility models: containment,
+//! determinism, and parameter contracts under random configurations.
+
+use manet_geom::{Point, Region};
+use manet_mobility::{
+    Drunkard, Mobility, RandomDirection, RandomWalk, RandomWaypoint, StationaryModel,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn run_model<M: Mobility<2>>(
+    model: &mut M,
+    side: f64,
+    n: usize,
+    steps: usize,
+    seed: u64,
+) -> Vec<Point<2>> {
+    let region: Region<2> = Region::new(side).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pos = region.place_uniform(n, &mut rng);
+    model.init(&pos, &region, &mut rng);
+    for _ in 0..steps {
+        model.step(&mut pos, &region, &mut rng);
+    }
+    pos
+}
+
+fn all_inside(side: f64, pos: &[Point<2>]) -> bool {
+    let region: Region<2> = Region::new(side).unwrap();
+    pos.iter().all(|p| region.contains(p))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn waypoint_contains_and_repeats(
+        side in 10.0..500.0f64,
+        n in 1usize..20,
+        v_max_frac in 0.001..0.2f64,
+        pause in 0u32..10,
+        p_stat in 0.0..=1.0f64,
+        seed in any::<u64>(),
+    ) {
+        let v_max = (v_max_frac * side).max(0.1);
+        let mut m1 = RandomWaypoint::new(0.1, v_max.max(0.1), pause, p_stat).unwrap();
+        let out1 = run_model(&mut m1, side, n, 50, seed);
+        prop_assert!(all_inside(side, &out1));
+        // Determinism: a fresh clone with the same seed replays exactly.
+        let mut m2 = RandomWaypoint::new(0.1, v_max.max(0.1), pause, p_stat).unwrap();
+        let out2 = run_model(&mut m2, side, n, 50, seed);
+        prop_assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn waypoint_speed_bound_respected(
+        side in 50.0..300.0f64,
+        seed in any::<u64>(),
+    ) {
+        let v_max = 0.02 * side;
+        let region: Region<2> = Region::new(side).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pos = region.place_uniform(8, &mut rng);
+        let mut m = RandomWaypoint::new(0.1, v_max, 2, 0.0).unwrap();
+        m.init(&pos, &region, &mut rng);
+        for _ in 0..30 {
+            let before = pos.clone();
+            m.step(&mut pos, &region, &mut rng);
+            for (a, b) in before.iter().zip(&pos) {
+                prop_assert!(a.distance(b) <= v_max + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn drunkard_contains_and_bounds_jumps(
+        side in 10.0..500.0f64,
+        n in 1usize..20,
+        p_stat in 0.0..=1.0f64,
+        p_pause in 0.0..=1.0f64,
+        m_frac in 0.001..0.5f64,
+        seed in any::<u64>(),
+    ) {
+        let radius = (m_frac * side).max(1e-3);
+        let region: Region<2> = Region::new(side).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pos = region.place_uniform(n, &mut rng);
+        let mut model = Drunkard::new(p_stat, p_pause, radius).unwrap();
+        model.init(&pos, &region, &mut rng);
+        for _ in 0..40 {
+            let before = pos.clone();
+            model.step(&mut pos, &region, &mut rng);
+            prop_assert!(all_inside(side, &pos));
+            for (a, b) in before.iter().zip(&pos) {
+                prop_assert!(a.distance(b) <= radius + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn walk_and_direction_contain(
+        side in 10.0..300.0f64,
+        n in 1usize..15,
+        speed_frac in 0.001..0.3f64,
+        seed in any::<u64>(),
+    ) {
+        let speed = (speed_frac * side).max(1e-3);
+        let mut walk = RandomWalk::new(speed, 0.0).unwrap();
+        prop_assert!(all_inside(side, &run_model(&mut walk, side, n, 40, seed)));
+        let mut dir = RandomDirection::new(speed, speed, 1, 0.0).unwrap();
+        prop_assert!(all_inside(side, &run_model(&mut dir, side, n, 40, seed)));
+    }
+
+    #[test]
+    fn stationary_model_is_frozen(side in 10.0..300.0f64, n in 1usize..20, seed in any::<u64>()) {
+        let region: Region<2> = Region::new(side).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pos0 = region.place_uniform(n, &mut rng);
+        let mut pos = pos0.clone();
+        let mut m = StationaryModel::new();
+        Mobility::<2>::init(&mut m, &pos, &region, &mut rng);
+        for _ in 0..10 {
+            m.step(&mut pos, &region, &mut rng);
+        }
+        prop_assert_eq!(pos, pos0);
+    }
+
+    #[test]
+    fn p_stationary_extremes(side in 20.0..200.0f64, n in 2usize..15, seed in any::<u64>()) {
+        // p = 1: nothing moves, regardless of model.
+        let region: Region<2> = Region::new(side).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pos0 = region.place_uniform(n, &mut rng);
+        let mut pos = pos0.clone();
+        let mut m = RandomWaypoint::new(0.5, 5.0, 0, 1.0).unwrap();
+        m.init(&pos, &region, &mut rng);
+        for _ in 0..20 {
+            m.step(&mut pos, &region, &mut rng);
+        }
+        prop_assert_eq!(&pos, &pos0);
+
+        let mut d = Drunkard::new(1.0, 0.0, 5.0).unwrap();
+        let mut pos = pos0.clone();
+        d.init(&pos, &region, &mut rng);
+        for _ in 0..20 {
+            d.step(&mut pos, &region, &mut rng);
+        }
+        prop_assert_eq!(&pos, &pos0);
+    }
+}

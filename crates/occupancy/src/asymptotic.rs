@@ -1,0 +1,100 @@
+//! Theorem 1 asymptotics for `E[µ(n, C)]` and `Var[µ(n, C)]`.
+//!
+//! With `α = n/C`, Theorem 1 of the paper (quoting Kolchin et al.)
+//! states:
+//!
+//! * `E[µ(n,C)] <= C e^{-α}` for **every** `n` and `C`;
+//! * as `n, C -> ∞` with `α = o(C)`:
+//!   `E[µ] = C e^{-α} - (α/2) e^{-α} + O(α(1+α) e^{-α} / C)`;
+//! * `Var[µ] = C e^{-α} (1 - (1 + α) e^{-α}) (1 + O(...))`.
+//!
+//! The expansion for `E` follows from
+//! `C (1-1/C)^n = C exp(-α - α/(2C) - O(α/C²))`.
+
+use crate::exact::Occupancy;
+
+/// The universal upper bound `E[µ] <= C e^{-α}` (Theorem 1, first
+/// claim). Holds exactly for all `n, C`.
+pub fn expected_empty_upper_bound(occ: &Occupancy) -> f64 {
+    occ.cells() as f64 * (-occ.alpha()).exp()
+}
+
+/// Second-order asymptotic expansion of `E[µ]`:
+/// `C e^{-α} - (α/2) e^{-α}`.
+pub fn expected_empty_asymptotic(occ: &Occupancy) -> f64 {
+    let alpha = occ.alpha();
+    let c = occ.cells() as f64;
+    (c - alpha / 2.0) * (-alpha).exp()
+}
+
+/// Leading-order asymptotic variance
+/// `C e^{-α} (1 - (1 + α) e^{-α})`.
+pub fn variance_empty_asymptotic(occ: &Occupancy) -> f64 {
+    let alpha = occ.alpha();
+    let c = occ.cells() as f64;
+    (c * (-alpha).exp() * (1.0 - (1.0 + alpha) * (-alpha).exp())).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_bound_holds_exactly_everywhere() {
+        for n in [0u64, 1, 2, 5, 17, 100, 1000] {
+            for c in [1u64, 2, 3, 10, 64, 500] {
+                let occ = Occupancy::new(n, c).unwrap();
+                assert!(
+                    occ.expected_empty() <= expected_empty_upper_bound(&occ) + 1e-12,
+                    "bound violated at n={n}, C={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_tightens_with_growing_c() {
+        // Relative error of the asymptotic E against the exact E should
+        // shrink like 1/C at fixed α.
+        let alpha = 2.0;
+        let mut prev_err = f64::INFINITY;
+        for c in [10u64, 100, 1000, 10_000] {
+            let n = (alpha * c as f64) as u64;
+            let occ = Occupancy::new(n, c).unwrap();
+            let exact = occ.expected_empty();
+            let asym = expected_empty_asymptotic(&occ);
+            let err = ((exact - asym) / exact).abs();
+            assert!(err < prev_err, "error must shrink: C={c}, err={err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-6);
+    }
+
+    #[test]
+    fn variance_expansion_tracks_exact() {
+        let alpha = 1.5;
+        for c in [100u64, 1000, 10_000] {
+            let n = (alpha * c as f64) as u64;
+            let occ = Occupancy::new(n, c).unwrap();
+            let exact = occ.variance_empty();
+            let asym = variance_empty_asymptotic(&occ);
+            let rel = ((exact - asym) / exact).abs();
+            assert!(rel < 0.05, "C={c}: exact={exact}, asym={asym}");
+        }
+    }
+
+    #[test]
+    fn variance_asymptotic_nonnegative() {
+        for (n, c) in [(0u64, 5u64), (5, 5), (1000, 10), (10, 1000)] {
+            let occ = Occupancy::new(n, c).unwrap();
+            assert!(variance_empty_asymptotic(&occ) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn heavy_load_drives_expectation_to_zero() {
+        let occ = Occupancy::new(100_000, 10).unwrap();
+        assert!(expected_empty_asymptotic(&occ).abs() < 1e-300);
+        assert!(expected_empty_upper_bound(&occ) < 1e-300);
+    }
+}

@@ -1,0 +1,168 @@
+//! The five asymptotic occupancy domains.
+//!
+//! The limit law of `µ(n, C)` as `n, C -> ∞` depends on the relative
+//! growth of `n` against `C` (paper §2):
+//!
+//! | domain | growth condition | limit law (Theorem 2) |
+//! |---|---|---|
+//! | central (CD) | `n = Θ(C)` | Normal |
+//! | right-hand (RHD) | `n = Θ(C log C)` | Poisson(λ), λ = lim E\[µ\] |
+//! | left-hand (LHD) | `n = Θ(√C)` | shifted Poisson on µ − (C−n) |
+//! | right intermediate (RHID) | `C << n << C log C` | Normal |
+//! | left intermediate (LHID) | `√C << n << C` | Normal |
+//!
+//! Domains are *asymptotic* notions; classifying a finite pair `(n, C)`
+//! requires a convention. [`OccupancyDomain::classify`] uses the scale
+//! of `E[µ(n,C)] ≈ C e^{-n/C}`, which is what actually determines the
+//! limit law: an expected number of empty cells that stays of order
+//! `C` is the left-hand side, order `1` is the right-hand side, and
+//! everything in between is intermediate/central.
+
+/// One of the five asymptotic domains of occupancy theory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OccupancyDomain {
+    /// `n = Θ(C)`: the central domain.
+    Central,
+    /// `n = Θ(C log C)`: expected empties bounded; Poisson limit.
+    RightHand,
+    /// `n = Θ(√C)`: almost all cells empty; shifted-Poisson limit.
+    LeftHand,
+    /// `C << n << C log C`.
+    RightIntermediate,
+    /// `√C << n << C`.
+    LeftIntermediate,
+}
+
+impl OccupancyDomain {
+    /// Classifies a finite `(n, C)` pair by convention.
+    ///
+    /// Writing `α = n/C` and `ln C`:
+    ///
+    /// * `α >= 0.9·ln C` → [`OccupancyDomain::RightHand`] (then
+    ///   `E[µ] = C e^{-α} = O(C^{0.1})`, heading to a constant);
+    /// * `2 <= α < 0.9·ln C` → [`OccupancyDomain::RightIntermediate`];
+    /// * `0.5 < α < 2` → [`OccupancyDomain::Central`];
+    /// * `n <= 2√C` → [`OccupancyDomain::LeftHand`];
+    /// * otherwise → [`OccupancyDomain::LeftIntermediate`].
+    ///
+    /// The thresholds are inclusive-exclusive exactly as listed; they
+    /// are a documented convention, not a theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0`.
+    pub fn classify(balls: u64, cells: u64) -> Self {
+        assert!(cells > 0, "at least one cell required");
+        let n = balls as f64;
+        let c = cells as f64;
+        let alpha = n / c;
+        let ln_c = c.ln().max(1.0);
+        if alpha >= 0.9 * ln_c {
+            OccupancyDomain::RightHand
+        } else if alpha >= 2.0 {
+            OccupancyDomain::RightIntermediate
+        } else if alpha > 0.5 {
+            OccupancyDomain::Central
+        } else if n <= 2.0 * c.sqrt() {
+            OccupancyDomain::LeftHand
+        } else {
+            OccupancyDomain::LeftIntermediate
+        }
+    }
+
+    /// Whether the Theorem 2 limit law in this domain is Normal.
+    pub fn has_normal_limit(&self) -> bool {
+        matches!(
+            self,
+            OccupancyDomain::Central
+                | OccupancyDomain::RightIntermediate
+                | OccupancyDomain::LeftIntermediate
+        )
+    }
+
+    /// Whether the Theorem 2 limit law is (possibly shifted) Poisson.
+    pub fn has_poisson_limit(&self) -> bool {
+        !self.has_normal_limit()
+    }
+}
+
+impl core::fmt::Display for OccupancyDomain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            OccupancyDomain::Central => "central (n = Θ(C))",
+            OccupancyDomain::RightHand => "right-hand (n = Θ(C log C))",
+            OccupancyDomain::LeftHand => "left-hand (n = Θ(√C))",
+            OccupancyDomain::RightIntermediate => "right intermediate (C << n << C log C)",
+            OccupancyDomain::LeftIntermediate => "left intermediate (√C << n << C)",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_regimes_classify_as_expected() {
+        let c: u64 = 10_000; // ln C ≈ 9.2, √C = 100
+        assert_eq!(
+            OccupancyDomain::classify(c, c),
+            OccupancyDomain::Central,
+            "n = C"
+        );
+        assert_eq!(
+            OccupancyDomain::classify((c as f64 * (c as f64).ln()) as u64, c),
+            OccupancyDomain::RightHand,
+            "n = C ln C"
+        );
+        assert_eq!(
+            OccupancyDomain::classify(100, c),
+            OccupancyDomain::LeftHand,
+            "n = √C"
+        );
+        assert_eq!(
+            OccupancyDomain::classify(4 * c, c),
+            OccupancyDomain::RightIntermediate,
+            "n = 4C"
+        );
+        assert_eq!(
+            OccupancyDomain::classify(c / 10, c),
+            OccupancyDomain::LeftIntermediate,
+            "n = C/10"
+        );
+    }
+
+    #[test]
+    fn limit_law_kinds() {
+        assert!(OccupancyDomain::Central.has_normal_limit());
+        assert!(OccupancyDomain::RightIntermediate.has_normal_limit());
+        assert!(OccupancyDomain::LeftIntermediate.has_normal_limit());
+        assert!(OccupancyDomain::RightHand.has_poisson_limit());
+        assert!(OccupancyDomain::LeftHand.has_poisson_limit());
+    }
+
+    #[test]
+    fn display_mentions_growth() {
+        assert!(OccupancyDomain::RightHand.to_string().contains("log C"));
+        assert!(OccupancyDomain::LeftHand.to_string().contains("√C"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        OccupancyDomain::classify(1, 0);
+    }
+
+    #[test]
+    fn paper_regime_is_right_intermediate() {
+        // Theorem 4 operates with C << n << C log C: e.g. n = C·√(ln C).
+        let c: u64 = 100_000;
+        let n = (c as f64 * (c as f64).ln().sqrt()) as u64;
+        assert_eq!(
+            OccupancyDomain::classify(n, c),
+            OccupancyDomain::RightIntermediate
+        );
+    }
+}

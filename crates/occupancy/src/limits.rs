@@ -1,0 +1,210 @@
+//! Theorem 2 limit laws for `µ(n, C)`.
+//!
+//! * In the central and intermediate domains, `µ` is asymptotically
+//!   `Normal(E[µ], √Var[µ])`.
+//! * In the right-hand domain, `µ` is asymptotically `Poisson(λ)` with
+//!   `λ = lim E[µ]`.
+//! * In the left-hand domain, the *shifted* variable
+//!   `η = µ - (C - n)` is asymptotically `Poisson(ρ)` with
+//!   `ρ = lim Var[µ]` (almost all cells are empty; the fluctuation is
+//!   the number of colliding balls).
+
+use crate::domains::OccupancyDomain;
+use crate::exact::Occupancy;
+use manet_stats::{Normal, Poisson, StatsError};
+
+/// The limiting distribution of the number of empty cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum LimitLaw {
+    /// `µ ≈ Normal(mean, sd)`.
+    Normal(Normal),
+    /// `µ ≈ Poisson(λ)`.
+    Poisson(Poisson),
+    /// `µ - shift ≈ Poisson(ρ)` (left-hand domain, `shift = C - n`).
+    ShiftedPoisson {
+        /// The deterministic shift `C - n`.
+        shift: u64,
+        /// The Poisson law of the shifted variable.
+        law: Poisson,
+    },
+}
+
+impl LimitLaw {
+    /// The Theorem 2 limit law for `occ`, classifying the domain with
+    /// [`OccupancyDomain::classify`] (or honoring an explicit domain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError`] when the moment parameters degenerate
+    /// (e.g. zero variance because every cell is almost surely full or
+    /// empty) — in those corners no nondegenerate limit law exists.
+    pub fn for_occupancy(
+        occ: &Occupancy,
+        domain: Option<OccupancyDomain>,
+    ) -> Result<Self, StatsError> {
+        let domain = domain.unwrap_or_else(|| OccupancyDomain::classify(occ.balls(), occ.cells()));
+        match domain {
+            OccupancyDomain::Central
+            | OccupancyDomain::RightIntermediate
+            | OccupancyDomain::LeftIntermediate => {
+                let law = Normal::new(occ.expected_empty(), occ.std_dev_empty())?;
+                Ok(LimitLaw::Normal(law))
+            }
+            OccupancyDomain::RightHand => {
+                let law = Poisson::new(occ.expected_empty())?;
+                Ok(LimitLaw::Poisson(law))
+            }
+            OccupancyDomain::LeftHand => {
+                let shift = occ.cells().saturating_sub(occ.balls());
+                let law = Poisson::new(occ.variance_empty())?;
+                Ok(LimitLaw::ShiftedPoisson { shift, law })
+            }
+        }
+    }
+
+    /// `P(µ <= k)` under the limit law.
+    pub fn cdf(&self, k: f64) -> f64 {
+        match self {
+            LimitLaw::Normal(n) => n.cdf(k),
+            LimitLaw::Poisson(p) => {
+                if k < 0.0 {
+                    0.0
+                } else {
+                    p.cdf(k.floor() as u64)
+                }
+            }
+            LimitLaw::ShiftedPoisson { shift, law } => {
+                let shifted = k - *shift as f64;
+                if shifted < 0.0 {
+                    0.0
+                } else {
+                    law.cdf(shifted.floor() as u64)
+                }
+            }
+        }
+    }
+
+    /// Mean of the limit law.
+    pub fn mean(&self) -> f64 {
+        match self {
+            LimitLaw::Normal(n) => n.mean(),
+            LimitLaw::Poisson(p) => p.mean(),
+            LimitLaw::ShiftedPoisson { shift, law } => *shift as f64 + law.mean(),
+        }
+    }
+
+    /// Human-readable description of the law.
+    pub fn describe(&self) -> String {
+        match self {
+            LimitLaw::Normal(n) => format!("Normal(mean={:.4}, sd={:.4})", n.mean(), n.sd()),
+            LimitLaw::Poisson(p) => format!("Poisson(lambda={:.4})", p.lambda()),
+            LimitLaw::ShiftedPoisson { shift, law } => {
+                format!("{} + Poisson(rho={:.4})", shift, law.lambda())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn central_domain_gets_normal() {
+        let occ = Occupancy::new(1000, 1000).unwrap();
+        let law = LimitLaw::for_occupancy(&occ, None).unwrap();
+        match law {
+            LimitLaw::Normal(n) => {
+                assert!((n.mean() - occ.expected_empty()).abs() < 1e-9);
+                assert!((n.sd() - occ.std_dev_empty()).abs() < 1e-9);
+            }
+            other => panic!("expected Normal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn right_hand_domain_gets_poisson() {
+        let c: u64 = 1000;
+        let n = (c as f64 * (c as f64).ln()) as u64;
+        let occ = Occupancy::new(n, c).unwrap();
+        let law = LimitLaw::for_occupancy(&occ, None).unwrap();
+        match law {
+            LimitLaw::Poisson(p) => {
+                assert!((p.lambda() - occ.expected_empty()).abs() < 1e-9);
+            }
+            other => panic!("expected Poisson, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_hand_domain_gets_shifted_poisson() {
+        let c: u64 = 10_000;
+        let n = 100; // = √C
+        let occ = Occupancy::new(n, c).unwrap();
+        let law = LimitLaw::for_occupancy(&occ, None).unwrap();
+        match law {
+            LimitLaw::ShiftedPoisson { shift, law } => {
+                assert_eq!(shift, c - n);
+                assert!(law.lambda() > 0.0);
+                // Mean of µ ≈ C - n + ρ.
+                assert!((LimitLaw::ShiftedPoisson { shift, law }.mean()
+                    - occ.expected_empty())
+                .abs()
+                    < 2.0);
+            }
+            other => panic!("expected ShiftedPoisson, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_domain_overrides_classification() {
+        let occ = Occupancy::new(1000, 1000).unwrap();
+        let law = LimitLaw::for_occupancy(&occ, Some(OccupancyDomain::RightHand)).unwrap();
+        assert!(matches!(law, LimitLaw::Poisson(_)));
+    }
+
+    #[test]
+    fn limit_cdf_tracks_exact_cdf_in_central_domain() {
+        // Moderate size: the Normal limit should already be close.
+        let occ = Occupancy::new(2000, 2000).unwrap();
+        let law = LimitLaw::for_occupancy(&occ, None).unwrap();
+        let pmf = occ.distribution();
+        let mut exact_cdf = 0.0;
+        let mean = occ.expected_empty();
+        let sd = occ.std_dev_empty();
+        let mut max_err: f64 = 0.0;
+        for (k, p) in pmf.iter().enumerate() {
+            exact_cdf += p;
+            let z = (k as f64 - mean) / sd;
+            if z.abs() < 3.0 {
+                // Continuity correction: P(µ <= k) ≈ Φ(k + 0.5).
+                max_err = max_err.max((law.cdf(k as f64 + 0.5) - exact_cdf).abs());
+            }
+        }
+        assert!(max_err < 0.02, "Normal limit error {max_err}");
+    }
+
+    #[test]
+    fn poisson_limit_tracks_exact_in_right_hand_domain() {
+        let c: u64 = 300;
+        let n = (c as f64 * (c as f64).ln()) as u64;
+        let occ = Occupancy::new(n, c).unwrap();
+        let law = LimitLaw::for_occupancy(&occ, None).unwrap();
+        let pmf = occ.distribution();
+        let mut exact_cdf = 0.0;
+        let mut max_err: f64 = 0.0;
+        for (k, p) in pmf.iter().enumerate().take(20) {
+            exact_cdf += p;
+            max_err = max_err.max((law.cdf(k as f64) - exact_cdf).abs());
+        }
+        assert!(max_err < 0.02, "Poisson limit error {max_err}");
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let occ = Occupancy::new(1000, 1000).unwrap();
+        let law = LimitLaw::for_occupancy(&occ, None).unwrap();
+        assert!(law.describe().contains("Normal"));
+    }
+}

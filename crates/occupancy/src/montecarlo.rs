@@ -1,0 +1,148 @@
+//! Monte-Carlo ball throwing for empirical occupancy checks.
+
+use rand::{Rng, RngExt};
+
+/// Throws `balls` uniformly into `cells` and returns the number of
+/// empty cells.
+///
+/// # Panics
+///
+/// Panics if `cells == 0`.
+pub fn sample_empty_cells<R: Rng + ?Sized>(balls: u64, cells: u64, rng: &mut R) -> u64 {
+    assert!(cells > 0, "at least one cell required");
+    let mut occupied = vec![false; cells as usize];
+    let mut occupied_count = 0u64;
+    for _ in 0..balls {
+        let c = rng.random_range(0..cells) as usize;
+        if !occupied[c] {
+            occupied[c] = true;
+            occupied_count += 1;
+            if occupied_count == cells {
+                // Every cell hit; remaining balls cannot change µ.
+                return 0;
+            }
+        }
+    }
+    cells - occupied_count
+}
+
+/// Throws `balls` into `cells` and returns the occupancy bit string:
+/// `bits[i]` is `true` iff cell `i` received at least one ball
+/// (the paper's `b_i = 1`).
+///
+/// # Panics
+///
+/// Panics if `cells == 0`.
+pub fn sample_occupancy_bits<R: Rng + ?Sized>(balls: u64, cells: u64, rng: &mut R) -> Vec<bool> {
+    assert!(cells > 0, "at least one cell required");
+    let mut bits = vec![false; cells as usize];
+    for _ in 0..balls {
+        let c = rng.random_range(0..cells) as usize;
+        bits[c] = true;
+    }
+    bits
+}
+
+/// Empirical distribution of `µ(n, C)` over `trials` experiments:
+/// `counts[k]` is how often exactly `k` cells stayed empty.
+///
+/// # Panics
+///
+/// Panics if `cells == 0`.
+pub fn empirical_empty_distribution<R: Rng + ?Sized>(
+    balls: u64,
+    cells: u64,
+    trials: u64,
+    rng: &mut R,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; cells as usize + 1];
+    for _ in 0..trials {
+        let k = sample_empty_cells(balls, cells, rng);
+        counts[k as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::Occupancy;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2002)
+    }
+
+    #[test]
+    fn zero_balls_leaves_all_empty() {
+        let mut g = rng();
+        assert_eq!(sample_empty_cells(0, 7, &mut g), 7);
+    }
+
+    #[test]
+    fn many_balls_fill_everything() {
+        let mut g = rng();
+        // 10_000 balls into 4 cells: P(an empty cell) ~ 4·(3/4)^10000 ≈ 0.
+        assert_eq!(sample_empty_cells(10_000, 4, &mut g), 0);
+    }
+
+    #[test]
+    fn empty_count_within_range() {
+        let mut g = rng();
+        for _ in 0..100 {
+            let k = sample_empty_cells(20, 10, &mut g);
+            assert!(k <= 10);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_exact_expectation() {
+        let mut g = rng();
+        let (n, c, trials) = (30u64, 12u64, 20_000u64);
+        let counts = empirical_empty_distribution(n, c, trials, &mut g);
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, trials);
+        let mean: f64 = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &cnt)| k as f64 * cnt as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let exact = Occupancy::new(n, c).unwrap().expected_empty();
+        // sd of the sample mean ≈ sqrt(Var/trials) ≈ 0.008; allow 5σ.
+        assert!(
+            (mean - exact).abs() < 0.05,
+            "empirical {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn empirical_pmf_matches_exact_pmf() {
+        let mut g = rng();
+        let (n, c, trials) = (15u64, 6u64, 50_000u64);
+        let counts = empirical_empty_distribution(n, c, trials, &mut g);
+        let exact = Occupancy::new(n, c).unwrap().distribution();
+        for (k, &cnt) in counts.iter().enumerate() {
+            let emp = cnt as f64 / trials as f64;
+            let err = (emp - exact[k]).abs();
+            // Binomial sd <= 0.5/sqrt(trials) ≈ 0.0022; allow ~5σ.
+            assert!(err < 0.012, "k={k}: empirical {emp} vs exact {}", exact[k]);
+        }
+    }
+
+    #[test]
+    fn occupancy_bits_count_matches_empties() {
+        let mut g = rng();
+        let bits = sample_occupancy_bits(25, 10, &mut g);
+        assert_eq!(bits.len(), 10);
+        let empties = bits.iter().filter(|&&b| !b).count();
+        assert!(empties <= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        let mut g = rng();
+        sample_empty_cells(1, 0, &mut g);
+    }
+}

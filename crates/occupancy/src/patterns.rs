@@ -1,0 +1,302 @@
+//! Occupancy bit strings and the `{10*1}` disconnection witness.
+//!
+//! Lemma 1 of the paper: subdivide `[0, l]` into `C = l/r` cells of
+//! width `r`, let `b_i = 1` iff cell `i` contains a node, and let
+//! `B = b_0 … b_{C-1}`. If `B` contains a substring `{10*1}` — an empty
+//! cell strictly between two occupied cells — the communication graph
+//! is disconnected (nodes on the two sides are more than `r` apart).
+//! The condition is sufficient, not necessary.
+//!
+//! Lemma 2 rests on the conditional law of `B` given `µ = k` empty
+//! cells: by exchangeability of the uniform allocation, all
+//! `C(C, k)` placements of the `k` zeros are equally likely, and the
+//! `1`-bits are consecutive (no gap) in exactly `k + 1` of them. Hence
+//!
+//! ```text
+//! P(no gap | µ = k) = (k + 1) / C(C, k).
+//! ```
+//!
+//! Summing over the exact distribution of `µ` (see
+//! [`crate::Occupancy`]) gives the **exact** probability of the gap
+//! event — the lower bound on the disconnection probability that
+//! drives Theorem 4 and, with it, the tightness half of Theorem 5.
+
+use crate::exact::Occupancy;
+use crate::OccupancyError;
+use manet_stats::special::ln_binomial;
+
+/// Builds the occupancy bit string of a 1-D placement: cell `i` is
+/// `true` iff some position falls into it.
+///
+/// The line `[0, l]` is divided into `C = max(1, floor(l / r))` cells
+/// of width `l / C >= r`, so Lemma 1's sufficiency is preserved even
+/// when `r` does not divide `l` exactly. Positions outside `[0, l]`
+/// are clamped into the boundary cells.
+///
+/// # Panics
+///
+/// Panics if `l <= 0`, `r <= 0`, or either is not finite.
+pub fn occupancy_bits(positions: &[f64], l: f64, r: f64) -> Vec<bool> {
+    assert!(l.is_finite() && l > 0.0, "l must be positive and finite");
+    assert!(r.is_finite() && r > 0.0, "r must be positive and finite");
+    let cells = ((l / r).floor() as usize).max(1);
+    let width = l / cells as f64;
+    let mut bits = vec![false; cells];
+    for &x in positions {
+        let idx = ((x / width).floor() as isize).clamp(0, cells as isize - 1) as usize;
+        bits[idx] = true;
+    }
+    bits
+}
+
+/// Whether a bit string contains the `{10*1}` pattern: a `false`
+/// strictly between the first and last `true`.
+///
+/// # Example
+///
+/// ```
+/// use manet_occupancy::patterns::has_gap_pattern;
+///
+/// assert!(has_gap_pattern(&[true, false, true]));
+/// assert!(has_gap_pattern(&[false, true, false, false, true, false]));
+/// assert!(!has_gap_pattern(&[false, true, true, false]));
+/// assert!(!has_gap_pattern(&[false, false]));
+/// ```
+pub fn has_gap_pattern(bits: &[bool]) -> bool {
+    let first = bits.iter().position(|&b| b);
+    let last = bits.iter().rposition(|&b| b);
+    match (first, last) {
+        (Some(f), Some(l)) if l > f => bits[f..=l].iter().any(|&b| !b),
+        _ => false,
+    }
+}
+
+/// Lemma 1 as a predicate on a 1-D placement: `true` when the cell
+/// subdivision witnesses disconnection at range `r`.
+///
+/// This is a *sufficient* condition — `false` does not imply the graph
+/// is connected (nodes in adjacent cells can still be more than `r`
+/// apart).
+///
+/// # Panics
+///
+/// Panics if `l <= 0` or `r <= 0` (see [`occupancy_bits`]).
+pub fn is_disconnected_by_gap(positions: &[f64], l: f64, r: f64) -> bool {
+    has_gap_pattern(&occupancy_bits(positions, l, r))
+}
+
+/// Lemma 2's conditional probability that the occupied cells are
+/// consecutive (i.e. **no** gap) given exactly `k` empty cells:
+/// `(k + 1) / C(C, k)`, with the conventions `P = 1` for `k = 0`
+/// (no empty cell at all) and `k = C` (no occupied cell).
+///
+/// # Errors
+///
+/// Returns [`OccupancyError::EmptyCountOutOfRange`] when `k > cells`
+/// and [`OccupancyError::NoCells`] when `cells == 0`.
+pub fn prob_consecutive_given_empty(cells: u64, k: u64) -> Result<f64, OccupancyError> {
+    if cells == 0 {
+        return Err(OccupancyError::NoCells);
+    }
+    if k > cells {
+        return Err(OccupancyError::EmptyCountOutOfRange { k, cells });
+    }
+    if k == 0 || k == cells {
+        return Ok(1.0);
+    }
+    let ln_p = ((k + 1) as f64).ln() - ln_binomial(cells, k);
+    Ok(ln_p.exp().min(1.0))
+}
+
+/// `P(gap | µ = k) = 1 - (k + 1)/C(C, k)`.
+///
+/// # Errors
+///
+/// Same conditions as [`prob_consecutive_given_empty`].
+pub fn prob_gap_given_empty(cells: u64, k: u64) -> Result<f64, OccupancyError> {
+    Ok(1.0 - prob_consecutive_given_empty(cells, k)?)
+}
+
+/// The **exact** probability that the occupancy bit string of `occ`
+/// contains a `{10*1}` gap, obtained by conditioning on `µ` (paper
+/// Equation (1)):
+///
+/// ```text
+/// P(gap) = Σ_k P(gap | µ = k) · P(µ = k).
+/// ```
+///
+/// In the 1-D network reading, this is a lower bound on the
+/// probability that the communication graph is disconnected; Theorem 4
+/// shows it does **not** vanish when `l << r·n << l log l`.
+///
+/// # Errors
+///
+/// Returns [`OccupancyError::ProblemTooLarge`] when the exact pmf of
+/// `µ` is impractically large to compute.
+pub fn gap_probability(occ: &Occupancy) -> Result<f64, OccupancyError> {
+    let pmf = occ.try_distribution()?;
+    let mut total = 0.0;
+    for (k, &p) in pmf.iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        total += p * prob_gap_given_empty(occ.cells(), k as u64)?;
+    }
+    Ok(total.clamp(0.0, 1.0))
+}
+
+/// The single-term Theorem 4 lower bound:
+/// `P(gap) >= P(µ = k*) · P(gap | µ = k*)` evaluated at
+/// `k* = floor(E[µ])` — the term the paper shows stays bounded away
+/// from zero in the right intermediate domain.
+///
+/// # Errors
+///
+/// Returns [`OccupancyError::ProblemTooLarge`] when the exact pmf is
+/// impractical.
+pub fn theorem4_term(occ: &Occupancy) -> Result<f64, OccupancyError> {
+    let k_star = occ.expected_empty().floor().max(0.0) as u64;
+    let k_star = k_star.min(occ.cells());
+    let p_k = occ.pmf_empty(k_star)?;
+    Ok(p_k * prob_gap_given_empty(occ.cells(), k_star)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::sample_occupancy_bits;
+    use rand::SeedableRng;
+
+    #[test]
+    fn occupancy_bits_basic() {
+        // l = 10, r = 2 -> 5 cells of width 2.
+        let bits = occupancy_bits(&[0.5, 4.1, 9.9], 10.0, 2.0);
+        assert_eq!(bits, vec![true, false, true, false, true]);
+    }
+
+    #[test]
+    fn occupancy_bits_clamps_out_of_range() {
+        let bits = occupancy_bits(&[-1.0, 11.0], 10.0, 5.0);
+        assert_eq!(bits, vec![true, true]);
+    }
+
+    #[test]
+    fn occupancy_bits_huge_range_single_cell() {
+        let bits = occupancy_bits(&[1.0, 2.0], 10.0, 50.0);
+        assert_eq!(bits, vec![true]);
+    }
+
+    #[test]
+    fn gap_pattern_cases() {
+        assert!(has_gap_pattern(&[true, false, true]));
+        assert!(has_gap_pattern(&[true, false, false, true]));
+        assert!(has_gap_pattern(&[false, true, false, true, false]));
+        assert!(!has_gap_pattern(&[true, true, true]));
+        assert!(!has_gap_pattern(&[false, false, false]));
+        assert!(!has_gap_pattern(&[true]));
+        assert!(!has_gap_pattern(&[]));
+        assert!(!has_gap_pattern(&[false, true, true, false]));
+    }
+
+    #[test]
+    fn lemma1_is_sufficient_for_disconnection() {
+        // Positions 1 and 9 with r = 2 on l = 10: cells 0 and 4
+        // occupied, gap in between -> disconnected (distance 8 > 2).
+        assert!(is_disconnected_by_gap(&[1.0, 9.0], 10.0, 2.0));
+        // Dense chain: no gap.
+        let chain: Vec<f64> = (0..10).map(|i| i as f64 + 0.5).collect();
+        assert!(!is_disconnected_by_gap(&chain, 10.0, 1.0));
+    }
+
+    #[test]
+    fn lemma1_not_necessary() {
+        // Nodes at 0.1 and 3.9 with r = 2, l = 4: both cells occupied
+        // (cells [0,2), [2,4)), no gap pattern — yet distance 3.8 > 2,
+        // so the graph is in fact disconnected.
+        assert!(!is_disconnected_by_gap(&[0.1, 3.9], 4.0, 2.0));
+    }
+
+    #[test]
+    fn conditional_no_gap_probability_small_cases() {
+        // C = 3, k = 1: patterns of one zero among three cells are
+        // {011, 101, 110}; consecutive ones in 2 of 3.
+        let p = prob_consecutive_given_empty(3, 1).unwrap();
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        // C = 4, k = 2: C(4,2) = 6 patterns; ones consecutive in 3.
+        let p = prob_consecutive_given_empty(4, 2).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_probability_boundaries() {
+        assert_eq!(prob_consecutive_given_empty(5, 0).unwrap(), 1.0);
+        assert_eq!(prob_consecutive_given_empty(5, 5).unwrap(), 1.0);
+        assert!(prob_consecutive_given_empty(5, 6).is_err());
+        assert!(prob_consecutive_given_empty(0, 0).is_err());
+        // Complement.
+        assert_eq!(prob_gap_given_empty(5, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn conditional_probability_matches_enumeration() {
+        // Exhaustively enumerate all C(C,k) zero placements for C = 6.
+        let c = 6u64;
+        for k in 1..c {
+            let mut total = 0u64;
+            let mut no_gap = 0u64;
+            // Iterate bitmasks with exactly k zeros among c cells.
+            for mask in 0u32..(1 << c) {
+                if mask.count_ones() as u64 != c - k {
+                    continue;
+                }
+                total += 1;
+                let bits: Vec<bool> = (0..c).map(|i| mask >> i & 1 == 1).collect();
+                if !has_gap_pattern(&bits) {
+                    no_gap += 1;
+                }
+            }
+            let want = no_gap as f64 / total as f64;
+            let got = prob_consecutive_given_empty(c, k).unwrap();
+            assert!((got - want).abs() < 1e-12, "C={c}, k={k}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn gap_probability_matches_monte_carlo() {
+        let occ = Occupancy::new(12, 6).unwrap();
+        let exact = gap_probability(&occ).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(808);
+        let trials = 40_000;
+        let mut hits = 0u64;
+        for _ in 0..trials {
+            let bits = sample_occupancy_bits(12, 6, &mut rng);
+            if has_gap_pattern(&bits) {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / trials as f64;
+        assert!(
+            (exact - emp).abs() < 0.01,
+            "exact {exact} vs empirical {emp}"
+        );
+    }
+
+    #[test]
+    fn theorem4_term_bounds_gap_probability() {
+        let occ = Occupancy::new(40, 16).unwrap();
+        let term = theorem4_term(&occ).unwrap();
+        let total = gap_probability(&occ).unwrap();
+        assert!(term <= total + 1e-12);
+        assert!(term > 0.0);
+    }
+
+    #[test]
+    fn gap_probability_degenerate_cases() {
+        // One cell: never a gap.
+        let occ = Occupancy::new(5, 1).unwrap();
+        assert_eq!(gap_probability(&occ).unwrap(), 0.0);
+        // Zero balls: all cells empty, no occupied cells, no gap.
+        let occ = Occupancy::new(0, 5).unwrap();
+        assert_eq!(gap_probability(&occ).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for occupancy theory.
+
+use manet_occupancy::{asymptotic, montecarlo, patterns, Occupancy};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pmf_is_a_distribution(n in 0u64..150, c in 1u64..40) {
+        let occ = Occupancy::new(n, c).unwrap();
+        let pmf = occ.distribution();
+        prop_assert_eq!(pmf.len() as u64, c + 1);
+        let total: f64 = pmf.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "sums to {total}");
+        prop_assert!(pmf.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+    }
+
+    #[test]
+    fn pmf_mean_and_variance_match_closed_forms(n in 1u64..150, c in 2u64..40) {
+        let occ = Occupancy::new(n, c).unwrap();
+        let pmf = occ.distribution();
+        let mean: f64 = pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        prop_assert!((mean - occ.expected_empty()).abs() < 1e-7);
+        let var: f64 = pmf
+            .iter()
+            .enumerate()
+            .map(|(k, p)| (k as f64 - mean) * (k as f64 - mean) * p)
+            .sum();
+        prop_assert!((var - occ.variance_empty()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn impossible_empty_counts_have_zero_mass(n in 1u64..100, c in 2u64..30) {
+        let occ = Occupancy::new(n, c).unwrap();
+        let pmf = occ.distribution();
+        // Fewer than C - n cells can never be... at least C - n cells
+        // stay empty when n < C.
+        if n < c {
+            for (k, &p) in pmf.iter().enumerate().take((c - n) as usize) {
+                prop_assert!(p < 1e-12, "k={k} should be impossible");
+            }
+        }
+        // All cells empty only without balls.
+        if n > 0 {
+            prop_assert!(pmf[c as usize] < 1e-12);
+        }
+    }
+
+    #[test]
+    fn theorem1_bound_universal(n in 0u64..2000, c in 1u64..2000) {
+        let occ = Occupancy::new(n, c).unwrap();
+        prop_assert!(
+            occ.expected_empty() <= asymptotic::expected_empty_upper_bound(&occ) + 1e-9
+        );
+    }
+
+    #[test]
+    fn montecarlo_within_range(n in 0u64..200, c in 1u64..50, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let k = montecarlo::sample_empty_cells(n, c, &mut rng);
+        prop_assert!(k <= c);
+        if n == 0 {
+            prop_assert_eq!(k, c);
+        }
+        if n >= 1 {
+            prop_assert!(k < c, "one ball occupies one cell");
+        }
+    }
+
+    #[test]
+    fn gap_probability_is_probability(n in 1u64..120, c in 1u64..30) {
+        let occ = Occupancy::new(n, c).unwrap();
+        let p = patterns::gap_probability(&occ).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+        // The single-term Theorem 4 bound never exceeds the total.
+        let term = patterns::theorem4_term(&occ).unwrap();
+        prop_assert!(term <= p + 1e-12);
+    }
+
+    #[test]
+    fn conditional_no_gap_counts_block_placements(c in 2u64..20, k in 0u64..20) {
+        prop_assume!(k <= c);
+        let p = patterns::prob_consecutive_given_empty(c, k).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Complement consistency.
+        let q = patterns::prob_gap_given_empty(c, k).unwrap();
+        prop_assert!((p + q - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_bits_cover_all_positions(
+        xs in prop::collection::vec(0.0..100.0f64, 1..50),
+        r in 0.5..60.0f64,
+    ) {
+        let bits = patterns::occupancy_bits(&xs, 100.0, r);
+        prop_assert!(!bits.is_empty());
+        // Number of occupied cells is between 1 and min(n, C).
+        let occupied = bits.iter().filter(|&&b| b).count();
+        prop_assert!(occupied >= 1);
+        prop_assert!(occupied <= xs.len().min(bits.len()));
+    }
+
+    #[test]
+    fn gap_pattern_agrees_with_reference_scan(bits in prop::collection::vec(any::<bool>(), 0..64)) {
+        // Reference: string-based scan for 1 0+ 1.
+        let s: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let reference = {
+            match (s.find('1'), s.rfind('1')) {
+                (Some(f), Some(l)) if l > f => s[f..=l].contains('0'),
+                _ => false,
+            }
+        };
+        prop_assert_eq!(patterns::has_gap_pattern(&bits), reference);
+    }
+
+    #[test]
+    fn stirling_and_inclusion_exclusion_agree_when_stable(n in 5u64..80, c in 2u64..16) {
+        let occ = Occupancy::new(n, c).unwrap();
+        let pmf = occ.distribution();
+        for k in 0..=c {
+            let st = pmf[k as usize];
+            if st > 1e-8 {
+                let ie = occ.pmf_empty_inclusion_exclusion(k).unwrap();
+                prop_assert!(
+                    ((ie - st) / st).abs() < 1e-5,
+                    "n={n} C={c} k={k}: {ie} vs {st}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The paper's literal simulator: fixed transmitting range, per-step
+//! connectivity and largest-component statistics.
+//!
+//! §4.1: "The simulator returns the percentage of connected graphs
+//! generated, the average size of the largest connected component
+//! (averaged over the runs that yield a disconnected graph) and the
+//! minimum size of the largest connected component. All of these
+//! parameters are reported with reference both to a single iteration
+//! [...] and to all the iterations."
+
+use crate::{config::SimConfig, engine::run_simulation, engine::StepObserver, SimError};
+use manet_geom::Point;
+use manet_graph::{AdjacencyList, ComponentSummary};
+use manet_mobility::Mobility;
+use manet_stats::RunningMoments;
+
+/// Per-iteration statistics at a fixed transmitting range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IterationStats {
+    /// Steps simulated in this iteration.
+    pub steps: usize,
+    /// Steps whose communication graph was connected.
+    pub connected_steps: usize,
+    /// Mean largest-component size over the **disconnected** steps
+    /// (`None` when every step was connected), per the paper's
+    /// reporting convention.
+    pub avg_largest_when_disconnected: Option<f64>,
+    /// Mean largest-component size over all steps.
+    pub avg_largest: f64,
+    /// Minimum largest-component size over all steps.
+    pub min_largest: usize,
+    /// Mean number of isolated (degree-0) nodes per step.
+    pub avg_isolated: f64,
+    /// Mean number of connected components per step.
+    pub avg_components: f64,
+}
+
+impl IterationStats {
+    /// Fraction of steps with a connected graph.
+    pub fn connectivity_fraction(&self) -> f64 {
+        self.connected_steps as f64 / self.steps as f64
+    }
+}
+
+/// Whole-campaign report at a fixed transmitting range.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FixedRangeReport {
+    /// The transmitting range simulated.
+    pub range: f64,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-iteration statistics, ordered by iteration index.
+    pub iterations: Vec<IterationStats>,
+}
+
+impl FixedRangeReport {
+    /// Overall fraction of connected steps (pooled over iterations).
+    pub fn connectivity_fraction(&self) -> f64 {
+        let connected: usize = self.iterations.iter().map(|i| i.connected_steps).sum();
+        let steps: usize = self.iterations.iter().map(|i| i.steps).sum();
+        connected as f64 / steps as f64
+    }
+
+    /// Overall mean largest-component size over disconnected steps,
+    /// `None` when every step everywhere was connected. Iterations are
+    /// weighted by their number of disconnected steps, so the result
+    /// equals the pooled per-step mean.
+    pub fn avg_largest_when_disconnected(&self) -> Option<f64> {
+        let mut num = 0.0;
+        let mut den = 0usize;
+        for it in &self.iterations {
+            if let Some(avg) = it.avg_largest_when_disconnected {
+                let disconnected = it.steps - it.connected_steps;
+                num += avg * disconnected as f64;
+                den += disconnected;
+            }
+        }
+        if den == 0 {
+            None
+        } else {
+            Some(num / den as f64)
+        }
+    }
+
+    /// Overall mean largest-component size over **all** steps.
+    pub fn avg_largest(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0usize;
+        for it in &self.iterations {
+            num += it.avg_largest * it.steps as f64;
+            den += it.steps;
+        }
+        num / den as f64
+    }
+
+    /// Overall minimum largest-component size.
+    pub fn min_largest(&self) -> usize {
+        self.iterations
+            .iter()
+            .map(|i| i.min_largest)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Mean largest-component size as a fraction of `n`.
+    pub fn avg_largest_fraction(&self) -> f64 {
+        self.avg_largest() / self.nodes as f64
+    }
+}
+
+impl core::fmt::Display for FixedRangeReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "r={:.4}: {:.2}% connected, avg largest component {:.2} ({:.1}% of n={}), min {}",
+            self.range,
+            100.0 * self.connectivity_fraction(),
+            self.avg_largest(),
+            100.0 * self.avg_largest_fraction(),
+            self.nodes,
+            self.min_largest()
+        )
+    }
+}
+
+/// Observer computing connectivity and largest-component size at one
+/// fixed range.
+struct FixedRangeObserver {
+    range: f64,
+    connected_steps: usize,
+    steps: usize,
+    largest_all: RunningMoments,
+    largest_disconnected: RunningMoments,
+    min_largest: usize,
+    isolated: RunningMoments,
+    components: RunningMoments,
+}
+
+impl<const D: usize> StepObserver<D> for FixedRangeObserver {
+    type Output = IterationStats;
+
+    fn observe(&mut self, _step: usize, positions: &[Point<D>]) {
+        let graph = AdjacencyList::from_points_brute_force(positions, self.range);
+        let comps = ComponentSummary::of(&graph);
+        let largest = comps.largest_size();
+        self.steps += 1;
+        self.largest_all.push(largest as f64);
+        if comps.is_connected() {
+            self.connected_steps += 1;
+        } else {
+            self.largest_disconnected.push(largest as f64);
+        }
+        self.min_largest = self.min_largest.min(largest);
+        self.isolated.push(graph.isolated_nodes().len() as f64);
+        self.components.push(comps.count() as f64);
+    }
+
+    fn finish(self) -> IterationStats {
+        IterationStats {
+            steps: self.steps,
+            connected_steps: self.connected_steps,
+            avg_largest_when_disconnected: if self.largest_disconnected.is_empty() {
+                None
+            } else {
+                Some(self.largest_disconnected.mean())
+            },
+            avg_largest: self.largest_all.mean(),
+            min_largest: self.min_largest,
+            avg_isolated: self.isolated.mean(),
+            avg_components: self.components.mean(),
+        }
+    }
+}
+
+/// Runs the paper's simulator at a fixed transmitting range.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] when `range` is not positive
+/// and finite, and propagates engine errors.
+pub fn simulate_fixed_range<const D: usize, M>(
+    config: &SimConfig<D>,
+    model: &M,
+    range: f64,
+) -> Result<FixedRangeReport, SimError>
+where
+    M: Mobility<D> + Clone + Send + Sync,
+{
+    if !(range.is_finite() && range > 0.0) {
+        return Err(SimError::InvalidConfig {
+            reason: format!("transmitting range must be positive and finite, got {range}"),
+        });
+    }
+    let iterations = run_simulation(config, model, |_| FixedRangeObserver {
+        range,
+        connected_steps: 0,
+        steps: 0,
+        largest_all: RunningMoments::new(),
+        largest_disconnected: RunningMoments::new(),
+        min_largest: usize::MAX,
+        isolated: RunningMoments::new(),
+        components: RunningMoments::new(),
+    })?;
+    Ok(FixedRangeReport {
+        range,
+        nodes: config.nodes(),
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_mobility::{RandomWaypoint, StationaryModel};
+
+    fn config(nodes: usize, side: f64, iterations: usize, steps: usize) -> SimConfig<2> {
+        let mut b = SimConfig::<2>::builder();
+        b.nodes(nodes)
+            .side(side)
+            .iterations(iterations)
+            .steps(steps)
+            .seed(5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn range_is_validated() {
+        let cfg = config(5, 50.0, 1, 1);
+        let m = StationaryModel::new();
+        assert!(simulate_fixed_range(&cfg, &m, 0.0).is_err());
+        assert!(simulate_fixed_range(&cfg, &m, -1.0).is_err());
+        assert!(simulate_fixed_range(&cfg, &m, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn huge_range_always_connected() {
+        let cfg = config(10, 50.0, 3, 5);
+        let model = RandomWaypoint::new(0.5, 2.0, 0, 0.0).unwrap();
+        let report = simulate_fixed_range(&cfg, &model, 1000.0).unwrap();
+        assert_eq!(report.connectivity_fraction(), 1.0);
+        assert_eq!(report.avg_largest(), 10.0);
+        assert_eq!(report.min_largest(), 10);
+        assert_eq!(report.avg_largest_when_disconnected(), None);
+        for it in &report.iterations {
+            assert_eq!(it.connectivity_fraction(), 1.0);
+            assert_eq!(it.avg_largest_when_disconnected, None);
+        }
+    }
+
+    #[test]
+    fn tiny_range_never_connected() {
+        let cfg = config(10, 1000.0, 2, 5);
+        let report =
+            simulate_fixed_range(&cfg, &StationaryModel::new(), 1e-6).unwrap();
+        assert_eq!(report.connectivity_fraction(), 0.0);
+        // Nodes essentially isolated: largest component is 1.
+        assert_eq!(report.min_largest(), 1);
+        assert_eq!(report.avg_largest_when_disconnected(), Some(1.0));
+    }
+
+    #[test]
+    fn connectivity_fraction_matches_critical_range_series() {
+        // Cross-check the fixed-range path against the quantile path.
+        let cfg = config(10, 120.0, 4, 30);
+        let model = RandomWaypoint::new(0.5, 3.0, 1, 0.0).unwrap();
+        let crit = crate::critical::simulate_critical_ranges(&cfg, &model).unwrap();
+        for r in [10.0, 25.0, 40.0, 70.0] {
+            let report = simulate_fixed_range(&cfg, &model, r).unwrap();
+            let from_crit = crit.connectivity_fraction_at(r);
+            assert!(
+                (report.connectivity_fraction() - from_crit).abs() < 1e-12,
+                "mismatch at r={r}: fixed={} critical={}",
+                report.connectivity_fraction(),
+                from_crit
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_iterations_are_all_or_nothing() {
+        let cfg = config(8, 100.0, 6, 10);
+        let report = simulate_fixed_range(&cfg, &StationaryModel::new(), 40.0).unwrap();
+        for it in &report.iterations {
+            // A stationary iteration's graph never changes.
+            assert!(
+                it.connected_steps == 0 || it.connected_steps == it.steps,
+                "stationary iteration partially connected: {it:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let cfg = config(5, 50.0, 1, 2);
+        let report = simulate_fixed_range(&cfg, &StationaryModel::new(), 100.0).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("connected"));
+        assert!(text.contains("n=5"));
+    }
+
+    #[test]
+    fn avg_largest_weighted_over_iterations() {
+        let cfg = config(6, 80.0, 3, 7);
+        let model = RandomWaypoint::new(0.5, 2.0, 0, 0.0).unwrap();
+        let report = simulate_fixed_range(&cfg, &model, 30.0).unwrap();
+        let manual: f64 = report
+            .iterations
+            .iter()
+            .map(|i| i.avg_largest * i.steps as f64)
+            .sum::<f64>()
+            / report.iterations.iter().map(|i| i.steps).sum::<usize>() as f64;
+        assert!((report.avg_largest() - manual).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod straggler_tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use manet_mobility::RandomWaypoint;
+
+    /// Paper §4.2 (Figures 4–5 discussion): "on the average
+    /// disconnection is caused by only a few isolated nodes" — at a
+    /// range near r90 the stragglers outside the giant component are
+    /// mostly isolated singletons.
+    #[test]
+    fn disconnection_near_r90_is_mostly_isolated_singletons() {
+        let mut b = SimConfig::<2>::builder();
+        b.nodes(32).side(512.0).iterations(5).steps(200).seed(71);
+        let cfg = b.build().unwrap();
+        let model = RandomWaypoint::new(0.5, 5.12, 40, 0.0).unwrap();
+        // Locate r90 from the critical series, then inspect structure.
+        let crit = crate::critical::simulate_critical_ranges(&cfg, &model).unwrap();
+        let r90 = crit.pooled().unwrap().smallest_covering(0.9).unwrap();
+        let report = simulate_fixed_range(&cfg, &model, r90).unwrap();
+        let stragglers = 32.0 - report.avg_largest();
+        let isolated: f64 = report
+            .iterations
+            .iter()
+            .map(|i| i.avg_isolated * i.steps as f64)
+            .sum::<f64>()
+            / report.iterations.iter().map(|i| i.steps).sum::<usize>() as f64;
+        assert!(
+            stragglers < 2.0,
+            "near r90 only a couple of nodes should be detached, got {stragglers}"
+        );
+        // Most detached nodes are singletons: the isolated count
+        // accounts for the bulk of the straggler mass.
+        assert!(
+            isolated >= stragglers * 0.5,
+            "stragglers {stragglers} vs isolated {isolated}"
+        );
+        // Component count stays barely above 1.
+        let comps: f64 = report
+            .iterations
+            .iter()
+            .map(|i| i.avg_components * i.steps as f64)
+            .sum::<f64>()
+            / report.iterations.iter().map(|i| i.steps).sum::<usize>() as f64;
+        assert!(comps < 3.0, "avg components {comps}");
+    }
+
+    #[test]
+    fn isolated_and_component_counts_consistent() {
+        let mut b = SimConfig::<2>::builder();
+        b.nodes(12).side(400.0).iterations(3).steps(30).seed(72);
+        let cfg = b.build().unwrap();
+        let model = RandomWaypoint::new(0.5, 4.0, 0, 0.0).unwrap();
+        let report = simulate_fixed_range(&cfg, &model, 60.0).unwrap();
+        for it in &report.iterations {
+            // Components at least 1; isolated nodes each form their own
+            // component, so components >= isolated (when n > isolated).
+            assert!(it.avg_components >= 1.0);
+            assert!(it.avg_components >= it.avg_isolated / 12.0);
+            assert!(it.avg_isolated >= 0.0 && it.avg_isolated <= 12.0);
+        }
+    }
+}

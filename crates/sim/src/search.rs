@@ -1,0 +1,176 @@
+//! Bisection searches over the transmitting range.
+//!
+//! The paper found its `r_f` values by re-running the simulator at
+//! candidate ranges. This module reproduces that slow path — a
+//! monotone bisection driven by full re-simulation with the *same*
+//! seed — so the fast quantile path of [`crate::critical`] can be
+//! validated against it (they must agree, because both answer the same
+//! monotone threshold question about the same trajectories).
+
+use crate::{
+    config::SimConfig, critical::simulate_critical_ranges, fixed::simulate_fixed_range, SimError,
+};
+use manet_mobility::Mobility;
+
+/// Finds the smallest `r` in `[lo, hi]` with `predicate(r) == true`,
+/// assuming the predicate is monotone (false below the threshold, true
+/// above). Returns `hi` when even `hi` fails, `lo` when `lo` already
+/// holds; the result is within `tol` of the true threshold.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`, `tol <= 0`, or any bound is not finite.
+pub fn bisect_monotone<F: FnMut(f64) -> bool>(
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    mut predicate: F,
+) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+    assert!(lo <= hi, "lo {lo} must not exceed hi {hi}");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if predicate(lo) {
+        return lo;
+    }
+    if !predicate(hi) {
+        return hi;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if predicate(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// The slow-path `r_f`: the smallest range (within `tol`) at which the
+/// fraction of connected steps reaches `fraction`, found by bisection
+/// with a fresh fixed-range simulation per probe.
+///
+/// Deterministic for a given config seed, so it is exactly comparable
+/// to [`crate::CriticalRangeResults::mean_range_for_fraction`] — and
+/// the test suite holds them together.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for `fraction` outside `[0, 1]`
+/// and propagates engine errors.
+pub fn find_range_for_connectivity_fraction<const D: usize, M>(
+    config: &SimConfig<D>,
+    model: &M,
+    fraction: f64,
+    tol: f64,
+) -> Result<f64, SimError>
+where
+    M: Mobility<D> + Clone + Send + Sync,
+{
+    if !(0.0..=1.0).contains(&fraction) || fraction.is_nan() {
+        return Err(SimError::InvalidConfig {
+            reason: format!("fraction must be in [0, 1], got {fraction}"),
+        });
+    }
+    let hi = config.region().diameter();
+    let mut error = None;
+    let result = bisect_monotone(1e-9, hi, tol, |r| {
+        match simulate_fixed_range(config, model, r) {
+            Ok(report) => report.connectivity_fraction() >= fraction,
+            Err(e) => {
+                error = Some(e);
+                true // terminate quickly; error reported below
+            }
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    Ok(result)
+}
+
+/// Convenience cross-check: computes `r_f` by both the fast
+/// (critical-range quantile, pooled over iterations) and slow
+/// (bisection) paths, returning `(fast, slow)`.
+///
+/// # Errors
+///
+/// Propagates errors from either path.
+pub fn range_for_fraction_both_paths<const D: usize, M>(
+    config: &SimConfig<D>,
+    model: &M,
+    fraction: f64,
+    tol: f64,
+) -> Result<(f64, f64), SimError>
+where
+    M: Mobility<D> + Clone + Send + Sync,
+{
+    let crit = simulate_critical_ranges(config, model)?;
+    let pooled = crit.pooled()?;
+    let fast = pooled.smallest_covering(fraction)?;
+    let slow = find_range_for_connectivity_fraction(config, model, fraction, tol)?;
+    Ok((fast, slow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_mobility::{RandomWaypoint, StationaryModel};
+
+    #[test]
+    fn bisection_finds_known_threshold() {
+        let root = bisect_monotone(0.0, 10.0, 1e-9, |x| x >= std::f64::consts::PI);
+        assert!((root - std::f64::consts::PI).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bisection_boundary_behaviour() {
+        assert_eq!(bisect_monotone(2.0, 5.0, 1e-6, |_| true), 2.0);
+        assert_eq!(bisect_monotone(2.0, 5.0, 1e-6, |_| false), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn bisection_rejects_inverted_bounds() {
+        bisect_monotone(5.0, 2.0, 1e-6, |_| true);
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree() {
+        let mut b = SimConfig::<2>::builder();
+        b.nodes(10).side(100.0).iterations(3).steps(25).seed(77);
+        let cfg = b.build().unwrap();
+        let model = RandomWaypoint::new(0.5, 2.0, 1, 0.0).unwrap();
+        for fraction in [0.1, 0.5, 0.9, 1.0] {
+            let (fast, slow) =
+                range_for_fraction_both_paths(&cfg, &model, fraction, 1e-6).unwrap();
+            // The slow path bisects to within tol of the exact
+            // threshold, which IS the fast path's order statistic.
+            assert!(
+                (fast - slow).abs() < 1e-4,
+                "fraction {fraction}: fast={fast}, slow={slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_case_threshold_is_ctr() {
+        let mut b = SimConfig::<2>::builder();
+        b.nodes(8).side(80.0).iterations(1).steps(1).seed(13);
+        let cfg = b.build().unwrap();
+        let model = StationaryModel::new();
+        let (fast, slow) = range_for_fraction_both_paths(&cfg, &model, 1.0, 1e-7).unwrap();
+        assert!((fast - slow).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fraction_validation() {
+        let mut b = SimConfig::<2>::builder();
+        b.nodes(5).side(50.0);
+        let cfg = b.build().unwrap();
+        let model = StationaryModel::new();
+        assert!(find_range_for_connectivity_fraction(&cfg, &model, -0.1, 1e-3).is_err());
+        assert!(find_range_for_connectivity_fraction(&cfg, &model, 1.1, 1e-3).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Stationary-case analysis: the distribution of the critical
+//! transmitting range over random placements, and `r_stationary`.
+//!
+//! The paper's mobile results are all reported as ratios to
+//! `r_stationary`, "the value of the transmitting range ensuring
+//! connected graphs in the stationary case" (quoted there from the
+//! companion simulations of [1, 11], which were never released). The
+//! reproduction recomputes it: draw many placements, compute each
+//! placement's critical range, and report a high quantile of that
+//! distribution (default 0.99 — the range connecting 99% of random
+//! placements). See DESIGN.md "Substitutions".
+
+use crate::{config::SimConfig, critical::simulate_critical_ranges, SimError};
+use manet_mobility::StationaryModel;
+use manet_stats::FrozenSeries;
+
+/// Distribution of the stationary critical transmitting range.
+#[derive(Debug, Clone)]
+pub struct StationaryAnalysis {
+    ctr: FrozenSeries,
+    nodes: usize,
+    side: f64,
+}
+
+impl StationaryAnalysis {
+    /// Samples `placements` stationary deployments of `nodes` nodes in
+    /// `[0, side]^D` and records each critical range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from configuration validation and the
+    /// engine.
+    pub fn run<const D: usize>(
+        nodes: usize,
+        side: f64,
+        placements: usize,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let mut builder = SimConfig::<D>::builder();
+        builder
+            .nodes(nodes)
+            .side(side)
+            .iterations(placements)
+            .steps(1)
+            .seed(seed);
+        let config = builder.build()?;
+        let results = simulate_critical_ranges(&config, &StationaryModel::new())?;
+        let mut all = Vec::with_capacity(placements);
+        for s in results.per_iteration() {
+            debug_assert_eq!(s.len(), 1);
+            all.push(s.min());
+        }
+        Ok(StationaryAnalysis {
+            ctr: FrozenSeries::new(all)?,
+            nodes,
+            side,
+        })
+    }
+
+    /// The sampled critical-range distribution.
+    pub fn ctr_distribution(&self) -> &FrozenSeries {
+        &self.ctr
+    }
+
+    /// Number of nodes per placement.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Region side `l`.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// `r_stationary` at connection probability `quantile` — the
+    /// smallest sampled range connecting at least that fraction of
+    /// placements. The reproduction's headline value uses `0.99`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Stats`] for `quantile` outside `[0, 1]`.
+    pub fn r_stationary(&self, quantile: f64) -> Result<f64, SimError> {
+        Ok(self.ctr.smallest_covering(quantile)?)
+    }
+
+    /// Estimated probability that a fresh random placement is connected
+    /// at range `r` (the empirical CDF of the CTR distribution).
+    pub fn connectivity_probability(&self, r: f64) -> f64 {
+        self.ctr.fraction_at_most(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_has_requested_placements() {
+        let a = StationaryAnalysis::run::<2>(10, 100.0, 50, 7).unwrap();
+        assert_eq!(a.ctr_distribution().len(), 50);
+        assert_eq!(a.nodes(), 10);
+        assert_eq!(a.side(), 100.0);
+    }
+
+    #[test]
+    fn r_stationary_monotone_in_quantile() {
+        let a = StationaryAnalysis::run::<2>(12, 150.0, 80, 3).unwrap();
+        let r50 = a.r_stationary(0.5).unwrap();
+        let r90 = a.r_stationary(0.9).unwrap();
+        let r99 = a.r_stationary(0.99).unwrap();
+        assert!(r50 <= r90);
+        assert!(r90 <= r99);
+        assert!(a.r_stationary(1.5).is_err());
+    }
+
+    #[test]
+    fn connectivity_probability_is_cdf() {
+        let a = StationaryAnalysis::run::<2>(10, 100.0, 60, 11).unwrap();
+        let r = a.r_stationary(0.9).unwrap();
+        assert!(a.connectivity_probability(r) >= 0.9);
+        assert!(a.connectivity_probability(0.0) == 0.0);
+        assert!(a.connectivity_probability(1e9) == 1.0);
+    }
+
+    #[test]
+    fn more_nodes_reduce_ctr_at_fixed_side() {
+        // Denser networks connect at shorter ranges (law of large
+        // numbers over 60 placements keeps this stable).
+        let sparse = StationaryAnalysis::run::<2>(8, 200.0, 60, 5).unwrap();
+        let dense = StationaryAnalysis::run::<2>(64, 200.0, 60, 5).unwrap();
+        assert!(
+            dense.r_stationary(0.9).unwrap() < sparse.r_stationary(0.9).unwrap(),
+            "denser placements should connect at smaller ranges"
+        );
+    }
+
+    #[test]
+    fn one_dimensional_ctr_is_max_gap() {
+        // In 1-D the CTR of a placement equals its largest inter-node
+        // gap, which is at most l.
+        let a = StationaryAnalysis::run::<1>(5, 100.0, 40, 9).unwrap();
+        assert!(a.ctr_distribution().max() <= 100.0);
+        assert!(a.ctr_distribution().min() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = StationaryAnalysis::run::<2>(10, 100.0, 30, 21).unwrap();
+        let b = StationaryAnalysis::run::<2>(10, 100.0, 30, 21).unwrap();
+        assert_eq!(a.ctr_distribution().as_sorted(), b.ctr_distribution().as_sorted());
+    }
+}

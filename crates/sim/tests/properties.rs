@@ -1,0 +1,133 @@
+//! Property-based tests for the simulation engine: the fast
+//! critical-range path is held to agree with the literal fixed-range
+//! simulator on identical trajectories, for random configurations.
+
+use manet_mobility::{Drunkard, RandomWaypoint, StationaryModel};
+use manet_sim::{
+    simulate_component_ranges, simulate_critical_ranges, simulate_fixed_range,
+    simulate_profiles, SimConfig,
+};
+use proptest::prelude::*;
+
+fn config(nodes: usize, side: f64, iterations: usize, steps: usize, seed: u64) -> SimConfig<2> {
+    let mut b = SimConfig::<2>::builder();
+    b.nodes(nodes)
+        .side(side)
+        .iterations(iterations)
+        .steps(steps)
+        .seed(seed)
+        .profile_bins(256);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn quantile_metrics_are_ordered(
+        nodes in 4usize..16,
+        side in 50.0..300.0f64,
+        seed in any::<u64>(),
+    ) {
+        let cfg = config(nodes, side, 3, 20, seed);
+        let model = RandomWaypoint::new(0.1, 0.02 * side, 2, 0.0).unwrap();
+        let res = simulate_critical_ranges(&cfg, &model).unwrap();
+        for q in res.quantiles_per_iteration().unwrap() {
+            prop_assert!(q.r100 >= q.r90 && q.r90 >= q.r10 && q.r10 >= q.r0);
+            prop_assert!(q.r0 >= 0.0);
+            prop_assert!(q.r100 <= side * 2f64.sqrt() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fixed_range_agrees_with_critical_series(
+        nodes in 4usize..12,
+        side in 50.0..200.0f64,
+        r_frac in 0.05..1.0f64,
+        seed in any::<u64>(),
+    ) {
+        let cfg = config(nodes, side, 2, 15, seed);
+        let model = Drunkard::new(0.1, 0.2, 0.05 * side).unwrap();
+        let crit = simulate_critical_ranges(&cfg, &model).unwrap();
+        let r = r_frac * side;
+        let fixed = simulate_fixed_range(&cfg, &model, r).unwrap();
+        prop_assert!(
+            (fixed.connectivity_fraction() - crit.connectivity_fraction_at(r)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn profiles_agree_with_fixed_range_component_sizes(
+        nodes in 4usize..12,
+        side in 50.0..200.0f64,
+        seed in any::<u64>(),
+    ) {
+        // Evaluate the average largest component two ways at a grid
+        // boundary: merge-profile grid vs direct fixed-range graphs.
+        let cfg = config(nodes, side, 2, 10, seed);
+        let model = StationaryModel::new();
+        let profiles = simulate_profiles(&cfg, &model).unwrap();
+        let pooled = profiles.pooled().unwrap();
+        let r = pooled.bin_width() * 64.0; // exactly on the grid
+        let via_profile = pooled.average_size_at(r);
+        let via_fixed = simulate_fixed_range(&cfg, &model, r).unwrap().avg_largest();
+        prop_assert!(
+            (via_profile - via_fixed).abs() < 1e-9,
+            "profile {via_profile} vs fixed {via_fixed}"
+        );
+    }
+
+    #[test]
+    fn determinism_across_thread_counts(
+        nodes in 4usize..10,
+        side in 50.0..150.0f64,
+        seed in any::<u64>(),
+    ) {
+        let mk = |threads: usize| {
+            let mut b = SimConfig::<2>::builder();
+            b.nodes(nodes)
+                .side(side)
+                .iterations(4)
+                .steps(10)
+                .seed(seed)
+                .threads(threads);
+            b.build().unwrap()
+        };
+        let model = RandomWaypoint::new(0.1, 2.0, 1, 0.3).unwrap();
+        let a = simulate_critical_ranges(&mk(1), &model).unwrap();
+        let b = simulate_critical_ranges(&mk(3), &model).unwrap();
+        for (x, y) in a.per_iteration().iter().zip(b.per_iteration()) {
+            prop_assert_eq!(x.as_sorted(), y.as_sorted());
+        }
+    }
+
+    #[test]
+    fn component_target_monotone_in_fraction(
+        nodes in 6usize..14,
+        side in 50.0..200.0f64,
+        seed in any::<u64>(),
+    ) {
+        let cfg = config(nodes, side, 2, 10, seed);
+        let model = RandomWaypoint::new(0.1, 2.0, 0, 0.0).unwrap();
+        let half = simulate_component_ranges(&cfg, &model, 0.5).unwrap();
+        let full = simulate_component_ranges(&cfg, &model, 1.0).unwrap();
+        let r_half = half.mean_range_for_time_fraction(0.9).unwrap();
+        let r_full = full.mean_range_for_time_fraction(0.9).unwrap();
+        prop_assert!(r_half <= r_full + 1e-9);
+    }
+
+    #[test]
+    fn stationary_steps_equal_single_step(
+        nodes in 4usize..12,
+        side in 50.0..200.0f64,
+        seed in any::<u64>(),
+    ) {
+        // With the stationary model, running many steps is the same
+        // observation repeated: all quantile metrics coincide.
+        let cfg = config(nodes, side, 2, 25, seed);
+        let res = simulate_critical_ranges(&cfg, &StationaryModel::new()).unwrap();
+        for q in res.quantiles_per_iteration().unwrap() {
+            prop_assert!((q.r100 - q.r0).abs() < 1e-12);
+        }
+    }
+}

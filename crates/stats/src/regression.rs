@@ -1,0 +1,173 @@
+//! Ordinary least-squares lines.
+//!
+//! Theorem 5 predicts `r·n = Θ(l log l)` at the connectivity threshold.
+//! The theory-validation experiment T1 fits the measured threshold
+//! against `l ln l` with [`LinearFit::through_origin`] and reports the
+//! coefficient of determination as evidence for the scaling law.
+
+use crate::StatsError;
+
+/// Result of a least-squares line fit `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept (zero for through-origin fits).
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits `y = intercept + slope·x` by ordinary least squares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] when fewer than two points
+    /// are supplied or when `xs` and `ys` have different lengths, and
+    /// [`StatsError::NonFinite`] when any coordinate is not finite or
+    /// all `x` are identical (the slope is then undefined).
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, StatsError> {
+        if xs.len() != ys.len() || xs.len() < 2 {
+            return Err(StatsError::EmptySample);
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite { name: "xs/ys" });
+        }
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            sxx += (x - mean_x) * (x - mean_x);
+            sxy += (x - mean_x) * (y - mean_y);
+        }
+        if sxx == 0.0 {
+            return Err(StatsError::NonFinite { name: "slope" });
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        Ok(LinearFit {
+            slope,
+            intercept,
+            r_squared: r_squared(xs, ys, slope, intercept),
+        })
+    }
+
+    /// Fits `y = slope·x` (no intercept) by least squares.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearFit::fit`]; additionally errors when
+    /// all `x` are zero.
+    pub fn through_origin(xs: &[f64], ys: &[f64]) -> Result<Self, StatsError> {
+        if xs.len() != ys.len() || xs.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite { name: "xs/ys" });
+        }
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        if sxx == 0.0 {
+            return Err(StatsError::NonFinite { name: "slope" });
+        }
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+        let slope = sxy / sxx;
+        Ok(LinearFit {
+            slope,
+            intercept: 0.0,
+            r_squared: r_squared(xs, ys, slope, 0.0),
+        })
+    }
+
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+fn r_squared(xs: &[f64], ys: &[f64], slope: f64, intercept: f64) -> f64 {
+    let n = ys.len() as f64;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    if ss_tot == 0.0 {
+        // All y identical: perfect fit iff residuals vanish.
+        if ss_res < 1e-30 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn through_origin_recovers_slope() {
+        let xs = [1.0, 2.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x).collect();
+        let fit = LinearFit::through_origin(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.5).abs() < 1e-12);
+        assert_eq!(fit.intercept, 0.0);
+    }
+
+    #[test]
+    fn noisy_fit_has_r2_below_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.1, 1.9, 3.2, 3.8, 5.1];
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.98 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(LinearFit::fit(&[1.0], &[1.0]).is_err());
+        assert!(LinearFit::fit(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(LinearFit::fit(&[2.0, 2.0], &[1.0, 3.0]).is_err());
+        assert!(LinearFit::fit(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+        assert!(LinearFit::through_origin(&[0.0, 0.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn predict_uses_fit() {
+        let fit = LinearFit {
+            slope: 2.0,
+            intercept: 1.0,
+            r_squared: 1.0,
+        };
+        assert_eq!(fit.predict(3.0), 7.0);
+    }
+
+    #[test]
+    fn constant_y_perfect_horizontal_fit() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [4.0, 4.0, 4.0];
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!(fit.slope.abs() < 1e-12);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,509 @@
+//! Special functions: log-gamma, regularized incomplete gamma,
+//! error function, log-factorials and log-binomials.
+//!
+//! These are the numerical foundation for the Normal and Poisson laws
+//! in [`crate::distributions`] and for the exact occupancy-theory
+//! computations in `manet-occupancy`, which evaluate quantities like
+//! `binom(C, k) * (1 - k/C)^n` far outside the dynamic range of `f64`
+//! and therefore work throughout in log space.
+
+use std::f64::consts::PI;
+
+/// Lanczos coefficients (g = 7, 9 terms), giving ~15 significant digits.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function for `x > 0`.
+///
+/// Uses the Lanczos approximation; absolute error is below `1e-12` over
+/// the tested range.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the reproduction only needs positive arguments;
+/// poles at non-positive integers make a `Result` return type noise for
+/// every call site).
+///
+/// # Example
+///
+/// ```
+/// // Γ(5) = 4! = 24
+/// assert!((manet_stats::special::ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        return PI.ln() - (PI * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let z = x - 1.0;
+    let mut acc = LANCZOS_COEF[0];
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        acc += c / (z + i as f64);
+    }
+    let t = z + LANCZOS_G + 0.5;
+    0.5 * (2.0 * PI).ln() + (z + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Exact `ln(n!)` via a small table for `n <= 20` and [`ln_gamma`]
+/// otherwise.
+pub fn ln_factorial(n: u64) -> f64 {
+    const EXACT: [u64; 21] = [
+        1,
+        1,
+        2,
+        6,
+        24,
+        120,
+        720,
+        5_040,
+        40_320,
+        362_880,
+        3_628_800,
+        39_916_800,
+        479_001_600,
+        6_227_020_800,
+        87_178_291_200,
+        1_307_674_368_000,
+        20_922_789_888_000,
+        355_687_428_096_000,
+        6_402_373_705_728_000,
+        121_645_100_408_832_000,
+        2_432_902_008_176_640_000,
+    ];
+    if n <= 20 {
+        (EXACT[n as usize] as f64).ln()
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `ln C(n, k)`, the log binomial coefficient.
+///
+/// Returns `-inf` when `k > n`, matching the convention
+/// `C(n, k) = 0` outside the valid range.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes `gammp`); converges to near machine precision.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0, got {a}");
+    assert!(x >= 0.0, "gamma_p requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_continued_fraction(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 - P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0, got {a}");
+    assert!(x >= 0.0, "gamma_q requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_continued_fraction(a, x)
+    }
+}
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-16;
+    let ln_ga = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_ga).exp()
+}
+
+fn gamma_continued_fraction(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-16;
+    const FPMIN: f64 = 1e-300;
+    let ln_ga = ln_gamma(a);
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_ga).exp() * h
+}
+
+/// Error function `erf(x)`, accurate to ~1e-14 via the incomplete
+/// gamma identity `erf(x) = P(1/2, x^2)` for `x >= 0` plus oddness.
+///
+/// # Example
+///
+/// ```
+/// assert!(manet_stats::special::erf(0.0).abs() < 1e-15);
+/// assert!((manet_stats::special::erf(1.0) - 0.8427007929497149).abs() < 1e-12);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_p(0.5, x * x)
+    } else {
+        -gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`, computed
+/// without cancellation in the right tail.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// Numerically stable `ln(exp(a) + exp(b))`.
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Numerically stable `ln(exp(a) - exp(b))` for `a >= b`.
+///
+/// Returns `-inf` when `a == b`.
+///
+/// # Panics
+///
+/// Panics if `a < b` (the difference would be negative, so its log is
+/// undefined).
+pub fn log_sub_exp(a: f64, b: f64) -> f64 {
+    assert!(
+        a >= b,
+        "log_sub_exp requires a >= b, got a = {a}, b = {b}"
+    );
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    if a == b {
+        return f64::NEG_INFINITY;
+    }
+    a + (-(b - a).exp()).ln_1p()
+}
+
+/// Stable `ln Σ exp(x_i)` over a slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..=30 {
+            let expect = ln_factorial(n - 1);
+            let got = ln_gamma(n as f64);
+            assert!(
+                (got - expect).abs() < 1e-10,
+                "ln_gamma({n}) = {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(π)
+        assert!((ln_gamma(0.5) - 0.5 * PI.ln()).abs() < 1e-12);
+        // Γ(3/2) = sqrt(π)/2
+        assert!((ln_gamma(1.5) - (PI.sqrt() / 2.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_binomial_small_cases() {
+        // C(5, 2) = 10
+        assert!((ln_binomial(5, 2) - 10f64.ln()).abs() < 1e-12);
+        // C(10, 0) = 1
+        assert!(ln_binomial(10, 0).abs() < 1e-12);
+        // C(4, 7) = 0
+        assert_eq!(ln_binomial(4, 7), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ln_binomial_large_is_finite_and_symmetric() {
+        let a = ln_binomial(10_000, 137);
+        let b = ln_binomial(10_000, 10_000 - 137);
+        assert!(a.is_finite());
+        assert!((a - b).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gamma_p_plus_q_is_one() {
+        for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (3.7, 2.0), (10.0, 25.0), (25.0, 10.0)] {
+            let s = gamma_p(a, x) + gamma_q(a, x);
+            assert!((s - 1.0).abs() < 1e-12, "P+Q != 1 at a={a}, x={x}: {s}");
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.1, 1.0, 3.0, 10.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun.
+        let cases = [
+            (0.5, 0.5204998778130465),
+            (1.0, 0.8427007929497149),
+            (2.0, 0.9953222650189527),
+            (-1.0, -0.8427007929497149),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 1e-12, "erf({x})");
+        }
+    }
+
+    #[test]
+    fn erfc_right_tail_no_cancellation() {
+        // erfc(5) ~ 1.537e-12; direct 1 - erf(5) would lose all digits.
+        let v = erfc(5.0);
+        assert!(v > 1.5e-12 && v < 1.6e-12, "erfc(5) = {v}");
+    }
+
+    #[test]
+    fn log_add_exp_basic() {
+        let got = log_add_exp(0.0, 0.0);
+        assert!((got - 2f64.ln()).abs() < 1e-15);
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, 3.0), 3.0);
+    }
+
+    #[test]
+    fn log_sub_exp_basic() {
+        // ln(e^2 - e^1)
+        let got = log_sub_exp(2.0, 1.0);
+        let want = (2f64.exp() - 1f64.exp()).ln();
+        assert!((got - want).abs() < 1e-12);
+        assert_eq!(log_sub_exp(1.0, 1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_large_magnitudes() {
+        let xs = [1000.0, 1000.0];
+        assert!((log_sum_exp(&xs) - (1000.0 + 2f64.ln())).abs() < 1e-12);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+}
+
+/// `ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `b <= 0` (propagated from [`ln_gamma`]).
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`, the CDF of the
+/// Beta(a, b) distribution — the bridge to Student's t used by the
+/// small-sample confidence intervals.
+///
+/// Continued-fraction evaluation (Numerical Recipes `betai`/`betacf`),
+/// accurate to ~1e-14.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0`, or `x` is outside `[0, 1]`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_inc requires a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "beta_inc requires x in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    // Use the symmetry relation to keep the continued fraction in its
+    // rapidly convergent region.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() * beta_cf(a, b, x) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x) / b).clamp(0.0, 1.0)
+    }
+}
+
+/// Lentz continued fraction for the incomplete beta.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod beta_tests {
+    use super::*;
+
+    #[test]
+    fn ln_beta_symmetry_and_known_values() {
+        assert!((ln_beta(1.0, 1.0)).abs() < 1e-12); // B(1,1) = 1
+        assert!((ln_beta(2.0, 3.0) - (1.0f64 / 12.0).ln()).abs() < 1e-12);
+        assert!((ln_beta(3.5, 1.25) - ln_beta(1.25, 3.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_inc_boundaries_and_uniform_case() {
+        assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+        // Beta(1,1) is uniform: I_x = x.
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            assert!((beta_inc(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_inc_symmetry_relation() {
+        // I_x(a, b) = 1 - I_{1-x}(b, a)
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.2), (7.0, 3.0, 0.8)] {
+            let lhs = beta_inc(a, b, x);
+            let rhs = 1.0 - beta_inc(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-12, "a={a} b={b} x={x}");
+        }
+    }
+
+    #[test]
+    fn beta_inc_known_values() {
+        // I_{0.5}(0.5, 0.5) = 0.5 (arcsine law median).
+        assert!((beta_inc(0.5, 0.5, 0.5) - 0.5).abs() < 1e-12);
+        // Beta(2,2): CDF = 3x² − 2x³.
+        for x in [0.2, 0.5, 0.7] {
+            let want = 3.0 * x * x - 2.0 * x * x * x;
+            assert!((beta_inc(2.0, 2.0, x) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_inc_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..50 {
+            let x = i as f64 / 50.0;
+            let v = beta_inc(3.0, 1.5, x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the statistics substrate.
+
+use manet_stats::special::{erf, gamma_p, gamma_q, ln_gamma};
+use manet_stats::{quantile, FrozenSeries, Histogram, Normal, Poisson, RunningMoments, SeedSequence};
+use proptest::prelude::*;
+
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e4..1.0e4f64, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn moments_match_two_pass(xs in sample()) {
+        let m: RunningMoments = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        prop_assert!((m.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+            prop_assert!((m.sample_variance() - var).abs() < 1e-5 * (1.0 + var));
+        }
+        prop_assert_eq!(m.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(m.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn moments_merge_any_split(xs in sample(), split in 0usize..200) {
+        let split = split.min(xs.len());
+        let mut left: RunningMoments = xs[..split].iter().copied().collect();
+        let right: RunningMoments = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        let whole: RunningMoments = xs.iter().copied().collect();
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(xs in sample(), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let s = FrozenSeries::new(xs).unwrap();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = s.quantile(lo).unwrap();
+        let b = s.quantile(hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+        prop_assert!(a >= s.min() && b <= s.max());
+    }
+
+    #[test]
+    fn smallest_covering_satisfies_contract(xs in sample(), f in 0.0..=1.0f64) {
+        let s = FrozenSeries::new(xs).unwrap();
+        let y = s.smallest_covering(f).unwrap();
+        prop_assert!(s.fraction_at_most(y) >= f - 1e-12);
+    }
+
+    #[test]
+    fn sorted_quantile_within_sample_hull(mut xs in sample(), q in 0.0..=1.0f64) {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let v = quantile(&xs, q).unwrap();
+        prop_assert!(v >= xs[0] - 1e-12 && v <= xs[xs.len() - 1] + 1e-12);
+    }
+
+    #[test]
+    fn histogram_cdf_monotone(xs in sample(), probes in prop::collection::vec(-1.1e4..1.1e4f64, 4)) {
+        let mut h = Histogram::new(-1.0e4, 1.0e4, 64).unwrap();
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut prev = -1.0;
+        for p in sorted {
+            let c = h.cdf(p);
+            prop_assert!(c >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1..50.0f64) {
+        // ln Γ(x+1) = ln x + ln Γ(x)
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn incomplete_gamma_complement(a in 0.1..30.0f64, x in 0.0..60.0f64) {
+        let s = gamma_p(a, x) + gamma_q(a, x);
+        prop_assert!((s - 1.0).abs() < 1e-10);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&gamma_p(a, x)));
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -5.0..5.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+    }
+
+    #[test]
+    fn normal_cdf_quantile_roundtrip(mean in -100.0..100.0f64, sd in 0.01..50.0f64, p in 0.001..0.999f64) {
+        let n = Normal::new(mean, sd).unwrap();
+        let x = n.quantile(p).unwrap();
+        prop_assert!((n.cdf(x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(mean in -10.0..10.0f64, sd in 0.1..10.0f64, a in -50.0..50.0f64, b in -50.0..50.0f64) {
+        let n = Normal::new(mean, sd).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
+    }
+
+    #[test]
+    fn poisson_quantile_covers(lambda in 0.1..50.0f64, p in 0.01..0.99f64) {
+        let law = Poisson::new(lambda).unwrap();
+        let k = law.quantile(p).unwrap();
+        prop_assert!(law.cdf(k) >= p);
+        if k > 0 {
+            prop_assert!(law.cdf(k - 1) < p);
+        }
+    }
+
+    #[test]
+    fn seed_children_distinct(master in any::<u64>(), i in 0u64..1000, j in 0u64..1000) {
+        prop_assume!(i != j);
+        let seq = SeedSequence::new(master);
+        prop_assert_ne!(seq.seed_for(i), seq.seed_for(j));
+    }
+}

@@ -1,0 +1,61 @@
+//! The freeway scenario (paper §1 and Figure 1): cars on a highway as a
+//! 1-dimensional ad hoc network relaying congestion warnings backwards.
+//!
+//! Demonstrates the 1-D machinery: the max-gap critical range, Lemma
+//! 1's occupancy-gap disconnection witness, the Theorem 5 threshold,
+//! and multi-hop relay depth over the car-to-car graph.
+//!
+//! Run with `cargo run --release --example freeway`.
+
+use manet::geom::Point;
+use manet::graph::{bfs, AdjacencyList};
+use manet::occupancy::patterns;
+use manet::{one_dim, theorems};
+use rand::{RngExt, SeedableRng};
+
+fn main() -> Result<(), manet::CoreError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2002);
+
+    // A 16 km stretch of freeway with 200 cars at random milestones.
+    let l = 16_000.0;
+    let n = 200;
+    let cars: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..l)).collect();
+
+    // How strong must each car's radio be for the whole stretch to be
+    // one connected relay chain?
+    let ctr = one_dim::critical_range_1d(&cars)?;
+    println!("{n} cars on {l} m of freeway");
+    println!("  largest inter-car gap (exact MTR) = {ctr:.0} m");
+
+    // Theorem 5 predicts the scale of that answer for random traffic:
+    let r_star = theorems::threshold_range(n, l)?;
+    println!("  Theorem 5 threshold r* = l ln(l)/n  = {r_star:.0} m");
+    println!(
+        "  regime at r*: {}",
+        theorems::ConnectivityRegime::classify(n, r_star, l)?
+    );
+
+    // Lemma 1 in action: chop the road into r-sized cells and look for
+    // an empty cell between occupied ones.
+    let r_radio = 0.8 * r_star;
+    let witnessed = patterns::is_disconnected_by_gap(&cars, l, r_radio);
+    let connected = one_dim::is_connected_1d(&cars, r_radio)?;
+    println!("with weaker {r_radio:.0} m radios:");
+    println!("  Lemma 1 gap witness fired: {witnessed}");
+    println!("  network actually connected: {connected}");
+    if witnessed {
+        assert!(!connected, "Lemma 1 is a sufficient condition");
+    }
+
+    // An accident at the far end: how many car-to-car hops until the
+    // warning reaches the start of the stretch?
+    let r_radio = 1.2 * ctr; // strong enough to connect everyone
+    let pts: Vec<Point<1>> = cars.iter().map(|&x| Point::new([x])).collect();
+    let graph = AdjacencyList::from_points_brute_force(&pts, r_radio);
+    let accident_car = (0..n).max_by(|&a, &b| cars[a].total_cmp(&cars[b])).unwrap();
+    let last_car = (0..n).min_by(|&a, &b| cars[a].total_cmp(&cars[b])).unwrap();
+    let hops = bfs::hop_distances(&graph, accident_car)[last_car]
+        .expect("graph connected at 1.2x the critical range");
+    println!("accident warning relayed end-to-end in {hops} hops at r = {r_radio:.0} m");
+    Ok(())
+}

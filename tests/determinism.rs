@@ -1,0 +1,74 @@
+//! Reproducibility guarantees: every public pipeline is a pure
+//! function of its configuration (including the master seed), and is
+//! invariant to the worker thread count.
+
+use manet::{ModelKind, MtrmProblem};
+
+fn build(seed: u64, threads: usize) -> MtrmProblem<2> {
+    MtrmProblem::<2>::builder()
+        .nodes(14)
+        .side(200.0)
+        .iterations(6)
+        .steps(60)
+        .seed(seed)
+        .threads(threads)
+        .model(ModelKind::random_waypoint(0.1, 4.0, 10, 0.25).unwrap())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn identical_seeds_identical_solutions() {
+    let a = build(42, 2).solve().unwrap();
+    let b = build(42, 2).solve().unwrap();
+    assert_eq!(a.ranges.r100.mean(), b.ranges.r100.mean());
+    assert_eq!(a.ranges.r0.mean(), b.ranges.r0.mean());
+    for (x, y) in a
+        .critical
+        .per_iteration()
+        .iter()
+        .zip(b.critical.per_iteration())
+    {
+        assert_eq!(x.as_sorted(), y.as_sorted());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = build(42, 2).solve().unwrap();
+    let b = build(43, 2).solve().unwrap();
+    assert_ne!(a.ranges.r100.mean(), b.ranges.r100.mean());
+}
+
+#[test]
+fn thread_count_is_invisible() {
+    let single = build(7, 1).solve().unwrap();
+    let multi = build(7, 4).solve().unwrap();
+    for (x, y) in single
+        .critical
+        .per_iteration()
+        .iter()
+        .zip(multi.critical.per_iteration())
+    {
+        assert_eq!(x.as_sorted(), y.as_sorted());
+    }
+}
+
+#[test]
+fn profiles_and_component_ranges_deterministic() {
+    let p1 = build(9, 1);
+    let p2 = build(9, 3);
+    let a = p1.component_profiles().unwrap().pooled().unwrap();
+    let b = p2.component_profiles().unwrap().pooled().unwrap();
+    assert_eq!(a, b);
+    let ra = p1.ranges_for_component_fractions(&[0.75]).unwrap();
+    let rb = p2.ranges_for_component_fractions(&[0.75]).unwrap();
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn fixed_range_reports_deterministic() {
+    let a = build(11, 1).fixed_range_report(50.0).unwrap();
+    let b = build(11, 4).fixed_range_report(50.0).unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,181 @@
+//! The paper's qualitative claims, held as executable assertions at
+//! reduced scale. Each test names the claim and the section it comes
+//! from; EXPERIMENTS.md records the quantitative versions at full
+//! scale.
+
+use manet::{ModelKind, MtrmProblem};
+
+fn solve(model: ModelKind<2>, steps: usize, seed: u64) -> manet::MtrmSolution {
+    MtrmProblem::<2>::builder()
+        .nodes(32)
+        .side(1024.0)
+        .iterations(8)
+        .steps(steps)
+        .seed(seed)
+        .model(model)
+        .build()
+        .unwrap()
+        .solve()
+        .unwrap()
+}
+
+/// §4.2: "r90 is far smaller than r100 (about 35-40% smaller) in both
+/// mobility models" — at our reduced horizon we require a clear gap,
+/// not the exact percentage.
+#[test]
+fn r90_is_substantially_below_r100() {
+    for (model, name) in [
+        (
+            ModelKind::random_waypoint(0.1, 10.24, 400, 0.0).unwrap(),
+            "waypoint",
+        ),
+        (ModelKind::drunkard(0.1, 0.3, 10.24).unwrap(), "drunkard"),
+    ] {
+        let sol = solve(model, 1500, 11);
+        let ratio = sol.ranges.r90.mean() / sol.ranges.r100.mean();
+        assert!(
+            ratio < 0.95,
+            "{name}: r90/r100 = {ratio} shows no meaningful saving"
+        );
+    }
+}
+
+/// §4.2: "from a strictly statistical view of connectedness [...]
+/// there are no major differences between the two mobility models."
+#[test]
+fn waypoint_and_drunkard_are_similar()  {
+    let wp = solve(
+        ModelKind::random_waypoint(0.1, 10.24, 400, 0.0).unwrap(),
+        1500,
+        12,
+    );
+    let dr = solve(ModelKind::drunkard(0.1, 0.3, 10.24).unwrap(), 1500, 12);
+    for (a, b, what) in [
+        (wp.ranges.r100.mean(), dr.ranges.r100.mean(), "r100"),
+        (wp.ranges.r90.mean(), dr.ranges.r90.mean(), "r90"),
+        (wp.ranges.r10.mean(), dr.ranges.r10.mean(), "r10"),
+    ] {
+        let ratio = a / b;
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "{what}: waypoint {a} vs drunkard {b} differ too much"
+        );
+    }
+}
+
+/// §4.3 / Figure 7: with about half the nodes (or more) stationary,
+/// the network behaves like a stationary one: r100 drops toward the
+/// all-stationary value as p_stationary crosses ~0.5.
+#[test]
+fn stationary_fraction_threshold() {
+    let all_mobile = solve(
+        ModelKind::random_waypoint(0.1, 10.24, 400, 0.0).unwrap(),
+        1000,
+        13,
+    )
+    .ranges
+    .r100
+    .mean();
+    let mostly_static = solve(
+        ModelKind::random_waypoint(0.1, 10.24, 400, 0.8).unwrap(),
+        1000,
+        13,
+    )
+    .ranges
+    .r100
+    .mean();
+    let fully_static = solve(
+        ModelKind::random_waypoint(0.1, 10.24, 400, 1.0).unwrap(),
+        1000,
+        13,
+    )
+    .ranges
+    .r100
+    .mean();
+    assert!(
+        mostly_static < all_mobile,
+        "freezing nodes must not increase r100: {mostly_static} vs {all_mobile}"
+    );
+    // And p = 0.8 is already close to fully static (within 20%).
+    assert!(
+        (mostly_static / fully_static - 1.0).abs() < 0.2,
+        "p=0.8 ({mostly_static}) should approximate stationary ({fully_static})"
+    );
+}
+
+/// §4.2 / Figures 4-5: when disconnection happens near r90, it is
+/// caused by a few stragglers — the largest component stays close
+/// to n.
+#[test]
+fn disconnection_near_r90_leaves_giant_component() {
+    let problem = MtrmProblem::<2>::builder()
+        .nodes(32)
+        .side(1024.0)
+        .iterations(8)
+        .steps(1000)
+        .seed(14)
+        .model(ModelKind::random_waypoint(0.1, 10.24, 200, 0.0).unwrap())
+        .build()
+        .unwrap();
+    let sol = problem.solve().unwrap();
+    let profiles = problem.component_profiles().unwrap();
+    let frac_at_r90 = profiles.mean_average_fraction_at(sol.ranges.r90.mean());
+    assert!(
+        frac_at_r90 > 0.85,
+        "largest component at r90 is only {frac_at_r90} of n"
+    );
+    // And it shrinks substantially by r0.
+    let frac_at_r0 = profiles.mean_average_fraction_at(sol.ranges.r0.mean());
+    assert!(frac_at_r0 < frac_at_r90);
+}
+
+/// §4.2 / Figure 6: the component-target ranges are ordered
+/// rl50 < rl75 < rl90 and all sit below r100.
+#[test]
+fn component_targets_cost_less_than_full_connectivity() {
+    let problem = MtrmProblem::<2>::builder()
+        .nodes(32)
+        .side(1024.0)
+        .iterations(6)
+        .steps(800)
+        .seed(15)
+        .model(ModelKind::random_waypoint(0.1, 10.24, 160, 0.0).unwrap())
+        .build()
+        .unwrap();
+    let rl = problem
+        .ranges_for_component_fractions(&[0.5, 0.75, 0.9])
+        .unwrap();
+    let r100 = problem.solve().unwrap().ranges.r100.mean();
+    assert!(rl[0].1 < rl[1].1 && rl[1].1 < rl[2].1);
+    assert!(rl[2].1 < r100, "rl90 {} should undercut r100 {r100}", rl[2].1);
+    // The paper's punchline: halving the connectivity goal at least
+    // halves the *power* (rl50 well below rl90).
+    assert!(rl[0].1 / rl[2].1 < 0.95);
+}
+
+/// §4.3 / Figure 9: r100 is almost independent of v_max (except at
+/// very low speeds).
+#[test]
+fn r100_insensitive_to_vmax() {
+    let slow = solve(
+        ModelKind::random_waypoint(0.1, 0.1 * 1024.0, 400, 0.0).unwrap(),
+        1000,
+        16,
+    )
+    .ranges
+    .r100
+    .mean();
+    let fast = solve(
+        ModelKind::random_waypoint(0.1, 0.5 * 1024.0, 400, 0.0).unwrap(),
+        1000,
+        16,
+    )
+    .ranges
+    .r100
+    .mean();
+    let ratio = fast / slow;
+    assert!(
+        (0.75..1.35).contains(&ratio),
+        "r100 moved by {ratio}x between vmax = 0.1l and 0.5l"
+    );
+}
