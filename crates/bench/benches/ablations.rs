@@ -7,10 +7,10 @@ use manet_bench::{bench_waypoint, placement, small_problem};
 use manet_core::geom::BoundaryPolicy;
 use manet_core::graph::{critical_range, MergeProfile};
 use manet_core::mobility::Drunkard;
+use manet_core::occupancy::Occupancy;
 use manet_core::sim::search::find_range_for_connectivity_fraction;
 use manet_core::sim::{simulate_critical_ranges, SimConfig};
 use manet_core::ModelKind;
-use manet_core::occupancy::Occupancy;
 use std::hint::black_box;
 
 /// CTR-quantile method vs bisection search for `r90` (identical

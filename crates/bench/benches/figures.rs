@@ -44,12 +44,7 @@ fn fig5(c: &mut Criterion) {
 fn fig6(c: &mut Criterion) {
     c.bench_function("fig6_component_targets", |b| {
         let p = small_problem(bench_waypoint());
-        b.iter(|| {
-            black_box(
-                p.ranges_for_component_fractions(&[0.9, 0.75, 0.5])
-                    .unwrap(),
-            )
-        })
+        b.iter(|| black_box(p.ranges_for_component_fractions(&[0.9, 0.75, 0.5]).unwrap()))
     });
 }
 
@@ -84,16 +79,5 @@ fn stationary(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    figures,
-    fig2,
-    fig3,
-    fig4,
-    fig5,
-    fig6,
-    fig7,
-    fig8,
-    fig9,
-    stationary
-);
+criterion_group!(figures, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, stationary);
 criterion_main!(figures);

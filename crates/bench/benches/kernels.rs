@@ -2,9 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use manet_bench::placement;
-use manet_core::graph::{
-    components, critical_range, AdjacencyList, MergeProfile, UnionFind,
-};
+use manet_core::graph::{components, critical_range, AdjacencyList, MergeProfile, UnionFind};
 use manet_core::occupancy::Occupancy;
 use manet_core::one_dim;
 use manet_core::stats::FrozenSeries;
@@ -36,13 +34,16 @@ fn bench_graph_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_build");
     let pts = placement(128, 1000.0, 9);
     group.bench_function("brute_force_n=128", |b| {
-        b.iter(|| black_box(AdjacencyList::from_points_brute_force(black_box(&pts), 150.0)))
+        b.iter(|| {
+            black_box(AdjacencyList::from_points_brute_force(
+                black_box(&pts),
+                150.0,
+            ))
+        })
     });
     group.bench_function("grid_n=128", |b| {
         b.iter(|| {
-            black_box(
-                AdjacencyList::from_points_grid(black_box(&pts), 1000.0, 150.0).unwrap(),
-            )
+            black_box(AdjacencyList::from_points_grid(black_box(&pts), 1000.0, 150.0).unwrap())
         })
     });
     group.finish();

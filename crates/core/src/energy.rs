@@ -48,9 +48,7 @@ pub fn power_ratio(r_a: f64, r_b: f64, beta: f64) -> Result<f64, CoreError> {
 pub fn energy_saving(r_reduced: f64, r_full: f64, beta: f64) -> Result<f64, CoreError> {
     if r_reduced > r_full {
         return Err(CoreError::Invalid {
-            reason: format!(
-                "r_reduced ({r_reduced}) must not exceed r_full ({r_full})"
-            ),
+            reason: format!("r_reduced ({r_reduced}) must not exceed r_full ({r_full})"),
         });
     }
     Ok(1.0 - power_ratio(r_reduced, r_full, beta)?)

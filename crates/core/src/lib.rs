@@ -166,10 +166,7 @@ mod lib_tests {
         assert!(e.to_string().contains("occupancy"));
         let e: CoreError = manet_mobility::ModelError::NonFinite { name: "v" }.into();
         assert!(e.to_string().contains("mobility"));
-        let e: CoreError = manet_sim::SimError::InvalidConfig {
-            reason: "x".into(),
-        }
-        .into();
+        let e: CoreError = manet_sim::SimError::InvalidConfig { reason: "x".into() }.into();
         assert!(e.to_string().contains("simulation"));
         assert!(std::error::Error::source(&e).is_some());
     }

@@ -118,10 +118,7 @@ impl<const D: usize> MtrProblem<D> {
         seed: u64,
     ) -> Result<StationaryAnalysis, CoreError> {
         Ok(StationaryAnalysis::run::<D>(
-            self.nodes,
-            self.side,
-            placements,
-            seed,
+            self.nodes, self.side, placements, seed,
         )?)
     }
 
@@ -162,7 +159,8 @@ impl<const D: usize> MtrProblem<D> {
             });
         }
         let n = self.nodes as f64;
-        let mean_isolated = n * (-n * core::f64::consts::PI * r * r / (self.side * self.side)).exp();
+        let mean_isolated =
+            n * (-n * core::f64::consts::PI * r * r / (self.side * self.side)).exp();
         Ok((-mean_isolated).exp())
     }
 

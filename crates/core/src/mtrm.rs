@@ -436,9 +436,7 @@ mod tests {
     #[test]
     fn component_fractions_are_ordered() {
         let p = small_problem(ModelKind::drunkard(0.0, 0.2, 2.0).unwrap());
-        let rl = p
-            .ranges_for_component_fractions(&[0.5, 0.75, 0.9])
-            .unwrap();
+        let rl = p.ranges_for_component_fractions(&[0.5, 0.75, 0.9]).unwrap();
         assert!(rl[0].1 <= rl[1].1 + 1e-12);
         assert!(rl[1].1 <= rl[2].1 + 1e-12);
     }

@@ -35,10 +35,7 @@ pub fn critical_range_1d(positions: &[f64]) -> Result<f64, CoreError> {
     }
     let mut sorted = positions.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("positions checked finite"));
-    Ok(sorted
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .fold(0.0, f64::max))
+    Ok(sorted.windows(2).map(|w| w[1] - w[0]).fold(0.0, f64::max))
 }
 
 /// Whether the 1-D communication graph at range `r` is connected.
@@ -115,11 +112,7 @@ pub fn lemma1_gap_witness(positions: &[f64], l: f64, r: f64) -> bool {
 /// Returns [`CoreError::Invalid`] for invalid `n`, `r`, `l`, and
 /// propagates [`CoreError::Occupancy`] when the exact pmf is
 /// impractical (`n · l/r` too large).
-pub fn disconnection_probability_lower_bound(
-    n: usize,
-    r: f64,
-    l: f64,
-) -> Result<f64, CoreError> {
+pub fn disconnection_probability_lower_bound(n: usize, r: f64, l: f64) -> Result<f64, CoreError> {
     if n == 0 {
         return Err(CoreError::Invalid {
             reason: "n must be at least 1".into(),
@@ -407,7 +400,12 @@ mod tests {
     #[test]
     fn connectivity_probability_exact_matches_monte_carlo() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(67);
-        for (n, r, l) in [(3usize, 3.0, 10.0), (5, 2.0, 10.0), (10, 8.0, 50.0), (20, 9.0, 100.0)] {
+        for (n, r, l) in [
+            (3usize, 3.0, 10.0),
+            (5, 2.0, 10.0),
+            (10, 8.0, 50.0),
+            (20, 9.0, 100.0),
+        ] {
             let exact = connectivity_probability_exact(n, r, l).unwrap();
             let trials = 20_000;
             let mut connected = 0;

@@ -38,10 +38,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
             ModelKind::random_waypoint(0.1, step, 0, 0.0)?,
         ),
         ("drunkard".into(), ModelKind::drunkard(0.1, 0.3, step)?),
-        (
-            "drunkard busy".into(),
-            ModelKind::drunkard(0.0, 0.0, step)?,
-        ),
+        ("drunkard busy".into(), ModelKind::drunkard(0.0, 0.0, step)?),
         ("walk".into(), ModelKind::random_walk(step, 0.0)?),
         (
             "direction".into(),

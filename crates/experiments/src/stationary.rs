@@ -27,8 +27,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
         let ctr = analysis.ctr_distribution();
         let mean = ctr.mean();
         let sd = {
-            let m: manet_core::stats::RunningMoments =
-                ctr.as_sorted().iter().copied().collect();
+            let m: manet_core::stats::RunningMoments = ctr.as_sorted().iter().copied().collect();
             m.sample_std_dev()
         };
         let r90 = analysis.r_stationary(0.90)?;

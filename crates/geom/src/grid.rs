@@ -52,7 +52,9 @@ impl<const D: usize> CellGrid<D> {
     /// either is NaN/infinite.
     pub fn build(points: &[Point<D>], side: f64, cell_size: f64) -> Result<Self, GeomError> {
         if !side.is_finite() || !cell_size.is_finite() {
-            return Err(GeomError::NonFinite { name: "side/cell_size" });
+            return Err(GeomError::NonFinite {
+                name: "side/cell_size",
+            });
         }
         if side <= 0.0 {
             return Err(GeomError::NonPositive {
@@ -237,10 +239,7 @@ mod tests {
     use super::*;
     use rand::{RngExt, SeedableRng};
 
-    fn brute_force_pairs<const D: usize>(
-        pts: &[Point<D>],
-        r: f64,
-    ) -> Vec<(usize, usize)> {
+    fn brute_force_pairs<const D: usize>(pts: &[Point<D>], r: f64) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for i in 0..pts.len() {
             for j in (i + 1)..pts.len() {

@@ -183,8 +183,10 @@ mod tests {
         // mean is within ~1% of l/2 with overwhelming probability.
         let r: Region<1> = Region::new(10.0).unwrap();
         let mut g = rng();
-        let mean: f64 =
-            (0..20_000).map(|_| r.sample_uniform(&mut g)[0]).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000)
+            .map(|_| r.sample_uniform(&mut g)[0])
+            .sum::<f64>()
+            / 20_000.0;
         assert!((mean - 5.0).abs() < 0.15, "mean = {mean}");
     }
 

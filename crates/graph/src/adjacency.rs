@@ -94,7 +94,10 @@ impl AdjacencyList {
     /// graph) or when an endpoint is out of range.
     pub fn add_edge(&mut self, a: usize, b: usize) {
         assert_ne!(a, b, "self loops are not allowed");
-        assert!(a < self.len() && b < self.len(), "edge endpoint out of range");
+        assert!(
+            a < self.len() && b < self.len(),
+            "edge endpoint out of range"
+        );
         self.neighbors[a].push(b as u32);
         self.neighbors[b].push(a as u32);
         self.edge_count += 1;

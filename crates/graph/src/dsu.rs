@@ -34,7 +34,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "UnionFind supports up to 2^32 - 1 elements");
+        assert!(
+            n <= u32::MAX as usize,
+            "UnionFind supports up to 2^32 - 1 elements"
+        );
         UnionFind {
             parent: (0..n as u32).collect(),
             size: vec![1; n],

@@ -29,12 +29,7 @@ use crate::adjacency::AdjacencyList;
 /// Panics if `s == t`, if either index is out of range, or if `s` and
 /// `t` are adjacent (Menger's theorem for vertex cuts is stated for
 /// non-adjacent pairs; the direct edge admits no vertex cut).
-pub fn disjoint_paths(
-    graph: &AdjacencyList,
-    s: usize,
-    t: usize,
-    stop_at: Option<usize>,
-) -> usize {
+pub fn disjoint_paths(graph: &AdjacencyList, s: usize, t: usize, stop_at: Option<usize>) -> usize {
     assert!(s < graph.len() && t < graph.len(), "endpoint out of range");
     assert_ne!(s, t, "endpoints must differ");
     assert!(

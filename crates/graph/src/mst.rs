@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn collinear_points_mst_is_chain() {
-        let pts: Vec<Point<1>> = [0.0, 1.0, 2.0, 3.5].iter().map(|&x| Point::new([x])).collect();
+        let pts: Vec<Point<1>> = [0.0, 1.0, 2.0, 3.5]
+            .iter()
+            .map(|&x| Point::new([x]))
+            .collect();
         let mst = minimum_spanning_tree(&pts);
         let total: f64 = mst.iter().map(|e| e.length).sum();
         assert!((total - 3.5).abs() < 1e-12);
@@ -219,7 +222,10 @@ mod tests {
             let at = AdjacencyList::from_points_brute_force(&pts, ctr * (1.0 + 1e-12));
             let below = AdjacencyList::from_points_brute_force(&pts, ctr * (1.0 - 1e-9));
             assert!(is_connected(&at), "graph at CTR must be connected");
-            assert!(!is_connected(&below), "graph just below CTR must be disconnected");
+            assert!(
+                !is_connected(&below),
+                "graph just below CTR must be disconnected"
+            );
         }
     }
 

@@ -123,8 +123,8 @@ impl<const D: usize> Mobility<D> for Drunkard<D> {
             if self.p_pause > 0.0 && rng.random_bool(self.p_pause) {
                 continue;
             }
-            let proposal = sample_in_ball(pos, self.radius, rng)
-                .expect("radius validated at construction");
+            let proposal =
+                sample_in_ball(pos, self.radius, rng).expect("radius validated at construction");
             *pos = match self.boundary {
                 BoundaryPolicy::Resample => {
                     if region.contains(&proposal) {
@@ -198,10 +198,7 @@ mod tests {
             m.init(&pos, &r, &mut g);
             for _ in 0..300 {
                 m.step(&mut pos, &r, &mut g);
-                assert!(
-                    pos.iter().all(|p| r.contains(p)),
-                    "escape under {policy:?}"
-                );
+                assert!(pos.iter().all(|p| r.contains(p)), "escape under {policy:?}");
             }
         }
     }
@@ -260,12 +257,7 @@ mod tests {
         m.init(&pos, &r, &mut g);
         let before = pos.clone();
         m.step(&mut pos, &r, &mut g);
-        let moved = before
-            .iter()
-            .zip(&pos)
-            .filter(|(a, b)| a != b)
-            .count() as f64
-            / 3000.0;
+        let moved = before.iter().zip(&pos).filter(|(a, b)| a != b).count() as f64 / 3000.0;
         // Expect ~70% moved; binomial sd ≈ 0.008, allow 5σ.
         assert!((moved - 0.7).abs() < 0.05, "moved fraction {moved}");
     }

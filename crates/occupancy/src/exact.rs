@@ -190,8 +190,8 @@ impl Occupancy {
             if occupied == 0 || occupied > m_max {
                 continue;
             }
-            let ln_p = ln_binomial(c, k as u64) + row[occupied] + ln_factorial(occupied as u64)
-                - ln_cn;
+            let ln_p =
+                ln_binomial(c, k as u64) + row[occupied] + ln_factorial(occupied as u64) - ln_cn;
             *slot = ln_p.exp();
         }
         Ok(pmf)
@@ -271,10 +271,7 @@ mod tests {
         for (n, c) in [(0u64, 5u64), (1, 5), (10, 5), (100, 20), (7, 7)] {
             let occ = Occupancy::new(n, c).unwrap();
             let direct = c as f64 * (1.0 - 1.0 / c as f64).powi(n as i32);
-            assert!(
-                (occ.expected_empty() - direct).abs() < 1e-9,
-                "n={n}, C={c}"
-            );
+            assert!((occ.expected_empty() - direct).abs() < 1e-9, "n={n}, C={c}");
         }
     }
 

@@ -148,10 +148,10 @@ mod tests {
                 assert_eq!(shift, c - n);
                 assert!(law.lambda() > 0.0);
                 // Mean of µ ≈ C - n + ρ.
-                assert!((LimitLaw::ShiftedPoisson { shift, law }.mean()
-                    - occ.expected_empty())
-                .abs()
-                    < 2.0);
+                assert!(
+                    (LimitLaw::ShiftedPoisson { shift, law }.mean() - occ.expected_empty()).abs()
+                        < 2.0
+                );
             }
             other => panic!("expected ShiftedPoisson, got {other:?}"),
         }

@@ -197,8 +197,7 @@ mod tests {
     fn singleton_target_is_free() {
         let cfg = config(10, 100.0, 2, 5);
         // fraction small enough that target = 1 node.
-        let res =
-            simulate_component_ranges(&cfg, &StationaryModel::new(), 0.05).unwrap();
+        let res = simulate_component_ranges(&cfg, &StationaryModel::new(), 0.05).unwrap();
         assert_eq!(res.target(), 1);
         for s in res.per_iteration() {
             assert!(s.max() <= 0.0 + 1e-12, "a single node needs no range");

@@ -156,8 +156,7 @@ mod tests {
     fn observer_sees_every_step() {
         let cfg = config(3, 17, Some(1));
         let model = StationaryModel::new();
-        let outs =
-            run_simulation(&cfg, &model, |_| TraceObserver { trace: Vec::new() }).unwrap();
+        let outs = run_simulation(&cfg, &model, |_| TraceObserver { trace: Vec::new() }).unwrap();
         assert_eq!(outs.len(), 3);
         for trace in outs {
             assert_eq!(trace.len(), 17);
@@ -168,8 +167,7 @@ mod tests {
     fn stationary_model_yields_constant_trajectories() {
         let cfg = config(2, 10, None);
         let model = StationaryModel::new();
-        let outs =
-            run_simulation(&cfg, &model, |_| TraceObserver { trace: Vec::new() }).unwrap();
+        let outs = run_simulation(&cfg, &model, |_| TraceObserver { trace: Vec::new() }).unwrap();
         for trace in outs {
             assert!(trace.windows(2).all(|w| w[0] == w[1]));
         }

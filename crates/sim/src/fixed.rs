@@ -252,8 +252,7 @@ mod tests {
     #[test]
     fn tiny_range_never_connected() {
         let cfg = config(10, 1000.0, 2, 5);
-        let report =
-            simulate_fixed_range(&cfg, &StationaryModel::new(), 1e-6).unwrap();
+        let report = simulate_fixed_range(&cfg, &StationaryModel::new(), 1e-6).unwrap();
         assert_eq!(report.connectivity_fraction(), 0.0);
         // Nodes essentially isolated: largest component is 1.
         assert_eq!(report.min_largest(), 1);

@@ -67,15 +67,16 @@ pub mod stationary;
 pub mod uptime;
 
 pub use component::{simulate_component_ranges, ComponentRangeResults};
-pub use quantity::{measure_mobility_quantity, MobilityQuantity};
-pub use uptime::{simulate_uptime, UptimeReport, UptimeSummary};
 pub use config::SimConfig;
-pub use critical::{CriticalRangeResults, MobileRangeSummary, RangeQuantiles};
+pub use critical::{
+    simulate_critical_ranges, CriticalRangeResults, MobileRangeSummary, RangeQuantiles,
+};
 pub use engine::{run_simulation, StepObserver};
 pub use fixed::{simulate_fixed_range, FixedRangeReport, IterationStats};
-pub use critical::simulate_critical_ranges;
 pub use profile::{simulate_profiles, ProfileResults, RangeSizeProfile};
+pub use quantity::{measure_mobility_quantity, MobilityQuantity};
 pub use stationary::StationaryAnalysis;
+pub use uptime::{simulate_uptime, UptimeReport, UptimeSummary};
 
 use manet_geom::GeomError;
 use manet_stats::StatsError;

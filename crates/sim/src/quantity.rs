@@ -114,7 +114,11 @@ pub fn mean_quantity(per_iteration: &[MobilityQuantity]) -> Option<MobilityQuant
     }
     let n = per_iteration.len() as f64;
     Some(MobilityQuantity {
-        mean_displacement: per_iteration.iter().map(|q| q.mean_displacement).sum::<f64>() / n,
+        mean_displacement: per_iteration
+            .iter()
+            .map(|q| q.mean_displacement)
+            .sum::<f64>()
+            / n,
         moving_fraction: per_iteration.iter().map(|q| q.moving_fraction).sum::<f64>() / n,
         never_moved_fraction: per_iteration
             .iter()
@@ -196,8 +200,7 @@ mod tests {
         let cfg = config(80);
         let eager = RandomWaypoint::new(0.5, 2.0, 0, 0.0).unwrap();
         let lazy = RandomWaypoint::new(0.5, 2.0, 40, 0.0).unwrap();
-        let q_eager =
-            mean_quantity(&measure_mobility_quantity(&cfg, &eager).unwrap()).unwrap();
+        let q_eager = mean_quantity(&measure_mobility_quantity(&cfg, &eager).unwrap()).unwrap();
         let q_lazy = mean_quantity(&measure_mobility_quantity(&cfg, &lazy).unwrap()).unwrap();
         assert!(q_lazy.moving_fraction < q_eager.moving_fraction);
         assert!(q_lazy.mean_displacement < q_eager.mean_displacement);

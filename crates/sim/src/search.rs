@@ -20,12 +20,7 @@ use manet_mobility::Mobility;
 /// # Panics
 ///
 /// Panics if `lo > hi`, `tol <= 0`, or any bound is not finite.
-pub fn bisect_monotone<F: FnMut(f64) -> bool>(
-    lo: f64,
-    hi: f64,
-    tol: f64,
-    mut predicate: F,
-) -> f64 {
+pub fn bisect_monotone<F: FnMut(f64) -> bool>(lo: f64, hi: f64, tol: f64, mut predicate: F) -> f64 {
     assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
     assert!(lo <= hi, "lo {lo} must not exceed hi {hi}");
     assert!(tol > 0.0, "tolerance must be positive");
@@ -143,8 +138,7 @@ mod tests {
         let cfg = b.build().unwrap();
         let model = RandomWaypoint::new(0.5, 2.0, 1, 0.0).unwrap();
         for fraction in [0.1, 0.5, 0.9, 1.0] {
-            let (fast, slow) =
-                range_for_fraction_both_paths(&cfg, &model, fraction, 1e-6).unwrap();
+            let (fast, slow) = range_for_fraction_both_paths(&cfg, &model, fraction, 1e-6).unwrap();
             // The slow path bisects to within tol of the exact
             // threshold, which IS the fast path's order statistic.
             assert!(

@@ -147,6 +147,9 @@ mod tests {
     fn deterministic_in_seed() {
         let a = StationaryAnalysis::run::<2>(10, 100.0, 30, 21).unwrap();
         let b = StationaryAnalysis::run::<2>(10, 100.0, 30, 21).unwrap();
-        assert_eq!(a.ctr_distribution().as_sorted(), b.ctr_distribution().as_sorted());
+        assert_eq!(
+            a.ctr_distribution().as_sorted(),
+            b.ctr_distribution().as_sorted()
+        );
     }
 }

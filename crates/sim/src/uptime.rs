@@ -253,9 +253,11 @@ mod tests {
         let summary = simulate_uptime(&config(), &StationaryModel::new(), 60.0).unwrap();
         assert_eq!(summary.failures_per_iteration, 0.0);
         // Each iteration is entirely up or entirely down.
-        assert!(summary.availability == 0.0
-            || summary.availability == 1.0
-            || (summary.availability * 4.0).fract().abs() < 1e-12);
+        assert!(
+            summary.availability == 0.0
+                || summary.availability == 1.0
+                || (summary.availability * 4.0).fract().abs() < 1e-12
+        );
     }
 
     #[test]
@@ -294,9 +296,7 @@ mod tests {
         assert_eq!(raw.len(), 4);
         // At least one iteration should NOT be sorted (motion makes the
         // series wander); a sorted result would mean we lost time order.
-        let any_unsorted = raw
-            .iter()
-            .any(|s| s.windows(2).any(|w| w[0] > w[1]));
+        let any_unsorted = raw.iter().any(|s| s.windows(2).any(|w| w[0] > w[1]));
         assert!(any_unsorted, "raw series suspiciously sorted");
         for s in &raw {
             assert_eq!(s.len(), 60);

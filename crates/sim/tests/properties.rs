@@ -4,8 +4,8 @@
 
 use manet_mobility::{Drunkard, RandomWaypoint, StationaryModel};
 use manet_sim::{
-    simulate_component_ranges, simulate_critical_ranges, simulate_fixed_range,
-    simulate_profiles, SimConfig,
+    simulate_component_ranges, simulate_critical_ranges, simulate_fixed_range, simulate_profiles,
+    SimConfig,
 };
 use proptest::prelude::*;
 

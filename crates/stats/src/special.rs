@@ -234,10 +234,7 @@ pub fn log_add_exp(a: f64, b: f64) -> f64 {
 /// Panics if `a < b` (the difference would be negative, so its log is
 /// undefined).
 pub fn log_sub_exp(a: f64, b: f64) -> f64 {
-    assert!(
-        a >= b,
-        "log_sub_exp requires a >= b, got a = {a}, b = {b}"
-    );
+    assert!(a >= b, "log_sub_exp requires a >= b, got a = {a}, b = {b}");
     if b == f64::NEG_INFINITY {
         return a;
     }
@@ -307,7 +304,13 @@ mod tests {
 
     #[test]
     fn gamma_p_plus_q_is_one() {
-        for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (3.7, 2.0), (10.0, 25.0), (25.0, 10.0)] {
+        for &(a, x) in &[
+            (0.5, 0.3),
+            (1.0, 1.0),
+            (3.7, 2.0),
+            (10.0, 25.0),
+            (25.0, 10.0),
+        ] {
             let s = gamma_p(a, x) + gamma_q(a, x);
             assert!((s - 1.0).abs() < 1e-12, "P+Q != 1 at a={a}, x={x}: {s}");
         }

@@ -1,7 +1,9 @@
 //! Property-based tests for the statistics substrate.
 
 use manet_stats::special::{erf, gamma_p, gamma_q, ln_gamma};
-use manet_stats::{quantile, FrozenSeries, Histogram, Normal, Poisson, RunningMoments, SeedSequence};
+use manet_stats::{
+    quantile, FrozenSeries, Histogram, Normal, Poisson, RunningMoments, SeedSequence,
+};
 use proptest::prelude::*;
 
 fn sample() -> impl Strategy<Value = Vec<f64>> {

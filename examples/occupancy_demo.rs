@@ -8,9 +8,7 @@
 //!
 //! Run with `cargo run --release --example occupancy_demo`.
 
-use manet::occupancy::{
-    asymptotic, montecarlo, patterns, LimitLaw, Occupancy, OccupancyDomain,
-};
+use manet::occupancy::{asymptotic, montecarlo, patterns, LimitLaw, Occupancy, OccupancyDomain};
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 400 balls into 100 cells (α = 4).
     let occ = Occupancy::new(400, 100)?;
-    println!("µ(n, C): {} balls into {} cells (α = {})", 400, 100, occ.alpha());
+    println!(
+        "µ(n, C): {} balls into {} cells (α = {})",
+        400,
+        100,
+        occ.alpha()
+    );
     println!("  domain: {}", OccupancyDomain::classify(400, 100));
     println!(
         "  E[µ]: exact {:.4} | asymptotic {:.4} | bound C·e^-α = {:.4}",
@@ -47,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let law = LimitLaw::for_occupancy(&occ, None)?;
     println!("  Theorem 2 limit law: {}", law.describe());
     let pmf = occ.distribution();
-    let k_mode = (0..pmf.len()).max_by(|&a, &b| pmf[a].total_cmp(&pmf[b])).unwrap();
+    let k_mode = (0..pmf.len())
+        .max_by(|&a, &b| pmf[a].total_cmp(&pmf[b]))
+        .unwrap();
     println!(
         "  mode of exact pmf: k = {k_mode} with P = {:.4} (limit law mean {:.2})",
         pmf[k_mode],

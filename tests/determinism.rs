@@ -72,3 +72,35 @@ fn fixed_range_reports_deterministic() {
     let b = build(11, 4).fixed_range_report(50.0).unwrap();
     assert_eq!(a, b);
 }
+
+/// Workspace smoke test: the entire stack — geometry, mobility, graph,
+/// simulation, statistics, and (when enabled) serde — reproduces
+/// byte-identical artifacts from identical seeds in a single pass.
+#[test]
+fn workspace_smoke_identical_seeds_identical_artifacts() {
+    let run = |seed: u64| {
+        let solution = build(seed, 2).solve().unwrap();
+        let report = build(seed, 2).fixed_range_report(45.0).unwrap();
+        (solution, report)
+    };
+    let (sol_a, rep_a) = run(20020623);
+    let (sol_b, rep_b) = run(20020623);
+
+    assert_eq!(sol_a.ranges.r100.mean(), sol_b.ranges.r100.mean());
+    assert_eq!(sol_a.ranges.r90.mean(), sol_b.ranges.r90.mean());
+    assert_eq!(sol_a.ranges.r10.mean(), sol_b.ranges.r10.mean());
+    assert_eq!(sol_a.ranges.r0.mean(), sol_b.ranges.r0.mean());
+    assert_eq!(rep_a, rep_b);
+
+    #[cfg(feature = "serde")]
+    {
+        let json_a = serde_json::to_string(&rep_a).unwrap();
+        let json_b = serde_json::to_string(&rep_b).unwrap();
+        assert_eq!(json_a, json_b);
+        assert!(!json_a.is_empty());
+    }
+
+    // And a different seed really does change the artifact.
+    let (sol_c, _) = run(20020624);
+    assert_ne!(sol_a.ranges.r100.mean(), sol_c.ranges.r100.mean());
+}

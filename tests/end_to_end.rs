@@ -105,7 +105,11 @@ fn theorem5_threshold_brackets_simulation() {
     let mut high = 0;
     let mut low = 0;
     for _ in 0..trials {
-        let xs: Vec<f64> = region.place_uniform(n, &mut rng).iter().map(|p| p[0]).collect();
+        let xs: Vec<f64> = region
+            .place_uniform(n, &mut rng)
+            .iter()
+            .map(|p| p[0])
+            .collect();
         if one_dim::is_connected_1d(&xs, 2.0 * r_star).unwrap() {
             high += 1;
         }
@@ -113,8 +117,14 @@ fn theorem5_threshold_brackets_simulation() {
             low += 1;
         }
     }
-    assert!(high as f64 / (trials as f64) > 0.9, "connected {high}/{trials} at 2r*");
-    assert!(low as f64 / (trials as f64) < 0.1, "connected {low}/{trials} at 0.3r*");
+    assert!(
+        high as f64 / (trials as f64) > 0.9,
+        "connected {high}/{trials} at 2r*"
+    );
+    assert!(
+        low as f64 / (trials as f64) < 0.1,
+        "connected {low}/{trials} at 0.3r*"
+    );
 }
 
 #[test]
@@ -132,7 +142,11 @@ fn occupancy_gap_bound_vs_simulated_disconnection() {
     let trials = 2000;
     let mut disconnected = 0;
     for _ in 0..trials {
-        let xs: Vec<f64> = region.place_uniform(n, &mut rng).iter().map(|p| p[0]).collect();
+        let xs: Vec<f64> = region
+            .place_uniform(n, &mut rng)
+            .iter()
+            .map(|p| p[0])
+            .collect();
         if !one_dim::is_connected_1d(&xs, r).unwrap() {
             disconnected += 1;
         }

@@ -43,7 +43,7 @@ fn r90_is_substantially_below_r100() {
 /// §4.2: "from a strictly statistical view of connectedness [...]
 /// there are no major differences between the two mobility models."
 #[test]
-fn waypoint_and_drunkard_are_similar()  {
+fn waypoint_and_drunkard_are_similar() {
     let wp = solve(
         ModelKind::random_waypoint(0.1, 10.24, 400, 0.0).unwrap(),
         1500,
@@ -147,7 +147,11 @@ fn component_targets_cost_less_than_full_connectivity() {
         .unwrap();
     let r100 = problem.solve().unwrap().ranges.r100.mean();
     assert!(rl[0].1 < rl[1].1 && rl[1].1 < rl[2].1);
-    assert!(rl[2].1 < r100, "rl90 {} should undercut r100 {r100}", rl[2].1);
+    assert!(
+        rl[2].1 < r100,
+        "rl90 {} should undercut r100 {r100}",
+        rl[2].1
+    );
     // The paper's punchline: halving the connectivity goal at least
     // halves the *power* (rl50 well below rl90).
     assert!(rl[0].1 / rl[2].1 < 0.95);

@@ -1,0 +1,132 @@
+//! Vendored, dependency-free stand-in for the parts of `criterion`
+//! this workspace uses: `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups, and `Bencher::iter`.
+//!
+//! Measurement is intentionally simple — warm up, then time batches
+//! until a fixed budget elapses and report the mean ns/iteration —
+//! because the workspace's perf tracking only needs stable relative
+//! numbers from `cargo bench`, and `cargo bench --no-run` only needs
+//! the targets to compile.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// The benchmark driver handed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks (prefixes their names).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly; the driver reports the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up (and handle routines slower than the whole budget).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+        }
+        let batch = self.iters.max(1);
+        self.iters = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total += t0.elapsed();
+            self.iters += batch;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{id:<48} (no iterations)");
+        return;
+    }
+    let ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    println!("{id:<48} {ns:>14.1} ns/iter ({} iters)", bencher.iters);
+}
+
+/// Declares a group-runner function from benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+/// Declares `main` from one or more group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

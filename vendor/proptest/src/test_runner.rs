@@ -1,0 +1,124 @@
+//! The case-running loop behind `proptest!`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!`; try another case.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runs up to `config.cases` accepted cases of `case`, panicking on the
+/// first failure. Case seeds derive from the test name, so runs are
+/// deterministic and failures reproduce.
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = config.cases as u64 * 16 + 64;
+    while accepted < config.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "proptest `{name}`: gave up after {attempts} attempts \
+                 ({accepted}/{} cases accepted; overly strict prop_assume?)",
+                config.cases
+            );
+        }
+        let seed = base ^ (attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {accepted} (seed {seed:#x}):\n{msg}");
+            }
+        }
+        attempts += 1;
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_requested_cases() {
+        let mut n = 0;
+        run_cases("counter", &ProptestConfig::with_cases(10), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics() {
+        run_cases("boomtest", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejects_retry() {
+        let mut total = 0u32;
+        let mut accepted = 0u32;
+        run_cases("rejecting", &ProptestConfig::with_cases(8), |_| {
+            total += 1;
+            if total.is_multiple_of(2) {
+                accepted += 1;
+                Ok(())
+            } else {
+                Err(TestCaseError::Reject)
+            }
+        });
+        assert_eq!(accepted, 8);
+        assert_eq!(total, 16);
+    }
+}

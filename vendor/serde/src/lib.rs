@@ -1,0 +1,17 @@
+//! Vendored, dependency-free stand-in for the parts of `serde` this
+//! workspace uses: the `Serialize`/`Deserialize` traits, the
+//! serializer/deserializer plumbing the derives and the manual
+//! `Point` impls rely on, and re-exported derive macros.
+//!
+//! The build environment has no access to crates.io; this crate keeps
+//! the *API names* of real serde so the workspace sources stay
+//! idiomatic and can switch back to upstream serde unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

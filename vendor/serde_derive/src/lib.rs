@@ -1,0 +1,647 @@
+//! Vendored `serde_derive`: `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the type shapes this workspace actually uses — named-field structs
+//! (optionally with const generics) and enums with unit, tuple, and
+//! struct variants.
+//!
+//! Written against `proc_macro` only (no `syn`/`quote`: the build
+//! environment is offline), so parsing is a small hand-rolled walk over
+//! the token trees and code generation is string-based.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny AST.
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Verbatim generic parameter list (without the angle brackets), e.g.
+    /// `const D : usize`. Empty when the type is not generic.
+    generic_decls: String,
+    /// The matching argument list, e.g. `D`.
+    generic_args: String,
+    /// Names of type (not const/lifetime) parameters, for PhantomData.
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    if let Some(TokenTree::Group(_)) = self.peek() {
+                        self.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.next();
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+
+    let mut generic_decls = String::new();
+    let mut generic_args = String::new();
+    let mut type_params = Vec::new();
+    if c.eat_punct('<') {
+        let mut depth = 1usize;
+        let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+        loop {
+            let t = c.next().expect("serde_derive: unterminated generics");
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        params.push(Vec::new());
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            params.last_mut().unwrap().push(t);
+        }
+        let mut decls = Vec::new();
+        let mut args = Vec::new();
+        for param in params.iter().filter(|p| !p.is_empty()) {
+            decls.push(tokens_to_string(param));
+            // The "argument" is the parameter's own name: the ident after
+            // `const`, a bare ident, or a lifetime.
+            let mut iter = param.iter();
+            let first = iter.next().unwrap();
+            match first {
+                TokenTree::Ident(id) if id.to_string() == "const" => {
+                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                        args.push(n.to_string());
+                    }
+                }
+                TokenTree::Ident(id) => {
+                    args.push(id.to_string());
+                    type_params.push(id.to_string());
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                        args.push(format!("'{n}"));
+                    }
+                }
+                other => panic!("serde_derive: unsupported generic parameter {other:?}"),
+            }
+        }
+        generic_decls = decls.join(", ");
+        generic_args = args.join(", ");
+    }
+
+    // Skip a `where` clause, if any, up to the body.
+    while let Some(t) = c.peek() {
+        if let TokenTree::Group(g) = t {
+            if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis {
+                break;
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ';' {
+                break;
+            }
+        }
+        c.next();
+    }
+
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            panic!("serde_derive: only braced {keyword} bodies are supported, found {other:?}")
+        }
+    };
+
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generic_decls,
+        generic_args,
+        type_params,
+        kind,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident();
+        assert!(
+            c.eat_punct(':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        let ty = collect_type(&mut c);
+        fields.push(Field { name, ty });
+    }
+    fields
+}
+
+/// Collects type tokens until a top-level `,` (or the end), tracking
+/// angle-bracket depth so `Foo<A, B>` stays intact.
+fn collect_type(c: &mut Cursor) -> String {
+    let mut depth = 0usize;
+    let mut out: Vec<TokenTree> = Vec::new();
+    while let Some(t) = c.peek() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    c.next();
+                    break;
+                }
+                _ => {}
+            }
+        }
+        out.push(c.next().unwrap());
+    }
+    tokens_to_string(&out)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                c.next();
+                Shape::Tuple(parse_tuple_types(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.next();
+                Shape::Struct(parse_named_fields(inner))
+            }
+            _ => Shape::Unit,
+        };
+        c.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_tuple_types(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut types = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        types.push(collect_type(&mut c));
+    }
+    types
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.to_string());
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+impl Item {
+    fn impl_header(&self, trait_path: &str, extra_lifetime: bool) -> String {
+        let mut decls = String::new();
+        if extra_lifetime {
+            decls.push_str("'de");
+        }
+        if !self.generic_decls.is_empty() {
+            if !decls.is_empty() {
+                decls.push_str(", ");
+            }
+            decls.push_str(&self.generic_decls);
+        }
+        let generics = if decls.is_empty() {
+            String::new()
+        } else {
+            format!("<{decls}>")
+        };
+        format!(
+            "impl{generics} {trait_path} for {}{}",
+            self.name,
+            self.ty_args()
+        )
+    }
+
+    fn ty_args(&self) -> String {
+        if self.generic_args.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generic_args)
+        }
+    }
+
+    /// `__Visitor` declaration plus the expression that constructs it.
+    fn visitor_decl(&self) -> (String, String) {
+        if self.generic_decls.is_empty() {
+            ("struct __Visitor;".to_owned(), "__Visitor".to_owned())
+        } else if self.type_params.is_empty() {
+            (
+                format!("struct __Visitor<{}>;", self.generic_decls),
+                "__Visitor".to_owned(),
+            )
+        } else {
+            let phantom = format!(
+                "::core::marker::PhantomData<({},)>",
+                self.type_params.join(", ")
+            );
+            (
+                format!("struct __Visitor<{}>({phantom});", self.generic_decls),
+                "__Visitor(::core::marker::PhantomData)".to_owned(),
+            )
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let header = item.impl_header("::serde::Serialize", false);
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut out = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{0}\", &self.{0})?;\n",
+                    f.name
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__st)\n");
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Shape::Tuple(tys) if tys.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Shape::Tuple(tys) => {
+                        let binders: Vec<String> =
+                            (0..tys.len()).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{ let mut __tv = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            binders.join(", "),
+                            tys.len()
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__tv) }\n");
+                        arms.push_str(&arm);
+                    }
+                    Shape::Struct(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{ let mut __sv = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            binders.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{0}\", {0})?;\n",
+                                f.name
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__sv) }\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let header = item.impl_header("::serde::Deserialize<'de>", true);
+    let (visitor_decl, visitor_expr) = item.visitor_decl();
+    let visitor_impl_generics = if item.generic_decls.is_empty() {
+        "<'de>".to_owned()
+    } else {
+        format!("<'de, {}>", item.generic_decls)
+    };
+    let ty_args = item.ty_args();
+
+    let (visitor_methods, helpers, driver) = match &item.kind {
+        Kind::Struct(fields) => {
+            // Bare name (no generic args): `Name { .. }` struct literals
+            // infer their generics from the visitor's Value type.
+            let method = gen_struct_visit_map(name, fields);
+            let field_names: Vec<String> =
+                fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+            let driver = format!(
+                "::serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{}], {visitor_expr})",
+                field_names.join(", ")
+            );
+            (method, String::new(), driver)
+        }
+        Kind::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let all = variant_names.join(", ");
+
+            let mut str_arms = String::new();
+            for v in variants {
+                if matches!(v.shape, Shape::Unit) {
+                    str_arms.push_str(&format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    ));
+                }
+            }
+            let visit_str = format!(
+                "fn visit_str<__E: ::serde::de::Error>(self, __v: &str) -> ::core::result::Result<Self::Value, __E> {{\n\
+                 match __v {{\n{str_arms}\
+                 _ => ::core::result::Result::Err(::serde::de::Error::unknown_variant(__v, &[{all}])),\n}}\n}}\n"
+            );
+
+            let mut helpers = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => map_arms.push_str(&format!(
+                        "\"{vname}\" => {{ let _ = ::serde::de::MapAccess::next_value::<::serde::de::IgnoredAny>(&mut __map)?; {name}::{vname} }}\n"
+                    )),
+                    Shape::Tuple(tys) if tys.len() == 1 => map_arms.push_str(&format!(
+                        "\"{vname}\" => {name}::{vname}(::serde::de::MapAccess::next_value(&mut __map)?),\n"
+                    )),
+                    Shape::Tuple(tys) => {
+                        let tuple_ty = format!("({},)", tys.join(", "));
+                        let fields: Vec<String> =
+                            (0..tys.len()).map(|i| format!("__h.{i}")).collect();
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __h: {tuple_ty} = ::serde::de::MapAccess::next_value(&mut __map)?; {name}::{vname}({}) }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let helper_name = format!("__{name}{vname}Fields");
+                        let decls: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: {}", f.name, f.ty))
+                            .collect();
+                        helpers.push_str(&format!(
+                            "#[allow(non_camel_case_types)]\nstruct {helper_name} {{ {} }}\n",
+                            decls.join(", ")
+                        ));
+                        helpers.push_str(&gen_helper_deserialize(&helper_name, fields));
+                        let moves: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{0}: __h.{0}", f.name))
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __h: {helper_name} = ::serde::de::MapAccess::next_value(&mut __map)?; {name}::{vname} {{ {} }} }}\n",
+                            moves.join(", ")
+                        ));
+                    }
+                }
+            }
+            let visit_map = format!(
+                "fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 let __key: ::std::string::String = match ::serde::de::MapAccess::next_key(&mut __map)? {{\n\
+                 ::core::option::Option::Some(__k) => __k,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(::serde::de::Error::custom(\"expected an externally tagged variant map\")),\n}};\n\
+                 let __value = match __key.as_str() {{\n{map_arms}\
+                 __other => return ::core::result::Result::Err(::serde::de::Error::unknown_variant(__other, &[{all}])),\n}};\n\
+                 ::core::result::Result::Ok(__value)\n}}\n"
+            );
+            let driver = format!(
+                "::serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{all}], {visitor_expr})"
+            );
+            (format!("{visit_str}{visit_map}"), helpers, driver)
+        }
+    };
+
+    format!(
+        "const _: () = {{\n\
+         {helpers}\
+         {header} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         #[allow(non_camel_case_types)]\n{visitor_decl}\n\
+         impl{visitor_impl_generics} ::serde::de::Visitor<'de> for __Visitor{ty_args} {{\n\
+         type Value = {name}{ty_args};\n\
+         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         __f.write_str(\"{name}\")\n}}\n\
+         {visitor_methods}\
+         }}\n\
+         {driver}\n}}\n}}\n}};\n"
+    )
+}
+
+/// `visit_map` for a named-field struct: collect fields into Options,
+/// ignore unknown keys, then require every declared field.
+fn gen_struct_visit_map(self_ty: &str, fields: &[Field]) -> String {
+    let mut out = String::from(
+        "fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) -> ::core::result::Result<Self::Value, __A::Error> {\n",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "let mut __f_{}: ::core::option::Option<{}> = ::core::option::Option::None;\n",
+            f.name, f.ty
+        ));
+    }
+    out.push_str(
+        "while let ::core::option::Option::Some(__key) = ::serde::de::MapAccess::next_key::<::std::string::String>(&mut __map)? {\nmatch __key.as_str() {\n",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "\"{0}\" => {{ __f_{0} = ::core::option::Option::Some(::serde::de::MapAccess::next_value(&mut __map)?); }}\n",
+            f.name
+        ));
+    }
+    out.push_str(
+        "_ => { let _ = ::serde::de::MapAccess::next_value::<::serde::de::IgnoredAny>(&mut __map)?; }\n}\n}\n",
+    );
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{0}: __f_{0}.ok_or_else(|| <__A::Error as ::serde::de::Error>::missing_field(\"{0}\"))?",
+                f.name
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "::core::result::Result::Ok({self_ty} {{ {} }})\n}}\n",
+        inits.join(", ")
+    ));
+    out
+}
+
+/// A full `Deserialize` impl for a (non-generic) helper struct that
+/// mirrors a struct variant's fields.
+fn gen_helper_deserialize(helper_name: &str, fields: &[Field]) -> String {
+    let visit_map = gen_struct_visit_map(helper_name, fields);
+    let field_names: Vec<String> = fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {helper_name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         #[allow(non_camel_case_types)]\nstruct __HelperVisitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for __HelperVisitor {{\n\
+         type Value = {helper_name};\n\
+         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         __f.write_str(\"{helper_name}\")\n}}\n\
+         {visit_map}\
+         }}\n\
+         ::serde::Deserializer::deserialize_struct(__deserializer, \"{helper_name}\", &[{}], __HelperVisitor)\n\
+         }}\n}}\n",
+        field_names.join(", ")
+    )
+}

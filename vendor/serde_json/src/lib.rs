@@ -1,0 +1,505 @@
+//! Vendored, dependency-free stand-in for the parts of `serde_json`
+//! this workspace uses: [`to_string`] and [`from_str`] over the
+//! vendored serde data model.
+//!
+//! Serialization streams straight into a `String`; deserialization
+//! parses into an owned [`Value`] tree and walks it. Float output uses
+//! Rust's shortest-roundtrip `{:?}` formatting, which matches
+//! serde_json's ryu output on the values this workspace exercises
+//! (`1.5`, `1e-9`, `100.0`, ...).
+
+#![forbid(unsafe_code)]
+
+use core::fmt::{self, Display};
+
+use serde::de::{self, Visitor};
+use serde::ser::{self, Serialize};
+
+mod parse;
+mod value;
+
+pub use value::{Number, Value};
+
+/// Error type shared by serialization and deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Fails on non-finite floats, like upstream serde_json.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(Writer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Deserializes a `T` from a JSON string.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch.
+pub fn from_str<'de, T: de::Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::deserialize(value)
+}
+
+// ---------------------------------------------------------------------------
+// Serializer: stream directly into a String.
+// ---------------------------------------------------------------------------
+
+struct Writer<'a> {
+    out: &'a mut String,
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) -> Result<(), Error> {
+    if !v.is_finite() {
+        return Err(Error::new("JSON cannot represent a non-finite float"));
+    }
+    // `{:?}` is Rust's shortest-roundtrip form: "1.5", "1e-9", "100.0".
+    out.push_str(&format!("{v:?}"));
+    Ok(())
+}
+
+/// Comma-separated aggregate writer shared by seq/tuple/map/struct.
+struct Aggregate<'a> {
+    out: &'a mut String,
+    first: bool,
+    /// Extra closing text after the aggregate's own bracket (used by
+    /// `{"Variant":...}` wrappers).
+    suffix: &'static str,
+}
+
+impl<'a> Aggregate<'a> {
+    fn new(out: &'a mut String, open: char, suffix: &'static str) -> Self {
+        out.push(open);
+        Aggregate {
+            out,
+            first: true,
+            suffix,
+        }
+    }
+
+    fn element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(Writer { out: self.out })
+    }
+
+    fn entry<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_escaped(self.out, key);
+        self.out.push(':');
+        value.serialize(Writer { out: self.out })
+    }
+
+    fn finish(self, close: char) -> Result<(), Error> {
+        self.out.push(close);
+        self.out.push_str(self.suffix);
+        Ok(())
+    }
+}
+
+impl<'a> ser::Serializer for Writer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Aggregate<'a>;
+    type SerializeTuple = Aggregate<'a>;
+    type SerializeTupleVariant = Aggregate<'a>;
+    type SerializeMap = Aggregate<'a>;
+    type SerializeStruct = Aggregate<'a>;
+    type SerializeStructVariant = Aggregate<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        write_f64(self.out, v)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        write_escaped(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        value.serialize(Writer { out: self.out })?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Aggregate<'a>, Error> {
+        Ok(Aggregate::new(self.out, '[', ""))
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Aggregate<'a>, Error> {
+        Ok(Aggregate::new(self.out, '[', ""))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Aggregate<'a>, Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        Ok(Aggregate::new(self.out, '[', "}"))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Aggregate<'a>, Error> {
+        Ok(Aggregate::new(self.out, '{', ""))
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Aggregate<'a>, Error> {
+        Ok(Aggregate::new(self.out, '{', ""))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Aggregate<'a>, Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        Ok(Aggregate::new(self.out, '{', "}"))
+    }
+}
+
+impl ser::SerializeSeq for Aggregate<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeTuple for Aggregate<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeTupleVariant for Aggregate<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeMap for Aggregate<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
+        // JSON keys must be strings: serialize through a probe writer and
+        // require the output to be a JSON string.
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        let start = self.out.len();
+        key.serialize(Writer { out: self.out })?;
+        if !self.out[start..].starts_with('"') {
+            return Err(Error::new("map key must serialize to a string"));
+        }
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.out.push(':');
+        value.serialize(Writer { out: self.out })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish('}')
+    }
+}
+
+impl ser::SerializeStruct for Aggregate<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entry(key, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish('}')
+    }
+}
+
+impl ser::SerializeStructVariant for Aggregate<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entry(key, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish('}')
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer: walk an owned Value tree.
+// ---------------------------------------------------------------------------
+
+impl<'de> de::Deserializer<'de> for Value {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::Number(Number::PosInt(v)) => visitor.visit_u64(v),
+            Value::Number(Number::NegInt(v)) => visitor.visit_i64(v),
+            Value::Number(Number::Float(v)) => visitor.visit_f64(v),
+            Value::String(s) => visitor.visit_string(s),
+            Value::Array(items) => visitor.visit_seq(SeqDeserializer {
+                iter: items.into_iter(),
+            }),
+            Value::Object(entries) => visitor.visit_map(MapDeserializer {
+                iter: entries.into_iter(),
+                pending: None,
+            }),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self {
+            Value::Null => visitor.visit_none(),
+            other => visitor.visit_some(other),
+        }
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
+        match self {
+            Value::Array(items) => {
+                if items.len() > len {
+                    return Err(Error::new(format!(
+                        "expected an array of at most {len} elements, got {}",
+                        items.len()
+                    )));
+                }
+                visitor.visit_seq(SeqDeserializer {
+                    iter: items.into_iter(),
+                })
+            }
+            other => Err(Error::new(format!(
+                "expected an array of {len} elements, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+struct SeqDeserializer {
+    iter: std::vec::IntoIter<Value>,
+}
+
+impl<'de> de::SeqAccess<'de> for SeqDeserializer {
+    type Error = Error;
+
+    fn next_element<T: de::Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        match self.iter.next() {
+            Some(value) => T::deserialize(value).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct MapDeserializer {
+    iter: std::vec::IntoIter<(String, Value)>,
+    pending: Option<Value>,
+}
+
+impl<'de> de::MapAccess<'de> for MapDeserializer {
+    type Error = Error;
+
+    fn next_key<K: de::Deserialize<'de>>(&mut self) -> Result<Option<K>, Error> {
+        match self.iter.next() {
+            Some((key, value)) => {
+                self.pending = Some(value);
+                K::deserialize(Value::String(key)).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_value<V: de::Deserialize<'de>>(&mut self) -> Result<V, Error> {
+        let value = self
+            .pending
+            .take()
+            .ok_or_else(|| Error::new("next_value called before next_key"))?;
+        V::deserialize(value)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_textually() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&1e-9f64).unwrap(), "1e-9");
+        assert_eq!(to_string(&100.0f64).unwrap(), "100.0");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&vec![1.0f64, 2.5]).unwrap(), "[1.0,2.5]");
+        assert_eq!(to_string(&Option::<f64>::None).unwrap(), "null");
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn parse_and_extract() {
+        let v: Vec<f64> = from_str("[1.0, 2.5, 1e-9]").unwrap();
+        assert_eq!(v, vec![1.0, 2.5, 1e-9]);
+        let n: u64 = from_str("42").unwrap();
+        assert_eq!(n, 42);
+        let s: String = from_str("\"hi\\n\"").unwrap();
+        assert_eq!(s, "hi\n");
+        let o: Option<f64> = from_str("null").unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(from_str::<f64>("[1.0").is_err());
+        assert!(from_str::<f64>("nope").is_err());
+        assert!(from_str::<Vec<f64>>("[1.0,]").is_err());
+        assert!(from_str::<f64>("1.0 trailing").is_err());
+    }
+}
