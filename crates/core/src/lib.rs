@@ -25,7 +25,7 @@
 //! * [`energy`] — the transmit-power model that turns range reductions
 //!   into the paper's energy-savings headline numbers;
 //! * sub-crates re-exported as modules: [`geom`], [`graph`], [`stats`],
-//!   [`occupancy`], [`mobility`], [`sim`].
+//!   [`occupancy`], [`mobility`], [`sim`], [`trace`].
 //!
 //! ## Quickstart
 //!
@@ -75,6 +75,8 @@ pub use manet_occupancy as occupancy;
 pub use manet_sim as sim;
 /// Statistics substrate (re-export of `manet-stats`).
 pub use manet_stats as stats;
+/// Temporal connectivity (re-export of `manet-trace`).
+pub use manet_trace as trace;
 
 /// Unified error type of the facade.
 #[derive(Debug, Clone, PartialEq)]

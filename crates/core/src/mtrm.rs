@@ -272,6 +272,18 @@ impl<const D: usize> MtrmProblem<D> {
     pub fn uptime_at(&self, r: f64) -> Result<manet_sim::UptimeSummary, CoreError> {
         Ok(manet_sim::simulate_uptime(&self.config, &self.model, r)?)
     }
+
+    /// Temporal-connectivity trace at range `r`: link-lifetime,
+    /// inter-contact, isolation and partition-outage distributions
+    /// plus path availability and time-to-repair — the persistence
+    /// structure the snapshot metrics cannot see (`manet-trace`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Sim`].
+    pub fn temporal_trace(&self, r: f64) -> Result<manet_trace::TraceSummary, CoreError> {
+        Ok(manet_sim::simulate_trace(&self.config, &self.model, r)?)
+    }
 }
 
 /// Builder for [`MtrmProblem`].

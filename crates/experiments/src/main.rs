@@ -11,6 +11,7 @@
 //!   theory [tN]      T1-T5 Section 3 validations (default: all)
 //!   quantity         X1: quantity-of-mobility comparison (extension)
 //!   uptime           X2: outage structure (MTBF/MTTR) at the tiers (extension)
+//!   trace            X3: temporal connectivity traces (extension)
 //!   all              everything above
 //!
 //! options:
@@ -33,6 +34,7 @@ mod figures;
 mod quantity;
 mod stationary;
 mod theory;
+mod trace;
 mod uptime;
 
 use common::RunOptions;
@@ -66,6 +68,7 @@ fn main() {
         "stationary" => stationary::run(&opts),
         "quantity" => quantity::run(&opts),
         "uptime" => uptime::run(&opts),
+        "trace" => trace::run(&opts),
         "theory" => {
             let which = args[1..]
                 .iter()
@@ -78,7 +81,8 @@ fn main() {
             .and_then(|_| figures::all(&opts))
             .and_then(|_| theory::run("all", &opts))
             .and_then(|_| quantity::run(&opts))
-            .and_then(|_| uptime::run(&opts)),
+            .and_then(|_| uptime::run(&opts))
+            .and_then(|_| trace::run(&opts)),
         other => {
             eprintln!("error: unknown command `{other}`");
             print_usage();
@@ -95,7 +99,7 @@ fn main() {
 fn print_usage() {
     println!(
         "manet-repro: reproduce Santi & Blough (DSN 2002)\n\n\
-         usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|all> [options]\n\
+         usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|trace|all> [options]\n\
          options: --quick | --paper | --iterations N | --steps N | --placements N\n\
          \x20        --seed N | --threads N | --out DIR"
     );

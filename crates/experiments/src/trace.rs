@@ -1,0 +1,134 @@
+//! X3 — temporal connectivity traces (extension experiment).
+//!
+//! The paper prices connectivity by the *fraction* of connected time;
+//! this experiment reports its *persistence* structure: how long an
+//! individual link lives, how long a node pair waits between contacts,
+//! how long partitions last and how fast the network heals after its
+//! first disconnection. One row per (mobility model × range multiple
+//! of `r_stationary`) at `l = 1024`, `n = 32`; the full distribution
+//! summaries (histogram quantiles + survival curves) go to
+//! `trace.json`, the headline numbers to `trace.csv`.
+
+use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
+use manet_core::trace::TraceSummary;
+use manet_core::{CoreError, ModelKind, MtrmProblem};
+
+/// Range multiples of `r_stationary` swept per model.
+const MULTIPLIERS: [f64; 4] = [0.75, 1.0, 1.25, 1.5];
+
+/// One (model, range) cell of the sweep, as serialized to `trace.json`.
+#[derive(serde::Serialize)]
+struct TraceRow {
+    model: String,
+    multiplier: f64,
+    range: f64,
+    summary: TraceSummary,
+}
+
+/// The `trace.json` artifact: configuration plus every sweep cell.
+#[derive(serde::Serialize)]
+struct TraceArtifact {
+    side: f64,
+    nodes: usize,
+    iterations: usize,
+    steps: usize,
+    seed: u64,
+    r_stationary: f64,
+    rows: Vec<TraceRow>,
+}
+
+/// Runs the temporal-trace sweep.
+pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
+    banner("X3 (extension): temporal connectivity (link lifetimes, outages, repair)");
+    let (l, n) = (1024.0, 32usize);
+    let rs = r_stationary(opts, l)?;
+    let models: Vec<(&str, ModelKind<2>)> = vec![
+        ("waypoint", opts.paper_waypoint(l)?),
+        ("drunkard", opts.paper_drunkard(l)?),
+    ];
+
+    let mut table = Table::new(&[
+        "model",
+        "r/rs",
+        "avail",
+        "path_avail",
+        "life_mean",
+        "life_p90",
+        "intercontact_mean",
+        "outages",
+        "outage_mean",
+        "repair_mean",
+        "churn/step",
+    ]);
+    let mut rows = Vec::new();
+    for (name, model) in models {
+        let mut builder = MtrmProblem::<2>::builder();
+        builder
+            .nodes(n)
+            .side(l)
+            .iterations(opts.iterations)
+            .steps(opts.steps)
+            .seed(opts.seed)
+            .model(model);
+        if let Some(t) = opts.threads {
+            builder.threads(t);
+        }
+        let problem = builder.build()?;
+        for mult in MULTIPLIERS {
+            let r = rs * mult;
+            let summary = problem.temporal_trace(r)?;
+            let opt = |v: Option<f64>| v.map(fmt).unwrap_or_else(|| "-".into());
+            table.row(vec![
+                name.to_string(),
+                fmt(mult),
+                fmt(summary.availability),
+                fmt(summary.path_availability),
+                opt(summary.link_lifetime.mean),
+                opt(summary.link_lifetime.p90),
+                opt(summary.inter_contact.mean),
+                summary.outage.count.to_string(),
+                opt(summary.outage.mean),
+                opt(summary.repair.mean_time_to_repair),
+                fmt(summary.link_events_per_step),
+            ]);
+            rows.push(TraceRow {
+                model: name.to_string(),
+                multiplier: mult,
+                range: r,
+                summary,
+            });
+        }
+    }
+    table.print();
+    println!(
+        "reading: below r_stationary links are short-lived and outages dominate;\n\
+         above it lifetimes stretch, partitions become rare and repair is fast —\n\
+         the temporal dimension behind the paper's availability tiers."
+    );
+
+    let csv_path = table
+        .write_csv(&opts.out_dir, "trace")
+        .map_err(|e| CoreError::Invalid {
+            reason: format!("cannot write CSV: {e}"),
+        })?;
+    println!("wrote {}", csv_path.display());
+
+    let artifact = TraceArtifact {
+        side: l,
+        nodes: n,
+        iterations: opts.iterations,
+        steps: opts.steps,
+        seed: opts.seed,
+        r_stationary: rs,
+        rows,
+    };
+    let json = serde_json::to_string(&artifact).map_err(|e| CoreError::Invalid {
+        reason: format!("cannot serialize trace artifact: {e}"),
+    })?;
+    let json_path = opts.out_dir.join("trace.json");
+    std::fs::write(&json_path, json).map_err(|e| CoreError::Invalid {
+        reason: format!("cannot write JSON: {e}"),
+    })?;
+    println!("wrote {}", json_path.display());
+    Ok(())
+}

@@ -108,6 +108,60 @@ fn fig7_sweep_covers_fine_window() {
 }
 
 #[test]
+fn trace_artifacts_byte_identical_across_thread_counts() {
+    let mut outputs = Vec::new();
+    for threads in ["1", "3"] {
+        let dir = temp_out(&format!("trace_t{threads}"));
+        let out = repro()
+            .args([
+                "trace",
+                "--iterations",
+                "2",
+                "--steps",
+                "30",
+                "--placements",
+                "30",
+                "--threads",
+                threads,
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let csv = std::fs::read_to_string(dir.join("trace.csv")).unwrap();
+        outputs.push((json, csv));
+        std::fs::remove_dir_all(dir).ok();
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "trace artifacts must not depend on the worker thread count"
+    );
+    let json = &outputs[0].0;
+    // The JSON carries the temporal summaries the subsystem promises.
+    for key in [
+        "link_lifetime",
+        "inter_contact",
+        "outage",
+        "repair",
+        "path_availability",
+        "survival",
+        "r_stationary",
+    ] {
+        assert!(json.contains(key), "trace.json missing `{key}`");
+    }
+    // 2 models x 4 multipliers.
+    assert_eq!(json.matches("\"multiplier\"").count(), 8);
+    let csv = &outputs[0].1;
+    assert_eq!(csv.lines().count(), 9, "header + 8 sweep rows");
+}
+
+#[test]
 fn theory_t4_reports_gap_probabilities() {
     let dir = temp_out("t4");
     let out = repro()

@@ -61,6 +61,42 @@ impl AdjacencyList {
         g
     }
 
+    /// Builds the communication graph, choosing between the brute-force
+    /// and grid-accelerated paths automatically.
+    ///
+    /// The brute-force path wins on constant factors for small point
+    /// sets (no bucketing, no sort, a tight pair loop), while the grid
+    /// pays off only when the range is small relative to the side —
+    /// each 3^D-cell neighborhood then holds a small fraction of all
+    /// nodes — *and* `n` is large enough to amortize index
+    /// construction. Measured on uniform 2-D placements (see the
+    /// `traces` bench), the grid starts winning around `n ≈ 200` once
+    /// `side >= 14·range` (candidate fraction `9(r/side)² ≲ 5%`), and
+    /// never wins below that cell count regardless of `n`; hence the
+    /// crossover: grid iff `n > `[`Self::GRID_CROSSOVER`]` && side >=
+    /// 14·range`.
+    ///
+    /// Degenerate inputs (non-positive or non-finite `side`/`range`)
+    /// never error: they fall back to brute force, which treats the
+    /// range check exactly (`NaN` compares false, so a `NaN` range
+    /// yields an edgeless graph).
+    pub fn from_points<const D: usize>(points: &[Point<D>], side: f64, range: f64) -> Self {
+        let grid_pays = side.is_finite()
+            && range.is_finite()
+            && range > 0.0
+            && side > 0.0
+            && side >= 14.0 * range;
+        if points.len() <= Self::GRID_CROSSOVER || !grid_pays {
+            return Self::from_points_brute_force(points, range);
+        }
+        Self::from_points_grid(points, side, range)
+            .unwrap_or_else(|_| Self::from_points_brute_force(points, range))
+    }
+
+    /// Node count up to which [`AdjacencyList::from_points`] always
+    /// prefers the brute-force construction.
+    pub const GRID_CROSSOVER: usize = 192;
+
     /// Builds the communication graph with a [`CellGrid`] index over
     /// `[0, side]^D`.
     ///
@@ -221,6 +257,36 @@ mod tests {
             let grid = AdjacencyList::from_points_grid(&pts, 64.0, r).unwrap();
             assert_eq!(brute, grid);
         }
+    }
+
+    #[test]
+    fn from_points_agrees_with_both_paths_across_crossover() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1717);
+        // Straddle GRID_CROSSOVER so both branches are exercised
+        // (side = 200, r < 200/14: the grid branch is eligible).
+        for n in [8usize, 160, 193, 400] {
+            let pts: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([rng.random_range(0.0..200.0), rng.random_range(0.0..200.0)]))
+                .collect();
+            let r = rng.random_range(5.0..13.0);
+            let auto = AdjacencyList::from_points(&pts, 200.0, r);
+            let brute = AdjacencyList::from_points_brute_force(&pts, r);
+            assert_eq!(auto, brute, "n={n} r={r}");
+        }
+    }
+
+    #[test]
+    fn from_points_degenerate_inputs_fall_back_to_brute_force() {
+        let pts = vec![Point::new([0.0]), Point::new([1.0])];
+        // Non-finite side: grid would error; brute force still exact.
+        let g = AdjacencyList::from_points(&pts, f64::NAN, 1.0);
+        assert_eq!(g.edge_count(), 1);
+        // Huge range relative to the side: single-cell grid territory.
+        let g = AdjacencyList::from_points(&pts, 2.0, 10.0);
+        assert_eq!(g.edge_count(), 1);
+        // NaN range: exact comparison yields no edges, no panic.
+        let g = AdjacencyList::from_points(&pts, 2.0, f64::NAN);
+        assert_eq!(g.edge_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Incremental graph maintenance over a moving point set.
+//!
+//! Every observer that wants graph structure at each mobility step used
+//! to rebuild the adjacency from scratch — `O(n²)` per step on the
+//! brute-force path. The temporal-connectivity subsystem instead works
+//! from **edge deltas**: [`AdjacencyList::diff`] computes the edges
+//! that appeared and disappeared between two snapshots by a sorted
+//! merge of neighbor lists (`O(n + E_old + E_new)`), and
+//! [`DynamicGraph`] packages the per-step loop — grid-accelerated
+//! reconstruction via [`AdjacencyList::from_points`] followed by a
+//! diff — so downstream consumers (link-lifetime tracking, episode
+//! detection) touch only the changed edges.
+
+use crate::adjacency::AdjacencyList;
+use manet_geom::Point;
+
+/// The symmetric difference between two graph snapshots on the same
+/// node set.
+///
+/// Edges are reported as `(a, b)` with `a < b`, in lexicographic
+/// order — a deterministic encoding that downstream consumers (and the
+/// byte-identical artifact tests) rely on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeDiff {
+    /// Edges present in the newer snapshot but not the older.
+    pub added: Vec<(u32, u32)>,
+    /// Edges present in the older snapshot but not the newer.
+    pub removed: Vec<(u32, u32)>,
+}
+
+impl EdgeDiff {
+    /// Total churn: number of added plus removed edges.
+    pub fn churn(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Whether the two snapshots had identical edge sets.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+impl AdjacencyList {
+    /// Computes the edge delta from `self` (the older snapshot) to
+    /// `newer`.
+    ///
+    /// Both graphs must have sorted neighbor lists, which every
+    /// `from_points*` constructor guarantees; graphs assembled by hand
+    /// with [`AdjacencyList::add_edge`] must add edges in sorted order
+    /// (checked in debug builds).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node counts differ.
+    pub fn diff(&self, newer: &AdjacencyList) -> EdgeDiff {
+        assert_eq!(
+            self.len(),
+            newer.len(),
+            "diff requires snapshots of the same node set"
+        );
+        let mut diff = EdgeDiff::default();
+        for a in 0..self.len() {
+            let old = self.neighbors(a);
+            let new = newer.neighbors(a);
+            debug_assert!(old.windows(2).all(|w| w[0] < w[1]), "unsorted neighbors");
+            debug_assert!(new.windows(2).all(|w| w[0] < w[1]), "unsorted neighbors");
+            let (mut i, mut j) = (0usize, 0usize);
+            // Sorted merge; each undirected edge appears in both
+            // endpoint lists, so record it only from its lower end.
+            while i < old.len() || j < new.len() {
+                match (old.get(i), new.get(j)) {
+                    (Some(&o), Some(&n)) if o == n => {
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&o), Some(&n)) if o < n => {
+                        if o as usize > a {
+                            diff.removed.push((a as u32, o));
+                        }
+                        i += 1;
+                    }
+                    (Some(_), Some(&n)) => {
+                        if n as usize > a {
+                            diff.added.push((a as u32, n));
+                        }
+                        j += 1;
+                    }
+                    (Some(&o), None) => {
+                        if o as usize > a {
+                            diff.removed.push((a as u32, o));
+                        }
+                        i += 1;
+                    }
+                    (None, Some(&n)) => {
+                        if n as usize > a {
+                            diff.added.push((a as u32, n));
+                        }
+                        j += 1;
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+        }
+        diff
+    }
+}
+
+/// A communication graph maintained across mobility steps by deltas.
+///
+/// [`DynamicGraph::advance`] rebuilds the snapshot through
+/// [`AdjacencyList::from_points`] — expected `O(n + E)` in the sparse
+/// regime (`side >= 14·range`) where the grid index pays off; the
+/// dense regime stays on the brute-force branch, where `E = Θ(n²)`
+/// anyway — and returns the [`EdgeDiff`] against the previous step,
+/// so per-step consumers do work proportional to the number of
+/// *changed* edges.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::Point;
+/// use manet_graph::DynamicGraph;
+///
+/// let mut pts = vec![Point::new([0.0]), Point::new([1.0]), Point::new([5.0])];
+/// let mut dg = DynamicGraph::new(&pts, 10.0, 1.5);
+/// assert_eq!(dg.initial_diff().added, vec![(0, 1)]);
+///
+/// pts[2] = Point::new([2.0]); // node 2 walks into range of node 1
+/// let diff = dg.advance(&pts);
+/// assert_eq!(diff.added, vec![(1, 2)]);
+/// assert!(diff.removed.is_empty());
+/// assert_eq!(dg.graph().edge_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    side: f64,
+    range: f64,
+    graph: AdjacencyList,
+}
+
+impl DynamicGraph {
+    /// Builds the step-0 snapshot for points in `[0, side]^D` at the
+    /// given transmitting range.
+    pub fn new<const D: usize>(points: &[Point<D>], side: f64, range: f64) -> Self {
+        DynamicGraph {
+            side,
+            range,
+            graph: AdjacencyList::from_points(points, side, range),
+        }
+    }
+
+    /// The current snapshot.
+    pub fn graph(&self) -> &AdjacencyList {
+        &self.graph
+    }
+
+    /// The transmitting range every snapshot is built at.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// The delta that produces the current snapshot from an edgeless
+    /// graph — every present edge reported as added. Feeding this to a
+    /// delta consumer before the first [`DynamicGraph::advance`] makes
+    /// step 0 uniform with the rest of the stream.
+    pub fn initial_diff(&self) -> EdgeDiff {
+        EdgeDiff {
+            added: self
+                .graph
+                .edges()
+                .map(|(a, b)| (a as u32, b as u32))
+                .collect(),
+            removed: Vec::new(),
+        }
+    }
+
+    /// Advances to the next step's positions, returning the edge delta
+    /// from the previous snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points.len()` differs from the node count the
+    /// graph was built with (a driver logic error).
+    pub fn advance<const D: usize>(&mut self, points: &[Point<D>]) -> EdgeDiff {
+        assert_eq!(
+            points.len(),
+            self.graph.len(),
+            "node count changed between steps"
+        );
+        let next = AdjacencyList::from_points(points, self.side, self.range);
+        let diff = self.graph.diff(&next);
+        self.graph = next;
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn pts1(xs: &[f64]) -> Vec<Point<1>> {
+        xs.iter().map(|&x| Point::new([x])).collect()
+    }
+
+    #[test]
+    fn diff_of_identical_graphs_is_empty() {
+        let pts = pts1(&[0.0, 1.0, 2.0]);
+        let g = AdjacencyList::from_points_brute_force(&pts, 1.0);
+        let d = g.diff(&g.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.churn(), 0);
+    }
+
+    #[test]
+    fn diff_reports_added_and_removed_in_order() {
+        let old = AdjacencyList::from_points_brute_force(&pts1(&[0.0, 1.0, 5.0]), 1.0);
+        let new = AdjacencyList::from_points_brute_force(&pts1(&[0.0, 4.9, 5.0]), 1.0);
+        let d = old.diff(&new);
+        assert_eq!(d.removed, vec![(0, 1)]);
+        assert_eq!(d.added, vec![(1, 2)]);
+        assert_eq!(d.churn(), 2);
+    }
+
+    #[test]
+    fn diff_from_empty_lists_every_edge() {
+        let pts = pts1(&[0.0, 0.5, 1.0]);
+        let g = AdjacencyList::from_points_brute_force(&pts, 0.6);
+        let d = AdjacencyList::empty(3).diff(&g);
+        assert_eq!(d.added, vec![(0, 1), (1, 2)]);
+        assert!(d.removed.is_empty());
+        // And the reverse direction removes them all.
+        let r = g.diff(&AdjacencyList::empty(3));
+        assert_eq!(r.removed, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same node set")]
+    fn diff_rejects_mismatched_node_counts() {
+        let _ = AdjacencyList::empty(2).diff(&AdjacencyList::empty(3));
+    }
+
+    #[test]
+    fn initial_diff_replays_snapshot() {
+        let pts = pts1(&[0.0, 0.5, 1.0, 9.0]);
+        let dg = DynamicGraph::new(&pts, 10.0, 0.6);
+        let d = dg.initial_diff();
+        assert_eq!(d.added.len(), dg.graph().edge_count());
+        assert!(d.removed.is_empty());
+    }
+
+    #[test]
+    fn advance_tracks_random_teleports_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(555);
+        let side = 60.0;
+        let r = 9.0;
+        let mut pts: Vec<Point<2>> = (0..30)
+            .map(|_| Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)]))
+            .collect();
+        let mut dg = DynamicGraph::new(&pts, side, r);
+        for _ in 0..25 {
+            for p in &mut pts {
+                *p = Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)]);
+            }
+            dg.advance(&pts);
+            assert_eq!(
+                dg.graph(),
+                &AdjacencyList::from_points_brute_force(&pts, r),
+                "snapshot drifted from the from-scratch build"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node count changed")]
+    fn advance_rejects_resized_point_set() {
+        let pts = pts1(&[0.0, 1.0]);
+        let mut dg = DynamicGraph::new(&pts, 10.0, 1.0);
+        dg.advance(&pts1(&[0.0]));
+    }
+}

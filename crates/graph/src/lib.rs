@@ -17,6 +17,10 @@
 //!   derived;
 //! * [`merge`] — the full Kruskal merge profile: largest component
 //!   size as a step function of the range;
+//! * [`dynamic`] — edge deltas between snapshots and [`DynamicGraph`],
+//!   the streaming path that feeds the temporal-connectivity subsystem
+//!   (`manet-trace`) with per-step changed edges instead of `O(n²)`
+//!   rebuilds;
 //! * [`bfs`] — hop distances and diameter (multi-hop relay depth);
 //! * [`kconn`] — vertex connectivity (an extension beyond the paper's
 //!   1-connectivity, useful for dependability margins).
@@ -47,6 +51,7 @@ pub mod adjacency;
 pub mod bfs;
 pub mod components;
 pub mod dsu;
+pub mod dynamic;
 pub mod kconn;
 pub mod merge;
 pub mod mst;
@@ -54,5 +59,6 @@ pub mod mst;
 pub use adjacency::AdjacencyList;
 pub use components::ComponentSummary;
 pub use dsu::UnionFind;
+pub use dynamic::{DynamicGraph, EdgeDiff};
 pub use merge::MergeProfile;
 pub use mst::{critical_range, minimum_spanning_tree, MstEdge};

@@ -4,10 +4,11 @@
 
 use manet_geom::Point;
 use manet_graph::{
-    components, critical_range, kconn, minimum_spanning_tree, AdjacencyList, MergeProfile,
-    UnionFind,
+    components, critical_range, kconn, minimum_spanning_tree, AdjacencyList, DynamicGraph,
+    MergeProfile, UnionFind,
 };
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 fn points_strategy(max_n: usize) -> impl Strategy<Value = Vec<Point<2>>> {
     prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 2..max_n)
@@ -118,6 +119,49 @@ proptest! {
                     summary.label(i) == summary.label(j)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn dynamic_graph_delta_replay_matches_brute_force(
+        n in 2usize..24,
+        flat in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 24..360),
+        r in 0.5..40.0f64,
+    ) {
+        // Chunk one flat coordinate stream into a trajectory of
+        // `flat.len() / n` steps of `n` nodes each (teleporting motion —
+        // the worst case for a delta stream: arbitrarily large churn).
+        let steps: Vec<Vec<Point<2>>> = flat
+            .chunks_exact(n)
+            .map(|c| c.iter().map(|&(x, y)| Point::new([x, y])).collect())
+            .collect();
+        prop_assume!(!steps.is_empty());
+
+        let mut dg = DynamicGraph::new(&steps[0], 100.0, r);
+        // Replay the delta stream into a bare edge set on the side.
+        let mut replayed: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let init = dg.initial_diff();
+        prop_assert!(init.removed.is_empty());
+        for e in init.added {
+            prop_assert!(replayed.insert(e), "initial diff repeated an edge");
+        }
+        for pts in &steps {
+            // (First iteration: empty diff against itself is exercised
+            // implicitly since advance(step 0 positions) is a no-op.)
+            let diff = dg.advance(pts);
+            for e in diff.removed {
+                prop_assert!(replayed.remove(&e), "removed edge that was not live");
+            }
+            for e in diff.added {
+                prop_assert!(replayed.insert(e), "added edge that was already live");
+            }
+            let brute = AdjacencyList::from_points_brute_force(pts, r);
+            prop_assert_eq!(dg.graph(), &brute, "snapshot diverged from rebuild");
+            let brute_edges: BTreeSet<(u32, u32)> = brute
+                .edges()
+                .map(|(a, b)| (a as u32, b as u32))
+                .collect();
+            prop_assert_eq!(&replayed, &brute_edges, "replayed deltas diverged");
         }
     }
 

@@ -129,6 +129,7 @@ impl core::fmt::Display for FixedRangeReport {
 /// fixed range.
 struct FixedRangeObserver {
     range: f64,
+    side: f64,
     connected_steps: usize,
     steps: usize,
     largest_all: RunningMoments,
@@ -142,7 +143,7 @@ impl<const D: usize> StepObserver<D> for FixedRangeObserver {
     type Output = IterationStats;
 
     fn observe(&mut self, _step: usize, positions: &[Point<D>]) {
-        let graph = AdjacencyList::from_points_brute_force(positions, self.range);
+        let graph = AdjacencyList::from_points(positions, self.side, self.range);
         let comps = ComponentSummary::of(&graph);
         let largest = comps.largest_size();
         self.steps += 1;
@@ -195,6 +196,7 @@ where
     }
     let iterations = run_simulation(config, model, |_| FixedRangeObserver {
         range,
+        side: config.side(),
         connected_steps: 0,
         steps: 0,
         largest_all: RunningMoments::new(),

@@ -27,6 +27,12 @@
 //! slow way (fresh simulation per candidate range); tests hold the two
 //! paths equal.
 //!
+//! Beyond the paper's snapshot metrics, the [`trace`] module drives the
+//! `manet-trace` temporal subsystem from the same observer machinery:
+//! [`simulate_trace`] streams per-step edge deltas
+//! ([`manet_graph::DynamicGraph`]) into link-lifetime, inter-contact,
+//! isolation and outage/repair distributions.
+//!
 //! Iterations run in parallel with deterministic per-iteration seeds
 //! ([`manet_stats::SeedSequence`]), so results are bit-identical for a
 //! given master seed regardless of thread count.
@@ -64,6 +70,7 @@ pub mod profile;
 pub mod quantity;
 pub mod search;
 pub mod stationary;
+pub mod trace;
 pub mod uptime;
 
 pub use component::{simulate_component_ranges, ComponentRangeResults};
@@ -76,6 +83,7 @@ pub use fixed::{simulate_fixed_range, FixedRangeReport, IterationStats};
 pub use profile::{simulate_profiles, ProfileResults, RangeSizeProfile};
 pub use quantity::{measure_mobility_quantity, MobilityQuantity};
 pub use stationary::StationaryAnalysis;
+pub use trace::{simulate_trace, TraceObserver};
 pub use uptime::{simulate_uptime, UptimeReport, UptimeSummary};
 
 use manet_geom::GeomError;
@@ -93,6 +101,8 @@ pub enum SimError {
     Geometry(GeomError),
     /// A statistics error surfaced while summarizing results.
     Stats(StatsError),
+    /// A temporal-trace error surfaced while pooling records.
+    Trace(manet_trace::TraceError),
 }
 
 impl core::fmt::Display for SimError {
@@ -101,6 +111,7 @@ impl core::fmt::Display for SimError {
             SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SimError::Geometry(e) => write!(f, "geometry error: {e}"),
             SimError::Stats(e) => write!(f, "statistics error: {e}"),
+            SimError::Trace(e) => write!(f, "trace error: {e}"),
         }
     }
 }
@@ -110,6 +121,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Geometry(e) => Some(e),
             SimError::Stats(e) => Some(e),
+            SimError::Trace(e) => Some(e),
             SimError::InvalidConfig { .. } => None,
         }
     }
@@ -124,6 +136,12 @@ impl From<GeomError> for SimError {
 impl From<StatsError> for SimError {
     fn from(e: StatsError) -> Self {
         SimError::Stats(e)
+    }
+}
+
+impl From<manet_trace::TraceError> for SimError {
+    fn from(e: manet_trace::TraceError) -> Self {
+        SimError::Trace(e)
     }
 }
 

@@ -1,0 +1,181 @@
+//! Temporal-trace campaigns: the `manet-trace` subsystem driven by the
+//! parallel engine.
+//!
+//! [`TraceObserver`] plugs the delta stream of
+//! [`manet_graph::DynamicGraph`] into the [`StepObserver`] machinery,
+//! so each iteration folds its trajectory into a
+//! [`manet_trace::TemporalRecord`] incrementally — the hot loop does
+//! work proportional to the changed edges, never an `O(n²)` rebuild.
+//! [`simulate_trace`] runs the whole campaign and pools the records
+//! into a [`TraceSummary`].
+
+use crate::{config::SimConfig, engine::run_simulation, engine::StepObserver, SimError};
+use manet_geom::Point;
+use manet_graph::DynamicGraph;
+use manet_mobility::Mobility;
+use manet_trace::{TemporalRecord, TraceRecorder, TraceSummary};
+
+/// Observer folding one iteration's trajectory into temporal metrics
+/// at a fixed transmitting range.
+pub struct TraceObserver {
+    side: f64,
+    range: f64,
+    /// Built from the first step's positions (the initial placement).
+    dynamic: Option<DynamicGraph>,
+    recorder: TraceRecorder,
+}
+
+impl TraceObserver {
+    /// Creates an observer for a campaign over `nodes` nodes in
+    /// `[0, side]^D`, `steps` steps long, tracing links at
+    /// transmitting range `range`.
+    pub fn new(nodes: usize, side: f64, range: f64, steps: usize) -> Self {
+        TraceObserver {
+            side,
+            range,
+            dynamic: None,
+            recorder: TraceRecorder::new(nodes, steps),
+        }
+    }
+}
+
+impl<const D: usize> StepObserver<D> for TraceObserver {
+    type Output = TemporalRecord;
+
+    fn observe(&mut self, _step: usize, positions: &[Point<D>]) {
+        let diff = match self.dynamic.as_mut() {
+            None => {
+                let dg = DynamicGraph::new(positions, self.side, self.range);
+                let diff = dg.initial_diff();
+                self.dynamic = Some(dg);
+                diff
+            }
+            Some(dg) => dg.advance(positions),
+        };
+        let graph = self.dynamic.as_ref().expect("set above").graph();
+        self.recorder.observe(&diff, graph);
+    }
+
+    fn finish(self) -> TemporalRecord {
+        self.recorder.finish()
+    }
+}
+
+/// Runs a campaign and pools every iteration's temporal metrics.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] when `range` is not positive
+/// and finite, and propagates engine and aggregation errors.
+pub fn simulate_trace<const D: usize, M>(
+    config: &SimConfig<D>,
+    model: &M,
+    range: f64,
+) -> Result<TraceSummary, SimError>
+where
+    M: Mobility<D> + Clone + Send + Sync,
+{
+    if !(range.is_finite() && range > 0.0) {
+        return Err(SimError::InvalidConfig {
+            reason: format!("transmitting range must be positive and finite, got {range}"),
+        });
+    }
+    let records = run_simulation(config, model, |_| {
+        TraceObserver::new(config.nodes(), config.side(), range, config.steps())
+    })?;
+    TraceSummary::aggregate(&records).map_err(SimError::Trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_mobility::{RandomWaypoint, StationaryModel};
+
+    fn config(iterations: usize, steps: usize, threads: Option<usize>) -> SimConfig<2> {
+        let mut b = SimConfig::<2>::builder();
+        b.nodes(12)
+            .side(120.0)
+            .iterations(iterations)
+            .steps(steps)
+            .seed(2002);
+        if let Some(t) = threads {
+            b.threads(t);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn range_is_validated() {
+        let cfg = config(1, 1, None);
+        let m = StationaryModel::new();
+        assert!(simulate_trace(&cfg, &m, 0.0).is_err());
+        assert!(simulate_trace(&cfg, &m, f64::NAN).is_err());
+        assert!(simulate_trace(&cfg, &m, -3.0).is_err());
+    }
+
+    #[test]
+    fn stationary_network_has_no_link_events_after_step_zero() {
+        let cfg = config(3, 25, None);
+        let s = simulate_trace(&cfg, &StationaryModel::new(), 40.0).unwrap();
+        assert_eq!(s.iterations, 3);
+        assert_eq!(s.steps, 25);
+        // Static topology: every link censored, nothing completes.
+        assert_eq!(s.link_lifetime.count, 0);
+        assert_eq!(s.inter_contact.count, 0);
+        assert_eq!(s.outage.count, 0);
+        // Availability is all-or-nothing per iteration.
+        assert!((s.availability * 3.0).fract().abs() < 1e-12);
+        assert_eq!(s.repair.never_repaired, s.repair.disconnected_iterations);
+    }
+
+    #[test]
+    fn availability_matches_fixed_range_path() {
+        let cfg = config(4, 40, None);
+        let model = RandomWaypoint::new(0.5, 4.0, 2, 0.0).unwrap();
+        for r in [25.0, 45.0, 70.0] {
+            let trace = simulate_trace(&cfg, &model, r).unwrap();
+            let fixed = crate::fixed::simulate_fixed_range(&cfg, &model, r).unwrap();
+            assert!(
+                (trace.availability - fixed.connectivity_fraction()).abs() < 1e-12,
+                "r={r}: trace {} vs fixed {}",
+                trace.availability,
+                fixed.connectivity_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn mobile_network_produces_link_events() {
+        let cfg = config(3, 60, None);
+        let model = RandomWaypoint::new(1.0, 6.0, 0, 0.0).unwrap();
+        let s = simulate_trace(&cfg, &model, 35.0).unwrap();
+        assert!(s.link_events_per_step > 0.0, "motion must churn edges");
+        assert!(
+            s.link_lifetime.count > 0,
+            "60 fast steps must complete some lifetime"
+        );
+        assert!(!s.link_lifetime.survival.is_empty());
+        assert_eq!(s.link_lifetime.survival[0].survival, 1.0);
+    }
+
+    #[test]
+    fn larger_range_means_longer_lifetimes_and_higher_availability() {
+        let cfg = config(4, 60, None);
+        let model = RandomWaypoint::new(1.0, 5.0, 0, 0.0).unwrap();
+        let small = simulate_trace(&cfg, &model, 20.0).unwrap();
+        let large = simulate_trace(&cfg, &model, 60.0).unwrap();
+        assert!(large.availability >= small.availability);
+        assert!(large.path_availability >= small.path_availability);
+        if let (Some(s), Some(l)) = (small.link_lifetime.mean, large.link_lifetime.mean) {
+            assert!(l > s, "lifetime should grow with range: {s} vs {l}");
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let model = RandomWaypoint::new(0.5, 4.0, 1, 0.25).unwrap();
+        let single = simulate_trace(&config(6, 30, Some(1)), &model, 45.0).unwrap();
+        let multi = simulate_trace(&config(6, 30, Some(4)), &model, 45.0).unwrap();
+        assert_eq!(single, multi);
+    }
+}

@@ -188,6 +188,20 @@ impl Histogram {
         cum as f64 / self.total as f64
     }
 
+    /// Empirical survival function `S(x) = 1 - cdf(x)`: the fraction
+    /// of observations in bins strictly beyond the one containing `x`.
+    ///
+    /// The temporal-connectivity subsystem reads link-lifetime and
+    /// inter-contact survival curves off histograms with this; an
+    /// empty histogram reports `S(x) = 1` everywhere (nothing has been
+    /// observed to die).
+    pub fn survival(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        1.0 - self.cdf(x)
+    }
+
     /// Approximate `q`-quantile: the left edge of the first bin whose
     /// cumulative fraction reaches `q`.
     ///
@@ -284,6 +298,22 @@ mod tests {
         }
         assert_eq!(h.cdf(-1.0), 0.0);
         assert_eq!(h.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn survival_complements_cdf() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        for x in [-1.0, 0.0, 3.3, 9.9, 50.0] {
+            assert!((h.survival(x) - (1.0 - h.cdf(x))).abs() < 1e-15);
+        }
+        assert_eq!(h.survival(-1.0), 1.0);
+        assert_eq!(h.survival(100.0), 0.0);
+        // Empty histogram: everything survives.
+        let empty = Histogram::new(0.0, 1.0, 2).unwrap();
+        assert_eq!(empty.survival(0.5), 1.0);
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! The per-trajectory event folder.
+//!
+//! A [`TraceRecorder`] consumes one trajectory's stream of edge deltas
+//! (from [`manet_graph::DynamicGraph`]) plus the per-step snapshot, and
+//! folds it into a [`TemporalRecord`]: link lifetimes, inter-contact
+//! times, per-node isolation spells, connectivity episodes (partition
+//! outages, time-to-repair) and path availability. All bookkeeping on
+//! the edge stream is proportional to the number of *changed* edges,
+//! which is what makes tracing cheap enough to run at every step.
+
+use crate::intervals::IntervalAccumulator;
+use manet_graph::{AdjacencyList, ComponentSummary, EdgeDiff};
+use std::collections::HashMap;
+
+/// Packs an undirected edge `(a, b)`, `a < b`, into one map key.
+fn pair_key(a: u32, b: u32) -> u64 {
+    debug_assert!(a < b, "edge endpoints must be ordered");
+    ((a as u64) << 32) | b as u64
+}
+
+/// Fraction of ordered node pairs connected by some path: the paper's
+/// per-step connectivity indicator refined to a `[0, 1]` measure
+/// (1 iff connected). Networks with fewer than two nodes count as
+/// fully path-available.
+fn pair_connectivity(components: &ComponentSummary, n: usize) -> f64 {
+    if n < 2 {
+        return 1.0;
+    }
+    let reachable: u64 = components
+        .sizes()
+        .iter()
+        .map(|&s| s as u64 * (s as u64 - 1))
+        .sum();
+    reachable as f64 / (n as u64 * (n as u64 - 1)) as f64
+}
+
+/// Folds one trajectory's link events and connectivity episodes into
+/// temporal metrics.
+///
+/// Drive it with [`TraceRecorder::observe`] once per step — the step-0
+/// delta is the initial snapshot's edges reported as added (see
+/// [`manet_graph::DynamicGraph::initial_diff`]) — then call
+/// [`TraceRecorder::finish`].
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::Point;
+/// use manet_graph::DynamicGraph;
+/// use manet_trace::TraceRecorder;
+///
+/// let steps = vec![
+///     vec![Point::new([0.0]), Point::new([1.0])], // linked
+///     vec![Point::new([0.0]), Point::new([5.0])], // apart
+///     vec![Point::new([0.0]), Point::new([1.0])], // linked again
+/// ];
+/// let mut dg = DynamicGraph::new(&steps[0], 10.0, 2.0);
+/// let mut rec = TraceRecorder::new(2, steps.len());
+/// rec.observe(&dg.initial_diff(), dg.graph());
+/// for pts in &steps[1..] {
+///     let diff = dg.advance(pts);
+///     rec.observe(&diff, dg.graph());
+/// }
+/// let record = rec.finish();
+/// assert_eq!(record.lifetimes.count(), 1);      // one completed lifetime
+/// assert_eq!(record.intercontacts.count(), 1);  // one reconnection
+/// assert_eq!(record.time_to_repair, Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    nodes: usize,
+    steps_seen: usize,
+    /// Open link intervals: pair key -> step the link came up.
+    up_since: HashMap<u64, usize>,
+    /// Open contact gaps: pair key -> step the link went down.
+    down_since: HashMap<u64, usize>,
+    /// Open isolation spells, per node.
+    isolated_since: Vec<Option<usize>>,
+    lifetimes: IntervalAccumulator,
+    intercontacts: IntervalAccumulator,
+    isolation: IntervalAccumulator,
+    outages: IntervalAccumulator,
+    link_up_events: u64,
+    link_down_events: u64,
+    connected_steps: usize,
+    path_connectivity_sum: f64,
+    /// Step the current partition outage began (None while connected).
+    down_run_start: Option<usize>,
+    first_disconnect_at: Option<usize>,
+    time_to_repair: Option<usize>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for `nodes` nodes observed over `steps`
+    /// mobility steps (the horizon fixes histogram geometry so records
+    /// from parallel iterations merge).
+    pub fn new(nodes: usize, steps: usize) -> Self {
+        TraceRecorder {
+            nodes,
+            steps_seen: 0,
+            up_since: HashMap::new(),
+            down_since: HashMap::new(),
+            isolated_since: vec![None; nodes],
+            lifetimes: IntervalAccumulator::new(steps),
+            intercontacts: IntervalAccumulator::new(steps),
+            isolation: IntervalAccumulator::new(steps),
+            outages: IntervalAccumulator::new(steps),
+            link_up_events: 0,
+            link_down_events: 0,
+            connected_steps: 0,
+            path_connectivity_sum: 0.0,
+            down_run_start: None,
+            first_disconnect_at: None,
+            time_to_repair: None,
+        }
+    }
+
+    /// Folds in one step: the edge delta that produced `graph` from
+    /// the previous snapshot, plus the snapshot itself (for degrees
+    /// and components).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `graph` has a different node count than the
+    /// recorder was created with.
+    pub fn observe(&mut self, diff: &EdgeDiff, graph: &AdjacencyList) {
+        assert_eq!(graph.len(), self.nodes, "node count changed mid-trace");
+        let t = self.steps_seen;
+
+        // Link events — work proportional to the changed edges.
+        for &(a, b) in &diff.removed {
+            let key = pair_key(a, b);
+            if let Some(up) = self.up_since.remove(&key) {
+                self.lifetimes.record(t - up);
+            }
+            self.down_since.insert(key, t);
+            self.link_down_events += 1;
+        }
+        for &(a, b) in &diff.added {
+            let key = pair_key(a, b);
+            if let Some(down) = self.down_since.remove(&key) {
+                self.intercontacts.record(t - down);
+            }
+            self.up_since.insert(key, t);
+            self.link_up_events += 1;
+        }
+
+        // Isolation spells (degree-0 runs per node).
+        for i in 0..self.nodes {
+            let isolated = graph.degree(i) == 0;
+            match (self.isolated_since[i], isolated) {
+                (None, true) => self.isolated_since[i] = Some(t),
+                (Some(since), false) => {
+                    self.isolation.record(t - since);
+                    self.isolated_since[i] = None;
+                }
+                _ => {}
+            }
+        }
+
+        // Connectivity episodes and path availability.
+        let components = ComponentSummary::of(graph);
+        let connected = components.is_connected();
+        self.path_connectivity_sum += pair_connectivity(&components, self.nodes);
+        if connected {
+            self.connected_steps += 1;
+            if let Some(start) = self.down_run_start.take() {
+                let outage = t - start;
+                self.outages.record(outage);
+                if self.time_to_repair.is_none() {
+                    self.time_to_repair = Some(outage);
+                }
+            }
+        } else if self.down_run_start.is_none() {
+            self.down_run_start = Some(t);
+            if self.first_disconnect_at.is_none() {
+                self.first_disconnect_at = Some(t);
+            }
+        }
+
+        self.steps_seen += 1;
+    }
+
+    /// Steps observed so far.
+    pub fn steps_seen(&self) -> usize {
+        self.steps_seen
+    }
+
+    /// Closes the trajectory: intervals still open are censored, and
+    /// the accumulated metrics become a [`TemporalRecord`].
+    pub fn finish(mut self) -> TemporalRecord {
+        for _ in 0..self.up_since.len() {
+            self.lifetimes.record_censored();
+        }
+        for _ in 0..self.down_since.len() {
+            self.intercontacts.record_censored();
+        }
+        let open_isolation = self.isolated_since.iter().filter(|s| s.is_some()).count();
+        for _ in 0..open_isolation {
+            self.isolation.record_censored();
+        }
+        if self.down_run_start.is_some() {
+            self.outages.record_censored();
+        }
+        let steps = self.steps_seen.max(1); // guard the zero-step degenerate case
+        TemporalRecord {
+            nodes: self.nodes,
+            steps: self.steps_seen,
+            lifetimes: self.lifetimes,
+            intercontacts: self.intercontacts,
+            isolation: self.isolation,
+            outages: self.outages,
+            link_up_events: self.link_up_events,
+            link_down_events: self.link_down_events,
+            connected_steps: self.connected_steps,
+            availability: self.connected_steps as f64 / steps as f64,
+            path_availability: self.path_connectivity_sum / steps as f64,
+            first_disconnect_at: self.first_disconnect_at,
+            time_to_repair: self.time_to_repair,
+        }
+    }
+}
+
+/// One trajectory's temporal metrics, mergeable across iterations into
+/// a [`crate::TraceSummary`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TemporalRecord {
+    /// Node count.
+    pub nodes: usize,
+    /// Steps observed.
+    pub steps: usize,
+    /// Completed link lifetimes (up-interval lengths).
+    pub lifetimes: IntervalAccumulator,
+    /// Completed inter-contact times (down-interval lengths per pair).
+    pub intercontacts: IntervalAccumulator,
+    /// Completed per-node isolation spells (degree-0 runs).
+    pub isolation: IntervalAccumulator,
+    /// Completed partition outages (disconnected runs).
+    pub outages: IntervalAccumulator,
+    /// Total edge-up events (including the initial snapshot's edges).
+    pub link_up_events: u64,
+    /// Total edge-down events.
+    pub link_down_events: u64,
+    /// Steps whose graph was connected.
+    pub connected_steps: usize,
+    /// Fraction of steps connected.
+    pub availability: f64,
+    /// Mean fraction of node pairs joined by some path.
+    pub path_availability: f64,
+    /// Step of the first disconnection (`None` if never disconnected).
+    pub first_disconnect_at: Option<usize>,
+    /// Duration of the first outage, in steps (`None` if the network
+    /// never disconnected, or never repaired within the horizon).
+    pub time_to_repair: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_geom::Point;
+    use manet_graph::DynamicGraph;
+
+    /// Replays a 1-D trajectory through DynamicGraph into a recorder.
+    fn record_trajectory(steps: &[Vec<f64>], range: f64) -> TemporalRecord {
+        let pts =
+            |xs: &Vec<f64>| -> Vec<Point<1>> { xs.iter().map(|&x| Point::new([x])).collect() };
+        let first = pts(&steps[0]);
+        let mut dg = DynamicGraph::new(&first, 100.0, range);
+        let mut rec = TraceRecorder::new(first.len(), steps.len());
+        rec.observe(&dg.initial_diff(), dg.graph());
+        for xs in &steps[1..] {
+            let diff = dg.advance(&pts(xs));
+            rec.observe(&diff, dg.graph());
+        }
+        rec.finish()
+    }
+
+    #[test]
+    fn static_connected_pair_has_one_censored_lifetime() {
+        let record = record_trajectory(&[vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0]], 2.0);
+        assert_eq!(record.lifetimes.count(), 0);
+        assert_eq!(record.lifetimes.censored(), 1);
+        assert_eq!(record.link_up_events, 1);
+        assert_eq!(record.link_down_events, 0);
+        assert_eq!(record.availability, 1.0);
+        assert_eq!(record.path_availability, 1.0);
+        assert_eq!(record.time_to_repair, None);
+        assert_eq!(record.first_disconnect_at, None);
+        assert_eq!(record.outages.count(), 0);
+    }
+
+    #[test]
+    fn flapping_link_produces_lifetimes_and_intercontacts() {
+        // Pair linked at t=0,1, apart at t=2,3, linked at t=4.
+        let record = record_trajectory(
+            &[
+                vec![0.0, 1.0],
+                vec![0.0, 1.0],
+                vec![0.0, 50.0],
+                vec![0.0, 50.0],
+                vec![0.0, 1.0],
+            ],
+            2.0,
+        );
+        assert_eq!(record.lifetimes.count(), 1);
+        assert_eq!(record.lifetimes.mean(), Some(2.0)); // up at 0, down at 2
+        assert_eq!(record.intercontacts.count(), 1);
+        assert_eq!(record.intercontacts.mean(), Some(2.0)); // down at 2, up at 4
+        assert_eq!(record.lifetimes.censored(), 1); // final up interval open
+                                                    // Outage structure: disconnected at t=2..3, repaired at t=4.
+        assert_eq!(record.outages.count(), 1);
+        assert_eq!(record.outages.mean(), Some(2.0));
+        assert_eq!(record.time_to_repair, Some(2));
+        assert_eq!(record.first_disconnect_at, Some(2));
+        assert!((record.availability - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolation_spells_follow_degree_zero_runs() {
+        // Node 2 starts isolated for 2 steps, then joins.
+        let record = record_trajectory(
+            &[
+                vec![0.0, 1.0, 50.0],
+                vec![0.0, 1.0, 50.0],
+                vec![0.0, 1.0, 2.0],
+            ],
+            2.0,
+        );
+        assert_eq!(record.isolation.count(), 1);
+        assert_eq!(record.isolation.mean(), Some(2.0));
+        assert_eq!(record.isolation.censored(), 0);
+        // Path availability: steps 0-1 have 2/6 of ordered pairs
+        // reachable, step 2 has all.
+        let expected = (2.0 / 6.0 + 2.0 / 6.0 + 1.0) / 3.0;
+        assert!((record.path_availability - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_connected_network_has_censored_outage() {
+        let record = record_trajectory(&[vec![0.0, 50.0], vec![0.0, 50.0]], 1.0);
+        assert_eq!(record.availability, 0.0);
+        assert_eq!(record.outages.count(), 0);
+        assert_eq!(record.outages.censored(), 1);
+        assert_eq!(record.first_disconnect_at, Some(0));
+        assert_eq!(record.time_to_repair, None);
+        // Both nodes isolated throughout: two censored spells.
+        assert_eq!(record.isolation.censored(), 2);
+    }
+
+    #[test]
+    fn single_node_network_is_trivially_available() {
+        let record = record_trajectory(&[vec![5.0], vec![6.0]], 1.0);
+        assert_eq!(record.availability, 1.0);
+        assert_eq!(record.path_availability, 1.0);
+        assert_eq!(record.link_up_events, 0);
+    }
+
+    #[test]
+    fn zero_step_recorder_finishes_without_panicking() {
+        let record = TraceRecorder::new(4, 10).finish();
+        assert_eq!(record.steps, 0);
+        assert_eq!(record.availability, 0.0);
+        assert_eq!(record.lifetimes.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count changed")]
+    fn observe_rejects_wrong_node_count() {
+        let mut rec = TraceRecorder::new(3, 5);
+        rec.observe(&EdgeDiff::default(), &AdjacencyList::empty(2));
+    }
+
+    #[test]
+    fn event_counts_balance_interval_counts() {
+        // Invariant: every up event either completes (a recorded
+        // lifetime) or stays open (censored); same for down events and
+        // inter-contacts.
+        let record = record_trajectory(
+            &[
+                vec![0.0, 1.0, 3.0, 50.0],
+                vec![0.0, 2.5, 3.0, 50.0],
+                vec![0.0, 50.0, 3.0, 49.5],
+                vec![0.0, 1.0, 3.0, 49.5],
+            ],
+            2.0,
+        );
+        assert_eq!(
+            record.link_up_events,
+            record.lifetimes.count() + record.lifetimes.censored()
+        );
+        assert_eq!(
+            record.link_down_events,
+            record.intercontacts.count() + record.intercontacts.censored()
+        );
+    }
+}

@@ -51,7 +51,7 @@ fn main() -> Result<(), manet::CoreError> {
     // warning reaches the start of the stretch?
     let r_radio = 1.2 * ctr; // strong enough to connect everyone
     let pts: Vec<Point<1>> = cars.iter().map(|&x| Point::new([x])).collect();
-    let graph = AdjacencyList::from_points_brute_force(&pts, r_radio);
+    let graph = AdjacencyList::from_points(&pts, l, r_radio);
     let accident_car = (0..n).max_by(|&a, &b| cars[a].total_cmp(&cars[b])).unwrap();
     let last_car = (0..n).min_by(|&a, &b| cars[a].total_cmp(&cars[b])).unwrap();
     let hops = bfs::hop_distances(&graph, accident_car)[last_car]

@@ -76,7 +76,7 @@ fn main() -> Result<(), manet::CoreError> {
     let ctr = problem.critical_range_of(&placement)?;
     println!("\none concrete drop of {n} sensors: critical range = {ctr:.1} m");
     for factor in [1.0, 1.3, 1.6] {
-        let g = AdjacencyList::from_points_brute_force(&placement, ctr * factor);
+        let g = AdjacencyList::from_points(&placement, l, ctr * factor);
         let kappa = kconn::vertex_connectivity(&g);
         println!(
             "  at {factor:.1}x the critical range: vertex connectivity = {kappa} \

@@ -73,6 +73,31 @@ fn fixed_range_reports_deterministic() {
     assert_eq!(a, b);
 }
 
+/// The temporal-trace pipeline behind `manet-repro trace` — the
+/// delta-stream `DynamicGraph` path, the per-iteration recorders and
+/// the campaign aggregation — must produce byte-identical JSON
+/// artifacts with the seed held fixed, regardless of the worker
+/// thread count.
+#[cfg(feature = "serde")]
+#[test]
+fn trace_artifacts_byte_identical_across_seeds_and_threads() {
+    let artifact = |seed: u64, threads: usize| {
+        let summary = build(seed, threads).temporal_trace(45.0).unwrap();
+        serde_json::to_string(&summary).unwrap()
+    };
+    // Same seed, same bytes — across reruns and thread counts.
+    let reference = artifact(20020623, 1);
+    assert_eq!(reference, artifact(20020623, 1));
+    assert_eq!(reference, artifact(20020623, 2));
+    assert_eq!(reference, artifact(20020623, 4));
+    assert!(reference.contains("link_lifetime"));
+    assert!(reference.contains("inter_contact"));
+    assert!(reference.contains("outage"));
+    assert!(reference.contains("repair"));
+    // A different seed really changes the artifact.
+    assert_ne!(reference, artifact(20020624, 2));
+}
+
 /// Workspace smoke test: the entire stack — geometry, mobility, graph,
 /// simulation, statistics, and (when enabled) serde — reproduces
 /// byte-identical artifacts from identical seeds in a single pass.

@@ -86,7 +86,7 @@ fn one_dim_theory_consistent_with_geometry_stack() {
     // Below the critical range the graph is disconnected; if Lemma 1's
     // witness fires, it must agree.
     let r = fast * 0.8;
-    let graph = AdjacencyList::from_points_brute_force(&placement, r);
+    let graph = AdjacencyList::from_points(&placement, 1000.0, r);
     assert!(!components::is_connected(&graph));
     if patterns::is_disconnected_by_gap(&xs, 1000.0, r) {
         assert!(!one_dim::is_connected_1d(&xs, r).unwrap());
