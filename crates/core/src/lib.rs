@@ -21,7 +21,13 @@
 //!   and the occupancy/Lemma-1 machinery;
 //! * [`MtrmProblem`] — the mobile problem: `r100/r90/r10/r0`,
 //!   component-size targets `rl90/rl75/rl50`, and availability
-//!   estimates, over any [`ModelKind`] mobility model;
+//!   estimates, over any [`ModelKind`] mobility model. Every per-step
+//!   query runs on the incremental connectivity spine
+//!   (`DynamicGraph → DynamicComponents → ConnectivityStream`, see
+//!   [`graph`] and [`sim::stream`]): snapshots are rebuilt
+//!   grid-accelerated in `O(n + E)`, and the component summary is
+//!   maintained under their edge deltas instead of relabeled from
+//!   scratch;
 //! * [`energy`] — the transmit-power model that turns range reductions
 //!   into the paper's energy-savings headline numbers;
 //! * sub-crates re-exported as modules: [`geom`], [`graph`], [`stats`],

@@ -252,7 +252,11 @@ impl<const D: usize> MtrmProblem<D> {
         Ok(res.availability_at(r))
     }
 
-    /// The paper's literal simulator at a fixed range.
+    /// The paper's literal simulator at a fixed range, driven by the
+    /// incremental connectivity stream: per-step connectivity and
+    /// largest-component statistics are maintained under edge deltas
+    /// ([`manet_graph::DynamicComponents`]), not recomputed from
+    /// scratch.
     ///
     /// # Errors
     ///
@@ -275,8 +279,9 @@ impl<const D: usize> MtrmProblem<D> {
 
     /// Temporal-connectivity trace at range `r`: link-lifetime,
     /// inter-contact, isolation and partition-outage distributions
-    /// plus path availability and time-to-repair — the persistence
-    /// structure the snapshot metrics cannot see (`manet-trace`).
+    /// plus path availability, time-to-repair, and per-step edge-churn
+    /// intensity (mean and peak) — the persistence structure the
+    /// snapshot metrics cannot see (`manet-trace`).
     ///
     /// # Errors
     ///

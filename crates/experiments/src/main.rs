@@ -12,6 +12,7 @@
 //!   quantity         X1: quantity-of-mobility comparison (extension)
 //!   uptime           X2: outage structure (MTBF/MTTR) at the tiers (extension)
 //!   trace            X3: temporal connectivity traces (extension)
+//!   fixed            X4: fixed-range simulator sweep (extension)
 //!   all              everything above
 //!
 //! options:
@@ -31,6 +32,7 @@
 
 mod common;
 mod figures;
+mod fixed;
 mod quantity;
 mod stationary;
 mod theory;
@@ -68,6 +70,7 @@ fn main() {
         "stationary" => stationary::run(&opts),
         "quantity" => quantity::run(&opts),
         "uptime" => uptime::run(&opts),
+        "fixed" => fixed::run(&opts),
         "trace" => trace::run(&opts),
         "theory" => {
             let which = args[1..]
@@ -82,6 +85,7 @@ fn main() {
             .and_then(|_| theory::run("all", &opts))
             .and_then(|_| quantity::run(&opts))
             .and_then(|_| uptime::run(&opts))
+            .and_then(|_| fixed::run(&opts))
             .and_then(|_| trace::run(&opts)),
         other => {
             eprintln!("error: unknown command `{other}`");
@@ -99,7 +103,7 @@ fn main() {
 fn print_usage() {
     println!(
         "manet-repro: reproduce Santi & Blough (DSN 2002)\n\n\
-         usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|trace|all> [options]\n\
+         usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|fixed|trace|all> [options]\n\
          options: --quick | --paper | --iterations N | --steps N | --placements N\n\
          \x20        --seed N | --threads N | --out DIR"
     );

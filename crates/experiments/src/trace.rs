@@ -4,7 +4,8 @@
 //! this experiment reports its *persistence* structure: how long an
 //! individual link lives, how long a node pair waits between contacts,
 //! how long partitions last and how fast the network heals after its
-//! first disconnection. One row per (mobility model × range multiple
+//! first disconnection — plus the link-dynamics intensity behind those
+//! lifetimes (mean and peak per-step edge churn). One row per (mobility model × range multiple
 //! of `r_stationary`) at `l = 1024`, `n = 32`; the full distribution
 //! summaries (histogram quantiles + survival curves) go to
 //! `trace.json`, the headline numbers to `trace.csv`.
@@ -59,6 +60,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
         "outage_mean",
         "repair_mean",
         "churn/step",
+        "peak_churn",
     ]);
     let mut rows = Vec::new();
     for (name, model) in models {
@@ -90,6 +92,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
                 opt(summary.outage.mean),
                 opt(summary.repair.mean_time_to_repair),
                 fmt(summary.link_events_per_step),
+                summary.peak_churn.to_string(),
             ]);
             rows.push(TraceRow {
                 model: name.to_string(),

@@ -188,3 +188,49 @@ fn theory_t4_reports_gap_probabilities() {
     assert!(connected_col.windows(2).all(|w| w[1] <= w[0] + 1e-9));
     std::fs::remove_dir_all(dir).ok();
 }
+
+/// The incremental connectivity spine must not move a single output
+/// byte: `fixed` and `uptime` at the pinned golden configuration match
+/// the goldens captured from the pre-refactor rebuild-and-relabel
+/// engine, at any thread count.
+#[test]
+fn fixed_and_uptime_match_goldens_across_thread_counts() {
+    let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens");
+    for threads in ["1", "3"] {
+        let dir = temp_out(&format!("goldens_t{threads}"));
+        for cmd in ["fixed", "uptime"] {
+            let out = repro()
+                .args([
+                    cmd,
+                    "--iterations",
+                    "3",
+                    "--steps",
+                    "120",
+                    "--placements",
+                    "200",
+                    "--seed",
+                    "20020623",
+                    "--threads",
+                    threads,
+                    "--out",
+                ])
+                .arg(&dir)
+                .output()
+                .unwrap();
+            assert!(
+                out.status.success(),
+                "stderr: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        for artifact in ["fixed.csv", "uptime_x2.csv"] {
+            let got = std::fs::read_to_string(dir.join(artifact)).unwrap();
+            let want = std::fs::read_to_string(golden_dir.join(artifact)).unwrap();
+            assert_eq!(
+                got, want,
+                "{artifact} diverged from tests/goldens at --threads {threads}"
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

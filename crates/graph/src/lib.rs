@@ -21,6 +21,10 @@
 //!   the streaming path that feeds the temporal-connectivity subsystem
 //!   (`manet-trace`) with per-step changed edges instead of `O(n²)`
 //!   rebuilds;
+//! * [`dynamic_components`] — [`DynamicComponents`], the incremental
+//!   component summary maintained under that delta stream (DSU
+//!   insertions, epoch-based partial rebuilds for deletions), the
+//!   engine behind every per-step connectivity query in `manet-sim`;
 //! * [`bfs`] — hop distances and diameter (multi-hop relay depth);
 //! * [`kconn`] — vertex connectivity (an extension beyond the paper's
 //!   1-connectivity, useful for dependability margins).
@@ -52,6 +56,7 @@ pub mod bfs;
 pub mod components;
 pub mod dsu;
 pub mod dynamic;
+pub mod dynamic_components;
 pub mod kconn;
 pub mod merge;
 pub mod mst;
@@ -60,5 +65,6 @@ pub use adjacency::AdjacencyList;
 pub use components::ComponentSummary;
 pub use dsu::UnionFind;
 pub use dynamic::{DynamicGraph, EdgeDiff};
+pub use dynamic_components::{DynamicComponents, FULL_REBUILD_CHURN_FRACTION};
 pub use merge::MergeProfile;
 pub use mst::{critical_range, minimum_spanning_tree, MstEdge};

@@ -182,3 +182,117 @@ proptest! {
         prop_assert_eq!(g.edge_count(), manual);
     }
 }
+
+// ---------------------------------------------------------------------------
+// DynamicComponents replay: bit-identical to the ComponentSummary oracle
+// at every step, over every mobility model.
+// ---------------------------------------------------------------------------
+
+use manet_geom::Region;
+use manet_graph::{ComponentSummary, DynamicComponents};
+use manet_mobility::{
+    Drunkard, Mobility, RandomDirection, RandomWalk, RandomWaypoint, StationaryModel,
+};
+use rand::SeedableRng;
+
+/// The workspace's mobility models as boxed trait objects, so the
+/// proptest can range over all of them uniformly.
+fn model_for(kind: u8, side: f64) -> Box<dyn Mobility<2>> {
+    match kind % 5 {
+        0 => Box::new(StationaryModel::new()),
+        1 => Box::new(RandomWaypoint::new(0.5, 0.05 * side, 2, 0.1).expect("valid waypoint")),
+        2 => Box::new(Drunkard::new(0.1, 0.3, 0.05 * side).expect("valid drunkard")),
+        3 => Box::new(RandomWalk::new(0.03 * side, 0.1).expect("valid walk")),
+        _ => Box::new(RandomDirection::new(0.5, 0.05 * side, 2, 0.1).expect("valid direction")),
+    }
+}
+
+/// Drives one trajectory through `DynamicGraph` + `DynamicComponents`,
+/// asserting oracle equality at every step; returns the rebuild-path
+/// counters so callers can assert coverage of the deletion paths.
+fn replay_against_oracle(
+    kind: u8,
+    n: usize,
+    side: f64,
+    range: f64,
+    steps: usize,
+    seed: u64,
+) -> Result<(u64, u64), TestCaseError> {
+    let region: Region<2> = Region::new(side).expect("positive side");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut positions = region.place_uniform(n, &mut rng);
+    let mut model = model_for(kind, side);
+    model.init(&positions, &region, &mut rng);
+
+    let mut dg = DynamicGraph::new(&positions, side, range);
+    let mut dc = DynamicComponents::new(n);
+    dc.apply(&dg.initial_diff(), dg.graph());
+    for step in 0..steps {
+        if step > 0 {
+            model.step(&mut positions, &region, &mut rng);
+            let diff = dg.advance(&positions);
+            dc.apply(&diff, dg.graph());
+        }
+        let oracle = ComponentSummary::of(dg.graph());
+        prop_assert_eq!(
+            dc.count(),
+            oracle.count(),
+            "count diverged at step {}",
+            step
+        );
+        prop_assert_eq!(
+            dc.largest_size(),
+            oracle.largest_size(),
+            "largest diverged at step {}",
+            step
+        );
+        let mut sizes = oracle.sizes().to_vec();
+        sizes.sort_unstable();
+        prop_assert_eq!(
+            dc.sizes_sorted(),
+            sizes,
+            "size multiset diverged at step {}",
+            step
+        );
+        prop_assert_eq!(dc.is_connected(), oracle.is_connected());
+    }
+    Ok((dc.partial_rebuilds(), dc.full_rebuilds()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dynamic_components_replay_matches_oracle(
+        kind in 0u8..5,
+        n in 2usize..48,
+        range_frac in 0.02..0.4f64,
+        steps in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let side = 100.0;
+        replay_against_oracle(kind, n, side, range_frac * side, steps, seed)?;
+    }
+}
+
+#[test]
+fn replay_exercises_partial_and_full_rebuild_paths_for_every_mobile_model() {
+    // Deterministic coverage check: over fast, long trajectories every
+    // mobile model must hit the deletion (epoch partial-rebuild) path,
+    // and the teleport-heavy drunkard must also hit the amortized full
+    // rebuild. (The stationary model, kind 0, never churns.)
+    let mut partial_total = 0;
+    let mut full_total = 0;
+    for kind in 1u8..5 {
+        let (partial, full) =
+            replay_against_oracle(kind, 32, 100.0, 18.0, 120, 7 + kind as u64).unwrap();
+        assert!(
+            partial > 0 || full > 0,
+            "model kind {kind} never exercised a deletion path"
+        );
+        partial_total += partial;
+        full_total += full;
+    }
+    assert!(partial_total > 0, "no model took the epoch partial rebuild");
+    assert!(full_total > 0, "no model took the amortized full rebuild");
+}

@@ -10,24 +10,28 @@
 //! `ceil(fraction · n)` nodes (an order statistic of the Kruskal merge
 //! process, exact, no grid).
 
-use crate::{config::SimConfig, engine::run_simulation, engine::StepObserver, SimError};
-use manet_geom::Point;
+use crate::{
+    config::SimConfig,
+    stream::{run_connectivity_stream, ConnectivityObserver, StepView},
+    SimError,
+};
 use manet_graph::MergeProfile;
 use manet_mobility::Mobility;
 use manet_stats::FrozenSeries;
 
 /// Observer recording the per-step range needed for a component of
-/// `target` nodes.
+/// `target` nodes (positions-only stream lane: the Kruskal merge
+/// process answers for every range at once).
 struct ComponentRangeObserver {
     target: usize,
     series: Vec<f64>,
 }
 
-impl<const D: usize> StepObserver<D> for ComponentRangeObserver {
+impl<const D: usize> ConnectivityObserver<D> for ComponentRangeObserver {
     type Output = Vec<f64>;
 
-    fn observe(&mut self, _step: usize, positions: &[Point<D>]) {
-        let profile = MergeProfile::of(positions);
+    fn observe(&mut self, view: &StepView<'_, D>) {
+        let profile = MergeProfile::of(view.positions());
         let r = profile
             .range_for_size(self.target)
             .expect("target validated against n at config time");
@@ -112,7 +116,7 @@ where
         });
     }
     let target = ((fraction * config.nodes() as f64).ceil() as usize).clamp(1, config.nodes());
-    let raw = run_simulation(config, model, |_| ComponentRangeObserver {
+    let raw = run_connectivity_stream(config, model, None, |_| ComponentRangeObserver {
         target,
         series: Vec::with_capacity(config.steps()),
     })?;

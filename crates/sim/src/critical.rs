@@ -11,22 +11,27 @@
 //! * `r100 = max_t c_t`, `r0 = min_t c_t` (at any `r < min c_t` no
 //!   step is connected, and `min c_t` is the supremum of such ranges).
 
-use crate::{config::SimConfig, engine::run_simulation, engine::StepObserver, SimError};
-use manet_geom::Point;
+use crate::{
+    config::SimConfig,
+    stream::{run_connectivity_stream, ConnectivityObserver, StepView},
+    SimError,
+};
 use manet_graph::critical_range;
 use manet_mobility::Mobility;
 use manet_stats::{FrozenSeries, RunningMoments};
 
-/// Observer computing the critical transmitting range of every step.
+/// Observer computing the critical transmitting range of every step
+/// (positions-only lane of the connectivity stream: the MST bottleneck
+/// needs no fixed-range snapshot).
 struct CriticalRangeObserver {
     series: Vec<f64>,
 }
 
-impl<const D: usize> StepObserver<D> for CriticalRangeObserver {
+impl<const D: usize> ConnectivityObserver<D> for CriticalRangeObserver {
     type Output = Vec<f64>;
 
-    fn observe(&mut self, _step: usize, positions: &[Point<D>]) {
-        self.series.push(critical_range(positions));
+    fn observe(&mut self, view: &StepView<'_, D>) {
+        self.series.push(critical_range(view.positions()));
     }
 
     fn finish(self) -> Vec<f64> {
@@ -49,7 +54,7 @@ pub fn simulate_critical_ranges<const D: usize, M>(
 where
     M: Mobility<D> + Clone + Send + Sync,
 {
-    let raw = run_simulation(config, model, |_| CriticalRangeObserver {
+    let raw = run_connectivity_stream(config, model, None, |_| CriticalRangeObserver {
         series: Vec::with_capacity(config.steps()),
     })?;
     let per_iteration = raw

@@ -8,9 +8,11 @@
 //! parameters are reported with reference both to a single iteration
 //! [...] and to all the iterations."
 
-use crate::{config::SimConfig, engine::run_simulation, engine::StepObserver, SimError};
-use manet_geom::Point;
-use manet_graph::{AdjacencyList, ComponentSummary};
+use crate::{
+    config::SimConfig,
+    stream::{run_connectivity_stream, ConnectivityObserver, StepView},
+    SimError,
+};
 use manet_mobility::Mobility;
 use manet_stats::RunningMoments;
 
@@ -84,15 +86,33 @@ impl FixedRangeReport {
         }
     }
 
-    /// Overall mean largest-component size over **all** steps.
-    pub fn avg_largest(&self) -> f64 {
+    /// Step-weighted pooled mean of a per-iteration, per-step metric —
+    /// equals the mean over all steps of all iterations.
+    fn pooled(&self, metric: impl Fn(&IterationStats) -> f64) -> f64 {
         let mut num = 0.0;
         let mut den = 0usize;
         for it in &self.iterations {
-            num += it.avg_largest * it.steps as f64;
+            num += metric(it) * it.steps as f64;
             den += it.steps;
         }
         num / den as f64
+    }
+
+    /// Overall mean largest-component size over **all** steps.
+    pub fn avg_largest(&self) -> f64 {
+        self.pooled(|it| it.avg_largest)
+    }
+
+    /// Overall mean number of isolated (degree-0) nodes per step,
+    /// pooled over iterations (weighted by step count).
+    pub fn avg_isolated(&self) -> f64 {
+        self.pooled(|it| it.avg_isolated)
+    }
+
+    /// Overall mean number of connected components per step, pooled
+    /// over iterations (weighted by step count).
+    pub fn avg_components(&self) -> f64 {
+        self.pooled(|it| it.avg_components)
     }
 
     /// Overall minimum largest-component size.
@@ -126,10 +146,9 @@ impl core::fmt::Display for FixedRangeReport {
 }
 
 /// Observer computing connectivity and largest-component size at one
-/// fixed range.
+/// fixed range, reading every quantity off the stream's incremental
+/// component summary — no per-step rebuild or relabeling.
 struct FixedRangeObserver {
-    range: f64,
-    side: f64,
     connected_steps: usize,
     steps: usize,
     largest_all: RunningMoments,
@@ -139,12 +158,11 @@ struct FixedRangeObserver {
     components: RunningMoments,
 }
 
-impl<const D: usize> StepObserver<D> for FixedRangeObserver {
+impl<const D: usize> ConnectivityObserver<D> for FixedRangeObserver {
     type Output = IterationStats;
 
-    fn observe(&mut self, _step: usize, positions: &[Point<D>]) {
-        let graph = AdjacencyList::from_points(positions, self.side, self.range);
-        let comps = ComponentSummary::of(&graph);
+    fn observe(&mut self, view: &StepView<'_, D>) {
+        let comps = view.components();
         let largest = comps.largest_size();
         self.steps += 1;
         self.largest_all.push(largest as f64);
@@ -154,7 +172,9 @@ impl<const D: usize> StepObserver<D> for FixedRangeObserver {
             self.largest_disconnected.push(largest as f64);
         }
         self.min_largest = self.min_largest.min(largest);
-        self.isolated.push(graph.isolated_nodes().len() as f64);
+        // Isolated (degree-0) nodes are exactly the singleton
+        // components.
+        self.isolated.push(comps.singleton_count() as f64);
         self.components.push(comps.count() as f64);
     }
 
@@ -189,14 +209,7 @@ pub fn simulate_fixed_range<const D: usize, M>(
 where
     M: Mobility<D> + Clone + Send + Sync,
 {
-    if !(range.is_finite() && range > 0.0) {
-        return Err(SimError::InvalidConfig {
-            reason: format!("transmitting range must be positive and finite, got {range}"),
-        });
-    }
-    let iterations = run_simulation(config, model, |_| FixedRangeObserver {
-        range,
-        side: config.side(),
+    let iterations = run_connectivity_stream(config, model, Some(range), |_| FixedRangeObserver {
         connected_steps: 0,
         steps: 0,
         largest_all: RunningMoments::new(),

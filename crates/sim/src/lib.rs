@@ -33,6 +33,14 @@
 //! ([`manet_graph::DynamicGraph`]) into link-lifetime, inter-contact,
 //! isolation and outage/repair distributions.
 //!
+//! Every pipeline above runs through one step-driver, the [`stream`]
+//! module's [`ConnectivityStream`]: it owns the per-step
+//! `DynamicGraph::advance` + `DynamicComponents::apply` loop and hands
+//! each [`ConnectivityObserver`] a [`StepView`] with positions plus
+//! (for range-bound pipelines) the snapshot, the incremental
+//! components, and the edge delta — the hot loop is delta-apply, never
+//! rebuild-and-relabel.
+//!
 //! Iterations run in parallel with deterministic per-iteration seeds
 //! ([`manet_stats::SeedSequence`]), so results are bit-identical for a
 //! given master seed regardless of thread count.
@@ -70,6 +78,7 @@ pub mod profile;
 pub mod quantity;
 pub mod search;
 pub mod stationary;
+pub mod stream;
 pub mod trace;
 pub mod uptime;
 
@@ -83,6 +92,9 @@ pub use fixed::{simulate_fixed_range, FixedRangeReport, IterationStats};
 pub use profile::{simulate_profiles, ProfileResults, RangeSizeProfile};
 pub use quantity::{measure_mobility_quantity, MobilityQuantity};
 pub use stationary::StationaryAnalysis;
+pub use stream::{
+    run_connectivity_stream, ConnectivityObserver, ConnectivityStream, LinkView, StepView,
+};
 pub use trace::{simulate_trace, TraceObserver};
 pub use uptime::{simulate_uptime, UptimeReport, UptimeSummary};
 

@@ -14,8 +14,11 @@
 //! quantized event ranges; quantization error is bounded by one bin
 //! width (`profile_max_range / profile_bins`).
 
-use crate::{config::SimConfig, engine::run_simulation, engine::StepObserver, SimError};
-use manet_geom::Point;
+use crate::{
+    config::SimConfig,
+    stream::{run_connectivity_stream, ConnectivityObserver, StepView},
+    SimError,
+};
 use manet_graph::MergeProfile;
 use manet_mobility::Mobility;
 use manet_stats::RunningMoments;
@@ -180,18 +183,19 @@ impl RangeSizeProfile {
     }
 }
 
-/// Observer accumulating merge profiles every `stride`-th step.
+/// Observer accumulating merge profiles every `stride`-th step
+/// (positions-only stream lane).
 struct ProfileObserver {
     stride: usize,
     profile: RangeSizeProfile,
 }
 
-impl<const D: usize> StepObserver<D> for ProfileObserver {
+impl<const D: usize> ConnectivityObserver<D> for ProfileObserver {
     type Output = RangeSizeProfile;
 
-    fn observe(&mut self, step: usize, positions: &[Point<D>]) {
-        if step.is_multiple_of(self.stride) {
-            self.profile.accumulate(&MergeProfile::of(positions));
+    fn observe(&mut self, view: &StepView<'_, D>) {
+        if view.step().is_multiple_of(self.stride) {
+            self.profile.accumulate(&MergeProfile::of(view.positions()));
         }
     }
 
@@ -288,7 +292,7 @@ where
         config.profile_max_range(),
         config.profile_bins(),
     )?;
-    let per_iteration = run_simulation(config, model, |_| ProfileObserver {
+    let per_iteration = run_connectivity_stream(config, model, None, |_| ProfileObserver {
         stride: config.profile_stride(),
         profile: RangeSizeProfile::new(
             config.nodes(),

@@ -9,7 +9,11 @@
 //! campaign, so the quantity of mobility of any model/parameter choice
 //! can be measured and correlated with the connectivity metrics.
 
-use crate::{config::SimConfig, engine::run_simulation, engine::StepObserver, SimError};
+use crate::{
+    config::SimConfig,
+    stream::{run_connectivity_stream, ConnectivityObserver, StepView},
+    SimError,
+};
 use manet_geom::Point;
 use manet_mobility::Mobility;
 use manet_stats::RunningMoments;
@@ -27,7 +31,8 @@ pub struct MobilityQuantity {
     pub never_moved_fraction: f64,
 }
 
-/// Observer measuring displacements between consecutive steps.
+/// Observer measuring displacements between consecutive steps
+/// (positions-only stream lane: no graph structure involved).
 struct QuantityObserver<const D: usize> {
     prev: Vec<Point<D>>,
     displacement: RunningMoments,
@@ -36,10 +41,11 @@ struct QuantityObserver<const D: usize> {
     ever_moved: Vec<bool>,
 }
 
-impl<const D: usize> StepObserver<D> for QuantityObserver<D> {
+impl<const D: usize> ConnectivityObserver<D> for QuantityObserver<D> {
     type Output = MobilityQuantity;
 
-    fn observe(&mut self, step: usize, positions: &[Point<D>]) {
+    fn observe(&mut self, view: &StepView<'_, D>) {
+        let (step, positions) = (view.step(), view.positions());
         if step == 0 {
             self.prev = positions.to_vec();
             self.ever_moved = vec![false; positions.len()];
@@ -98,7 +104,7 @@ where
             reason: "measuring mobility quantity requires at least 2 steps".into(),
         });
     }
-    run_simulation(config, model, |_| QuantityObserver {
+    run_connectivity_stream(config, model, None, |_| QuantityObserver {
         prev: Vec::new(),
         displacement: RunningMoments::new(),
         moved_pairs: 0,

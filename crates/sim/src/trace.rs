@@ -1,59 +1,48 @@
 //! Temporal-trace campaigns: the `manet-trace` subsystem driven by the
-//! parallel engine.
+//! connectivity stream.
 //!
-//! [`TraceObserver`] plugs the delta stream of
-//! [`manet_graph::DynamicGraph`] into the [`StepObserver`] machinery,
-//! so each iteration folds its trajectory into a
-//! [`manet_trace::TemporalRecord`] incrementally — the hot loop does
-//! work proportional to the changed edges, never an `O(n²)` rebuild.
-//! [`simulate_trace`] runs the whole campaign and pools the records
-//! into a [`TraceSummary`].
+//! [`TraceObserver`] folds each step's [`StepView`] — the edge delta,
+//! the snapshot, and the incrementally-maintained components the
+//! stream already owns — into a [`manet_trace::TemporalRecord`]. The
+//! stream's snapshot reconstruction is grid-accelerated `O(n + E)`
+//! per step (never the brute-force `O(n²)`), and everything downstream
+//! of it — link bookkeeping and the component summary — is
+//! delta-proportional, with no full relabeling. [`simulate_trace`]
+//! runs the whole campaign and pools the records into a
+//! [`TraceSummary`].
 
-use crate::{config::SimConfig, engine::run_simulation, engine::StepObserver, SimError};
-use manet_geom::Point;
-use manet_graph::DynamicGraph;
+use crate::{
+    config::SimConfig,
+    stream::{run_connectivity_stream, ConnectivityObserver, StepView},
+    SimError,
+};
 use manet_mobility::Mobility;
 use manet_trace::{TemporalRecord, TraceRecorder, TraceSummary};
 
 /// Observer folding one iteration's trajectory into temporal metrics
-/// at a fixed transmitting range.
+/// at the stream's transmitting range.
 pub struct TraceObserver {
-    side: f64,
-    range: f64,
-    /// Built from the first step's positions (the initial placement).
-    dynamic: Option<DynamicGraph>,
     recorder: TraceRecorder,
 }
 
 impl TraceObserver {
-    /// Creates an observer for a campaign over `nodes` nodes in
-    /// `[0, side]^D`, `steps` steps long, tracing links at
-    /// transmitting range `range`.
-    pub fn new(nodes: usize, side: f64, range: f64, steps: usize) -> Self {
+    /// Creates an observer for a campaign over `nodes` nodes observed
+    /// for `steps` mobility steps. Graph maintenance (side, range) is
+    /// owned by the [`ConnectivityStream`](crate::ConnectivityStream)
+    /// driving it.
+    pub fn new(nodes: usize, steps: usize) -> Self {
         TraceObserver {
-            side,
-            range,
-            dynamic: None,
             recorder: TraceRecorder::new(nodes, steps),
         }
     }
 }
 
-impl<const D: usize> StepObserver<D> for TraceObserver {
+impl<const D: usize> ConnectivityObserver<D> for TraceObserver {
     type Output = TemporalRecord;
 
-    fn observe(&mut self, _step: usize, positions: &[Point<D>]) {
-        let diff = match self.dynamic.as_mut() {
-            None => {
-                let dg = DynamicGraph::new(positions, self.side, self.range);
-                let diff = dg.initial_diff();
-                self.dynamic = Some(dg);
-                diff
-            }
-            Some(dg) => dg.advance(positions),
-        };
-        let graph = self.dynamic.as_ref().expect("set above").graph();
-        self.recorder.observe(&diff, graph);
+    fn observe(&mut self, view: &StepView<'_, D>) {
+        self.recorder
+            .observe_with(view.diff(), view.graph(), view.components());
     }
 
     fn finish(self) -> TemporalRecord {
@@ -75,13 +64,8 @@ pub fn simulate_trace<const D: usize, M>(
 where
     M: Mobility<D> + Clone + Send + Sync,
 {
-    if !(range.is_finite() && range > 0.0) {
-        return Err(SimError::InvalidConfig {
-            reason: format!("transmitting range must be positive and finite, got {range}"),
-        });
-    }
-    let records = run_simulation(config, model, |_| {
-        TraceObserver::new(config.nodes(), config.side(), range, config.steps())
+    let records = run_connectivity_stream(config, model, Some(range), |_| {
+        TraceObserver::new(config.nodes(), config.steps())
     })?;
     TraceSummary::aggregate(&records).map_err(SimError::Trace)
 }

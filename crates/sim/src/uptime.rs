@@ -10,23 +10,26 @@
 //! quantities engineers actually provision against: mean time between
 //! failures, mean time to repair, and the longest outage.
 
-use crate::{config::SimConfig, engine::run_simulation, engine::StepObserver, SimError};
-use manet_geom::Point;
+use crate::{
+    config::SimConfig,
+    stream::{run_connectivity_stream, ConnectivityObserver, StepView},
+    SimError,
+};
 use manet_graph::critical_range;
 use manet_mobility::Mobility;
 
 /// Observer recording the critical range of every step **in time
 /// order** (unlike [`crate::simulate_critical_ranges`], which freezes
-/// sorted series for quantile queries).
+/// sorted series for quantile queries). Positions-only stream lane.
 struct RawSeriesObserver {
     series: Vec<f64>,
 }
 
-impl<const D: usize> StepObserver<D> for RawSeriesObserver {
+impl<const D: usize> ConnectivityObserver<D> for RawSeriesObserver {
     type Output = Vec<f64>;
 
-    fn observe(&mut self, _step: usize, positions: &[Point<D>]) {
-        self.series.push(critical_range(positions));
+    fn observe(&mut self, view: &StepView<'_, D>) {
+        self.series.push(critical_range(view.positions()));
     }
 
     fn finish(self) -> Vec<f64> {
@@ -47,7 +50,7 @@ pub fn simulate_raw_critical_series<const D: usize, M>(
 where
     M: Mobility<D> + Clone + Send + Sync,
 {
-    run_simulation(config, model, |_| RawSeriesObserver {
+    run_connectivity_stream(config, model, None, |_| RawSeriesObserver {
         series: Vec::with_capacity(config.steps()),
     })
 }

@@ -4,8 +4,8 @@
 
 use manet_mobility::{Drunkard, RandomWaypoint, StationaryModel};
 use manet_sim::{
-    simulate_component_ranges, simulate_critical_ranges, simulate_fixed_range, simulate_profiles,
-    SimConfig,
+    run_connectivity_stream, simulate_component_ranges, simulate_critical_ranges,
+    simulate_fixed_range, simulate_profiles, SimConfig,
 };
 use proptest::prelude::*;
 
@@ -129,5 +129,88 @@ proptest! {
         for q in res.quantiles_per_iteration().unwrap() {
             prop_assert!((q.r100 - q.r0).abs() < 1e-12);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The connectivity stream: incremental per-step state equals the
+// from-scratch oracle through the full engine (placement, mobility,
+// parallel iterations), for random configurations and models.
+// ---------------------------------------------------------------------------
+
+mod stream_oracle {
+    use manet_graph::{AdjacencyList, ComponentSummary};
+    use manet_sim::{ConnectivityObserver, StepView};
+
+    /// Per-step oracle checker: recomputes the snapshot and its
+    /// components from scratch and compares against the stream's
+    /// incremental state.
+    pub struct OracleObserver {
+        pub range: f64,
+        pub checked_steps: usize,
+    }
+
+    impl<const D: usize> ConnectivityObserver<D> for OracleObserver {
+        type Output = usize;
+
+        fn observe(&mut self, view: &StepView<'_, D>) {
+            let rebuilt = AdjacencyList::from_points_brute_force(view.positions(), self.range);
+            assert_eq!(view.graph(), &rebuilt, "snapshot diverged from rebuild");
+            let oracle = ComponentSummary::of(&rebuilt);
+            let incremental = view.components();
+            assert_eq!(incremental.count(), oracle.count());
+            assert_eq!(incremental.largest_size(), oracle.largest_size());
+            let mut sizes = oracle.sizes().to_vec();
+            sizes.sort_unstable();
+            assert_eq!(incremental.sizes_sorted(), sizes);
+            assert_eq!(
+                incremental.singleton_count(),
+                rebuilt.isolated_nodes().len(),
+                "singleton components must be the degree-0 nodes"
+            );
+            self.checked_steps += 1;
+        }
+
+        fn finish(self) -> usize {
+            self.checked_steps
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn stream_components_match_oracle_over_models(
+        model_kind in 0u8..3,
+        nodes in 2usize..20,
+        side in 50.0..200.0f64,
+        range_frac in 0.05..0.5f64,
+        steps in 1usize..25,
+        seed in any::<u64>(),
+    ) {
+        let cfg = config(nodes, side, 2, steps, seed);
+        let range = range_frac * side;
+        let run = |obs_range: f64| {
+            let make = |_| stream_oracle::OracleObserver { range: obs_range, checked_steps: 0 };
+            match model_kind % 3 {
+                0 => run_connectivity_stream(
+                    &cfg, &StationaryModel::new(), Some(obs_range), make),
+                1 => run_connectivity_stream(
+                    &cfg,
+                    &RandomWaypoint::new(0.1, 0.05 * side, 1, 0.1).unwrap(),
+                    Some(obs_range),
+                    make,
+                ),
+                _ => run_connectivity_stream(
+                    &cfg,
+                    &Drunkard::new(0.1, 0.3, 0.05 * side).unwrap(),
+                    Some(obs_range),
+                    make,
+                ),
+            }
+        };
+        let outs = run(range).unwrap();
+        prop_assert_eq!(outs, vec![steps, steps]);
     }
 }

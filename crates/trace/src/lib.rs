@@ -16,19 +16,25 @@
 //!
 //! * [`manet_graph::DynamicGraph`] (in `manet-graph`) turns a
 //!   trajectory into a stream of **edge deltas** — `O(changed edges)`
-//!   per step instead of `O(n²)` rebuilds;
+//!   per step instead of `O(n²)` rebuilds — and
+//!   [`manet_graph::DynamicComponents`] maintains the component
+//!   summary under that stream, so connectivity episodes need no
+//!   per-step relabeling either;
 //! * [`TraceRecorder`] folds one trajectory's delta stream into link
-//!   **events** (edge up/down) and connectivity **episodes**
-//!   (connected/partitioned runs, per-node isolation spells);
+//!   **events** (edge up/down, plus mean/peak per-step churn) and
+//!   connectivity **episodes** (connected/partitioned runs, per-node
+//!   isolation spells);
 //! * [`IntervalAccumulator`] turns each family of interval durations
 //!   into moments + histogram + survival curve (`manet-stats`), with
 //!   censoring for intervals still open at the horizon;
 //! * [`TemporalRecord`] is one trajectory's folded metrics;
 //!   [`TraceSummary::aggregate`] pools them across iterations.
 //!
-//! `manet-sim` drives this from its observer machinery
-//! (`TraceObserver` / `simulate_trace`), and `manet-repro trace`
-//! sweeps range × mobility model into JSON/CSV artifacts.
+//! `manet-sim` drives this from its connectivity stream
+//! (`ConnectivityStream` → `TraceObserver` / `simulate_trace`, sharing
+//! one incrementally-maintained component summary per iteration), and
+//! `manet-repro trace` sweeps range × mobility model into JSON/CSV
+//! artifacts.
 //!
 //! # Example
 //!

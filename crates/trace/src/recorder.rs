@@ -9,7 +9,7 @@
 //! which is what makes tracing cheap enough to run at every step.
 
 use crate::intervals::IntervalAccumulator;
-use manet_graph::{AdjacencyList, ComponentSummary, EdgeDiff};
+use manet_graph::{AdjacencyList, DynamicComponents, EdgeDiff};
 use std::collections::HashMap;
 
 /// Packs an undirected edge `(a, b)`, `a < b`, into one map key.
@@ -22,16 +22,11 @@ fn pair_key(a: u32, b: u32) -> u64 {
 /// per-step connectivity indicator refined to a `[0, 1]` measure
 /// (1 iff connected). Networks with fewer than two nodes count as
 /// fully path-available.
-fn pair_connectivity(components: &ComponentSummary, n: usize) -> f64 {
+fn pair_connectivity(components: &DynamicComponents, n: usize) -> f64 {
     if n < 2 {
         return 1.0;
     }
-    let reachable: u64 = components
-        .sizes()
-        .iter()
-        .map(|&s| s as u64 * (s as u64 - 1))
-        .sum();
-    reachable as f64 / (n as u64 * (n as u64 - 1)) as f64
+    components.ordered_reachable_pairs() as f64 / (n as u64 * (n as u64 - 1)) as f64
 }
 
 /// Folds one trajectory's link events and connectivity episodes into
@@ -82,12 +77,19 @@ pub struct TraceRecorder {
     outages: IntervalAccumulator,
     link_up_events: u64,
     link_down_events: u64,
+    /// Largest single-step churn (added + removed edges) seen so far.
+    peak_churn: usize,
     connected_steps: usize,
     path_connectivity_sum: f64,
     /// Step the current partition outage began (None while connected).
     down_run_start: Option<usize>,
     first_disconnect_at: Option<usize>,
     time_to_repair: Option<usize>,
+    /// Incremental component summary maintained by [`TraceRecorder::observe`]
+    /// for standalone (non-stream) drivers; `None` until first use.
+    /// [`TraceRecorder::observe_with`] clears it, so `observe` can
+    /// detect (and refuse) resuming from state that missed a delta.
+    components: Option<DynamicComponents>,
 }
 
 impl TraceRecorder {
@@ -107,24 +109,65 @@ impl TraceRecorder {
             outages: IntervalAccumulator::new(steps),
             link_up_events: 0,
             link_down_events: 0,
+            peak_churn: 0,
             connected_steps: 0,
             path_connectivity_sum: 0.0,
             down_run_start: None,
             first_disconnect_at: None,
             time_to_repair: None,
+            components: None,
         }
     }
 
     /// Folds in one step: the edge delta that produced `graph` from
     /// the previous snapshot, plus the snapshot itself (for degrees
-    /// and components).
+    /// and components). Maintains an internal [`DynamicComponents`]
+    /// under the delta stream — no per-step relabeling. Drivers that
+    /// already maintain components (the `manet-sim` connectivity
+    /// stream) should call [`TraceRecorder::observe_with`] instead to
+    /// avoid the duplicate apply.
     ///
     /// # Panics
     ///
     /// Panics when `graph` has a different node count than the
-    /// recorder was created with.
+    /// recorder was created with, or when the recorder was previously
+    /// driven through [`TraceRecorder::observe_with`] — the internal
+    /// component state would have missed those deltas, so the two
+    /// entry points must not be mixed on one recorder.
     pub fn observe(&mut self, diff: &EdgeDiff, graph: &AdjacencyList) {
+        assert!(
+            self.steps_seen == 0 || self.components.is_some(),
+            "observe() cannot follow observe_with(): internal components missed earlier deltas"
+        );
+        let mut components = self
+            .components
+            .take()
+            .unwrap_or_else(|| DynamicComponents::new(self.nodes));
+        components.apply(diff, graph);
+        self.observe_with(diff, graph, &components);
+        self.components = Some(components);
+    }
+
+    /// Folds in one step using a caller-maintained component summary
+    /// (which must already reflect `diff` applied onto `graph`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `graph` or `components` has a different node count
+    /// than the recorder was created with.
+    pub fn observe_with(
+        &mut self,
+        diff: &EdgeDiff,
+        graph: &AdjacencyList,
+        components: &DynamicComponents,
+    ) {
+        // Drop any internal component state: it has not seen this
+        // delta, so a later `observe` must not resume from it (its
+        // guard refuses once this is None past step 0). `observe`
+        // itself restores its state right after delegating here.
+        self.components = None;
         assert_eq!(graph.len(), self.nodes, "node count changed mid-trace");
+        assert_eq!(components.len(), self.nodes, "component summary mismatch");
         let t = self.steps_seen;
 
         // Link events — work proportional to the changed edges.
@@ -144,6 +187,14 @@ impl TraceRecorder {
             self.up_since.insert(key, t);
             self.link_up_events += 1;
         }
+        // Peak link-dynamics intensity. Step 0's delta is the whole
+        // initial snapshot reported as added (`initial_diff`) — that's
+        // placement, not dynamics, so it is excluded from the peak
+        // (unlike the event totals, which the docs define as including
+        // the initial edges).
+        if t > 0 {
+            self.peak_churn = self.peak_churn.max(diff.churn());
+        }
 
         // Isolation spells (degree-0 runs per node).
         for i in 0..self.nodes {
@@ -158,10 +209,10 @@ impl TraceRecorder {
             }
         }
 
-        // Connectivity episodes and path availability.
-        let components = ComponentSummary::of(graph);
+        // Connectivity episodes and path availability, read off the
+        // incrementally-maintained components.
         let connected = components.is_connected();
-        self.path_connectivity_sum += pair_connectivity(&components, self.nodes);
+        self.path_connectivity_sum += pair_connectivity(components, self.nodes);
         if connected {
             self.connected_steps += 1;
             if let Some(start) = self.down_run_start.take() {
@@ -212,6 +263,7 @@ impl TraceRecorder {
             outages: self.outages,
             link_up_events: self.link_up_events,
             link_down_events: self.link_down_events,
+            peak_churn: self.peak_churn,
             connected_steps: self.connected_steps,
             availability: self.connected_steps as f64 / steps as f64,
             path_availability: self.path_connectivity_sum / steps as f64,
@@ -242,6 +294,11 @@ pub struct TemporalRecord {
     pub link_up_events: u64,
     /// Total edge-down events.
     pub link_down_events: u64,
+    /// Largest single-step edge churn (added + removed links) over
+    /// steps `t > 0` — the peak link-dynamics intensity of the
+    /// trajectory. Step 0's delta (the initial placement's edges) is
+    /// excluded: it measures density, not dynamics.
+    pub peak_churn: usize,
     /// Steps whose graph was connected.
     pub connected_steps: usize,
     /// Fraction of steps connected.
@@ -393,5 +450,54 @@ mod tests {
             record.link_down_events,
             record.intercontacts.count() + record.intercontacts.censored()
         );
+    }
+
+    #[test]
+    fn peak_churn_excludes_the_initial_placement() {
+        // Step 0 brings up 3 links at once (placement density); the
+        // only dynamics afterwards is one link flapping down then up.
+        let record = record_trajectory(
+            &[
+                vec![0.0, 1.0, 2.0, 3.0], // 3 initial links
+                vec![0.0, 1.0, 2.0, 9.0], // link 2-3 down
+                vec![0.0, 1.0, 2.0, 3.0], // link 2-3 up
+            ],
+            1.5,
+        );
+        assert_eq!(record.link_up_events, 4); // 3 initial + 1 re-up
+        assert_eq!(record.peak_churn, 1, "placement must not set the peak");
+
+        // A static network has zero peak churn however dense it is.
+        let still = record_trajectory(&[vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]], 1.5);
+        assert_eq!(still.peak_churn, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot follow observe_with")]
+    fn mixing_observe_with_then_observe_panics() {
+        let pts: Vec<Point<1>> = vec![Point::new([0.0]), Point::new([1.0])];
+        let dg = DynamicGraph::new(&pts, 10.0, 2.0);
+        let mut external = manet_graph::DynamicComponents::new(2);
+        external.apply(&dg.initial_diff(), dg.graph());
+        let mut rec = TraceRecorder::new(2, 5);
+        rec.observe_with(&dg.initial_diff(), dg.graph(), &external);
+        // The internal component state missed the first delta; folding
+        // through `observe` now must be refused, not silently wrong.
+        rec.observe(&EdgeDiff::default(), dg.graph());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot follow observe_with")]
+    fn interleaving_observe_with_between_observes_panics() {
+        let pts: Vec<Point<1>> = vec![Point::new([0.0]), Point::new([1.0])];
+        let dg = DynamicGraph::new(&pts, 10.0, 2.0);
+        let mut external = manet_graph::DynamicComponents::new(2);
+        external.apply(&dg.initial_diff(), dg.graph());
+        let mut rec = TraceRecorder::new(2, 5);
+        rec.observe(&dg.initial_diff(), dg.graph());
+        // An interleaved external step invalidates the internal state…
+        rec.observe_with(&EdgeDiff::default(), dg.graph(), &external);
+        // …so resuming the internal path must panic, not drift.
+        rec.observe(&EdgeDiff::default(), dg.graph());
     }
 }

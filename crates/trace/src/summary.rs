@@ -41,8 +41,14 @@ pub struct TraceSummary {
     pub availability: f64,
     /// Mean fraction of node pairs joined by some path.
     pub path_availability: f64,
-    /// Mean link up/down events per step (edge churn rate).
+    /// Mean link up/down events per step — the average edge churn
+    /// ([`manet_graph::EdgeDiff::churn`]) over all steps of all
+    /// iterations.
     pub link_events_per_step: f64,
+    /// Largest single-step edge churn observed in any iteration over
+    /// steps `t > 0` (the initial placement's edges are excluded) —
+    /// the peak link-dynamics intensity behind the mean.
+    pub peak_churn: usize,
     /// Link-lifetime distribution (pooled over iterations).
     pub link_lifetime: IntervalSummary,
     /// Inter-contact-time distribution (pooled).
@@ -92,6 +98,7 @@ impl TraceSummary {
             .map(|r| r.link_up_events + r.link_down_events)
             .sum();
         let link_events_per_step = total_events as f64 / total_steps.max(1) as f64;
+        let peak_churn = records.iter().map(|r| r.peak_churn).max().unwrap_or(0);
 
         let mut repair_moments = RunningMoments::new();
         let mut disconnected_iterations = 0usize;
@@ -120,6 +127,7 @@ impl TraceSummary {
             availability,
             path_availability,
             link_events_per_step,
+            peak_churn,
             link_lifetime: lifetimes.summarize(),
             inter_contact: intercontacts.summarize(),
             isolation: isolation.summarize(),
