@@ -10,7 +10,6 @@ use manet_core::mobility::Drunkard;
 use manet_core::occupancy::Occupancy;
 use manet_core::sim::search::find_range_for_connectivity_fraction;
 use manet_core::sim::{simulate_critical_ranges, SimConfig};
-use manet_core::ModelKind;
 use std::hint::black_box;
 
 /// CTR-quantile method vs bisection search for `r90` (identical
@@ -63,7 +62,7 @@ fn drunkard_boundary_policies(c: &mut Criterion) {
     ] {
         group.bench_function(name, |bch| {
             let model = Drunkard::with_boundary(0.0, 0.0, 64.0, policy).unwrap();
-            let p = small_problem(ModelKind::Drunkard(model));
+            let p = small_problem(model);
             bch.iter(|| black_box(p.solve().unwrap()))
         });
     }

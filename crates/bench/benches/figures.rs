@@ -5,7 +5,6 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use manet_bench::{bench_drunkard, bench_waypoint, small_problem};
 use manet_core::sim::StationaryAnalysis;
-use manet_core::ModelKind;
 use std::hint::black_box;
 
 /// Figure 2 pipeline: waypoint critical-range quantiles.
@@ -51,7 +50,8 @@ fn fig6(c: &mut Criterion) {
 /// Figure 7 pipeline: one p_stationary sweep point.
 fn fig7(c: &mut Criterion) {
     c.bench_function("fig7_pstationary_point", |b| {
-        let p = small_problem(ModelKind::random_waypoint(0.1, 2.56, 10, 0.5).unwrap());
+        let p =
+            small_problem(manet_core::mobility::RandomWaypoint::new(0.1, 2.56, 10, 0.5).unwrap());
         b.iter(|| black_box(p.solve().unwrap()))
     });
 }
@@ -59,7 +59,8 @@ fn fig7(c: &mut Criterion) {
 /// Figure 8 pipeline: one t_pause sweep point.
 fn fig8(c: &mut Criterion) {
     c.bench_function("fig8_tpause_point", |b| {
-        let p = small_problem(ModelKind::random_waypoint(0.1, 2.56, 25, 0.0).unwrap());
+        let p =
+            small_problem(manet_core::mobility::RandomWaypoint::new(0.1, 2.56, 25, 0.0).unwrap());
         b.iter(|| black_box(p.solve().unwrap()))
     });
 }
@@ -67,7 +68,8 @@ fn fig8(c: &mut Criterion) {
 /// Figure 9 pipeline: one v_max sweep point.
 fn fig9(c: &mut Criterion) {
     c.bench_function("fig9_vmax_point", |b| {
-        let p = small_problem(ModelKind::random_waypoint(0.1, 128.0, 10, 0.0).unwrap());
+        let p =
+            small_problem(manet_core::mobility::RandomWaypoint::new(0.1, 128.0, 10, 0.0).unwrap());
         b.iter(|| black_box(p.solve().unwrap()))
     });
 }

@@ -1,0 +1,42 @@
+//! Per-step cost of every mobility model in the registry zoo.
+//!
+//! The incremental connectivity spine (PR 3) made the *graph* side of
+//! a simulation step cheap; this target watches the *motion* side so a
+//! new model family cannot silently dominate the step budget. One
+//! bench per registry name at the paper cell `l = 1024`, `n ∈ {32,
+//! 256}`: `step` advances all nodes once (RNG and positions reused
+//! across iterations, so the measurement is the steady-state per-step
+//! cost, boundary interactions included).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_core::geom::Region;
+use manet_core::mobility::Mobility;
+use manet_core::{ModelRegistry, PaperScale};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn mobility_step(c: &mut Criterion) {
+    let side = 1024.0;
+    let region: Region<2> = Region::new(side).expect("positive side");
+    let registry = ModelRegistry::<2>::with_builtins();
+    let scale = PaperScale::new(side).with_pause(50);
+    for &n in &[32usize, 256] {
+        let mut group = c.benchmark_group(format!("mobility_step/n={n}"));
+        for name in registry.names() {
+            group.bench_function(name, |b| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(20020623);
+                let mut positions = region.place_uniform(n, &mut rng);
+                let mut model = registry.build(name, &scale).expect("builtin builds");
+                model.init(&positions, &region, &mut rng);
+                b.iter(|| {
+                    model.step(&mut positions, &region, &mut rng);
+                    black_box(&positions);
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(mobility, mobility_step);
+criterion_main!(mobility);

@@ -21,7 +21,9 @@
 //!   and the occupancy/Lemma-1 machinery;
 //! * [`MtrmProblem`] — the mobile problem: `r100/r90/r10/r0`,
 //!   component-size targets `rl90/rl75/rl50`, and availability
-//!   estimates, over any [`ModelKind`] mobility model. Every per-step
+//!   estimates, over any mobility model from the scenario zoo — a
+//!   concrete type or a name resolved through the
+//!   [`ModelRegistry`]/[`AnyModel`] pair. Every per-step
 //!   query runs on the incremental connectivity spine
 //!   (`DynamicGraph → DynamicComponents → ConnectivityStream`, see
 //!   [`graph`] and [`sim::stream`]): snapshots are rebuilt
@@ -36,7 +38,8 @@
 //! ## Quickstart
 //!
 //! ```
-//! use manet_core::{ModelKind, MtrmProblem};
+//! use manet_core::mobility::RandomWaypoint;
+//! use manet_core::MtrmProblem;
 //!
 //! // 16 nodes in a 256x256 region, random waypoint mobility.
 //! let problem = MtrmProblem::<2>::builder()
@@ -45,7 +48,7 @@
 //!     .iterations(5)
 //!     .steps(100)
 //!     .seed(42)
-//!     .model(ModelKind::random_waypoint(0.1, 2.56, 20, 0.0)?)
+//!     .model(RandomWaypoint::new(0.1, 2.56, 20, 0.0)?)
 //!     .build()?;
 //! let solution = problem.solve()?;
 //! // Always-connected needs at least as much range as 90%-connected.
@@ -64,8 +67,9 @@ pub mod one_dim;
 pub mod range_assignment;
 pub mod theorems;
 
+pub use manet_mobility::{AnyModel, ModelRegistry, PaperScale};
 pub use mtr::MtrProblem;
-pub use mtrm::{ModelKind, MtrmProblem, MtrmSolution};
+pub use mtrm::{MtrmProblem, MtrmSolution};
 pub use range_assignment::RangeAssignment;
 pub use theorems::ConnectivityRegime;
 

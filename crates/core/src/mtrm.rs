@@ -6,147 +6,28 @@
 //! > is connected during some fraction `f` of the interval?* (paper §4)
 //!
 //! [`MtrmProblem`] bundles a simulation configuration with a mobility
-//! model ([`ModelKind`]) and exposes the paper's metrics: the
-//! connectivity ranges `r100/r90/r10/r0`, the component-size targets
-//! `rl90/rl75/rl50`, and availability estimates at arbitrary ranges.
+//! model and exposes the paper's metrics: the connectivity ranges
+//! `r100/r90/r10/r0`, the component-size targets `rl90/rl75/rl50`, and
+//! availability estimates at arbitrary ranges.
+//!
+//! Models are supplied as [`AnyModel`] handles — either built directly
+//! from a concrete type (`RandomWaypoint::new(...)?.into()`) or
+//! resolved by name through the
+//! [`ModelRegistry`](manet_mobility::ModelRegistry), so new model
+//! families reach every MTRM query without changes to this crate.
 
 use crate::CoreError;
-use manet_geom::{Point, Region};
-use manet_mobility::{
-    Drunkard, Mobility, RandomDirection, RandomWalk, RandomWaypoint, StationaryModel,
-};
+use manet_mobility::AnyModel;
 use manet_sim::{
     simulate_component_ranges, simulate_critical_ranges, simulate_fixed_range, simulate_profiles,
     CriticalRangeResults, FixedRangeReport, MobileRangeSummary, ProfileResults, SimConfig,
 };
-use rand::Rng;
-
-/// A closed enumeration of the workspace's mobility models, usable
-/// directly as a [`Mobility`] implementation (by delegation) and easy
-/// to store in configurations.
-#[derive(Debug, Clone)]
-pub enum ModelKind<const D: usize> {
-    /// Intentional movement toward random waypoints (paper §4.1).
-    RandomWaypoint(RandomWaypoint<D>),
-    /// Non-intentional drunkard jumps (paper §4.1).
-    Drunkard(Drunkard<D>),
-    /// Fixed-step random walk (extension).
-    RandomWalk(RandomWalk<D>),
-    /// Straight travel until the boundary (extension).
-    RandomDirection(RandomDirection<D>),
-    /// No movement (the stationary case).
-    Stationary(StationaryModel),
-}
-
-impl<const D: usize> ModelKind<D> {
-    /// Random waypoint with the given parameters (see
-    /// [`RandomWaypoint::new`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`CoreError::Model`].
-    pub fn random_waypoint(
-        v_min: f64,
-        v_max: f64,
-        pause_steps: u32,
-        p_stationary: f64,
-    ) -> Result<Self, CoreError> {
-        Ok(ModelKind::RandomWaypoint(RandomWaypoint::new(
-            v_min,
-            v_max,
-            pause_steps,
-            p_stationary,
-        )?))
-    }
-
-    /// Drunkard with the given parameters (see [`Drunkard::new`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`CoreError::Model`].
-    pub fn drunkard(p_stationary: f64, p_pause: f64, radius: f64) -> Result<Self, CoreError> {
-        Ok(ModelKind::Drunkard(Drunkard::new(
-            p_stationary,
-            p_pause,
-            radius,
-        )?))
-    }
-
-    /// Random walk with the given parameters (see [`RandomWalk::new`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`CoreError::Model`].
-    pub fn random_walk(step_length: f64, p_stationary: f64) -> Result<Self, CoreError> {
-        Ok(ModelKind::RandomWalk(RandomWalk::new(
-            step_length,
-            p_stationary,
-        )?))
-    }
-
-    /// Random direction with the given parameters (see
-    /// [`RandomDirection::new`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`CoreError::Model`].
-    pub fn random_direction(
-        v_min: f64,
-        v_max: f64,
-        pause_steps: u32,
-        p_stationary: f64,
-    ) -> Result<Self, CoreError> {
-        Ok(ModelKind::RandomDirection(RandomDirection::new(
-            v_min,
-            v_max,
-            pause_steps,
-            p_stationary,
-        )?))
-    }
-
-    /// The stationary model.
-    pub fn stationary() -> Self {
-        ModelKind::Stationary(StationaryModel::new())
-    }
-}
-
-impl<const D: usize> Mobility<D> for ModelKind<D> {
-    fn init(&mut self, positions: &[Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
-        match self {
-            ModelKind::RandomWaypoint(m) => m.init(positions, region, rng),
-            ModelKind::Drunkard(m) => m.init(positions, region, rng),
-            ModelKind::RandomWalk(m) => m.init(positions, region, rng),
-            ModelKind::RandomDirection(m) => m.init(positions, region, rng),
-            ModelKind::Stationary(m) => Mobility::<D>::init(m, positions, region, rng),
-        }
-    }
-
-    fn step(&mut self, positions: &mut [Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
-        match self {
-            ModelKind::RandomWaypoint(m) => m.step(positions, region, rng),
-            ModelKind::Drunkard(m) => m.step(positions, region, rng),
-            ModelKind::RandomWalk(m) => m.step(positions, region, rng),
-            ModelKind::RandomDirection(m) => m.step(positions, region, rng),
-            ModelKind::Stationary(m) => Mobility::<D>::step(m, positions, region, rng),
-        }
-    }
-
-    fn name(&self) -> &'static str {
-        match self {
-            ModelKind::RandomWaypoint(m) => m.name(),
-            ModelKind::Drunkard(m) => m.name(),
-            ModelKind::RandomWalk(m) => m.name(),
-            ModelKind::RandomDirection(m) => m.name(),
-            ModelKind::Stationary(m) => Mobility::<D>::name(m),
-        }
-    }
-}
 
 /// An MTRM problem instance: configuration plus mobility model.
 #[derive(Debug, Clone)]
 pub struct MtrmProblem<const D: usize> {
     config: SimConfig<D>,
-    model: ModelKind<D>,
+    model: AnyModel<D>,
 }
 
 /// Solution of an MTRM instance: the paper's range metrics.
@@ -170,7 +51,7 @@ impl<const D: usize> MtrmProblem<D> {
     }
 
     /// The mobility model.
-    pub fn model(&self) -> &ModelKind<D> {
+    pub fn model(&self) -> &AnyModel<D> {
         &self.model
     }
 
@@ -302,7 +183,7 @@ pub struct MtrmProblemBuilder<const D: usize> {
     threads: Option<usize>,
     profile_stride: Option<usize>,
     profile_bins: Option<usize>,
-    model: Option<ModelKind<D>>,
+    model: Option<AnyModel<D>>,
 }
 
 impl<const D: usize> MtrmProblemBuilder<D> {
@@ -354,9 +235,11 @@ impl<const D: usize> MtrmProblemBuilder<D> {
         self
     }
 
-    /// Sets the mobility model (required).
-    pub fn model(&mut self, model: ModelKind<D>) -> &mut Self {
-        self.model = Some(model);
+    /// Sets the mobility model (required): any concrete model type
+    /// (via its `Into<AnyModel>` conversion) or an [`AnyModel`] built
+    /// by the registry.
+    pub fn model(&mut self, model: impl Into<AnyModel<D>>) -> &mut Self {
+        self.model = Some(model.into());
         self
     }
 
@@ -395,8 +278,11 @@ impl<const D: usize> MtrmProblemBuilder<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use manet_mobility::{
+        Drunkard, Mobility, ModelRegistry, PaperScale, RandomWaypoint, StationaryModel,
+    };
 
-    fn small_problem(model: ModelKind<2>) -> MtrmProblem<2> {
+    fn small_problem(model: AnyModel<2>) -> MtrmProblem<2> {
         MtrmProblem::<2>::builder()
             .nodes(10)
             .side(100.0)
@@ -406,6 +292,12 @@ mod tests {
             .model(model)
             .build()
             .unwrap()
+    }
+
+    fn waypoint(pause: u32, p_stationary: f64) -> AnyModel<2> {
+        RandomWaypoint::new(0.5, 2.0, pause, p_stationary)
+            .unwrap()
+            .into()
     }
 
     #[test]
@@ -420,29 +312,23 @@ mod tests {
     }
 
     #[test]
-    fn model_kind_constructors_validate() {
-        assert!(ModelKind::<2>::random_waypoint(0.0, 1.0, 0, 0.0).is_err());
-        assert!(ModelKind::<2>::drunkard(0.1, 0.3, -1.0).is_err());
-        assert!(ModelKind::<2>::random_walk(0.0, 0.0).is_err());
-        assert!(ModelKind::<2>::random_direction(1.0, 0.5, 0, 0.0).is_err());
-        assert!(ModelKind::<2>::random_waypoint(0.1, 1.0, 5, 0.2).is_ok());
-    }
-
-    #[test]
-    fn model_kind_names_delegate() {
-        assert_eq!(
-            Mobility::<2>::name(&ModelKind::<2>::stationary()),
-            "stationary"
-        );
-        assert_eq!(
-            Mobility::<2>::name(&ModelKind::<2>::drunkard(0.1, 0.3, 1.0).unwrap()),
-            "drunkard"
-        );
+    fn builder_accepts_concrete_and_registry_models() {
+        // Concrete type through Into<AnyModel>.
+        let p = small_problem(Drunkard::new(0.1, 0.3, 1.0).unwrap().into());
+        assert_eq!(p.model().name(), "drunkard");
+        // Registry-resolved handle.
+        let registry = ModelRegistry::<2>::with_builtins();
+        let model = registry
+            .build("rpgm", &PaperScale::new(100.0).with_pause(5))
+            .unwrap();
+        let p = small_problem(model);
+        assert_eq!(p.model().name(), "rpgm");
+        assert!(p.solve().is_ok());
     }
 
     #[test]
     fn solve_produces_ordered_ranges() {
-        let p = small_problem(ModelKind::random_waypoint(0.5, 2.0, 2, 0.0).unwrap());
+        let p = small_problem(waypoint(2, 0.0));
         let sol = p.solve().unwrap();
         assert!(sol.ranges.r100.mean() >= sol.ranges.r90.mean());
         assert!(sol.ranges.r90.mean() >= sol.ranges.r10.mean());
@@ -452,7 +338,7 @@ mod tests {
 
     #[test]
     fn component_fractions_are_ordered() {
-        let p = small_problem(ModelKind::drunkard(0.0, 0.2, 2.0).unwrap());
+        let p = small_problem(Drunkard::new(0.0, 0.2, 2.0).unwrap().into());
         let rl = p.ranges_for_component_fractions(&[0.5, 0.75, 0.9]).unwrap();
         assert!(rl[0].1 <= rl[1].1 + 1e-12);
         assert!(rl[1].1 <= rl[2].1 + 1e-12);
@@ -460,7 +346,7 @@ mod tests {
 
     #[test]
     fn availability_matches_solution_queries() {
-        let p = small_problem(ModelKind::random_waypoint(0.5, 2.0, 0, 0.0).unwrap());
+        let p = small_problem(waypoint(0, 0.0));
         let sol = p.solve().unwrap();
         let r = sol.ranges.r90.mean();
         let avail = p.availability_at(r).unwrap();
@@ -474,7 +360,7 @@ mod tests {
 
     #[test]
     fn fixed_range_report_consistent_with_solution() {
-        let p = small_problem(ModelKind::random_waypoint(0.5, 2.0, 0, 0.0).unwrap());
+        let p = small_problem(waypoint(0, 0.0));
         let sol = p.solve().unwrap();
         let r = sol.ranges.r100.max() * 1.01;
         let report = p.fixed_range_report(r).unwrap();
@@ -483,17 +369,30 @@ mod tests {
 
     #[test]
     fn stationary_model_collapses_metrics() {
-        let p = small_problem(ModelKind::stationary());
+        let p = small_problem(StationaryModel::new().into());
         let sol = p.solve().unwrap();
         assert!((sol.ranges.r100.mean() - sol.ranges.r0.mean()).abs() < 1e-9);
     }
 
     #[test]
     fn range_for_time_fraction_between_extremes() {
-        let p = small_problem(ModelKind::random_waypoint(0.5, 2.0, 0, 0.0).unwrap());
+        let p = small_problem(waypoint(0, 0.0));
         let sol = p.solve().unwrap();
         let r50 = p.range_for_time_fraction(0.5).unwrap();
         assert!(r50 <= sol.ranges.r100.mean() + 1e-9);
         assert!(r50 >= sol.ranges.r0.mean() - 1e-9);
+    }
+
+    #[test]
+    fn zoo_models_run_every_metric() {
+        let registry = ModelRegistry::<2>::with_builtins();
+        let scale = PaperScale::new(100.0).with_pause(3);
+        for name in ["gauss-markov", "rpgm", "walk-wrap", "direction-bounce"] {
+            let p = small_problem(registry.build(name, &scale).unwrap());
+            let sol = p.solve().unwrap();
+            assert!(sol.ranges.r100.mean() >= sol.ranges.r0.mean());
+            let report = p.fixed_range_report(sol.ranges.r100.max() * 1.01).unwrap();
+            assert_eq!(report.connectivity_fraction(), 1.0, "model {name}");
+        }
     }
 }

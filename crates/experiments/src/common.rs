@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: options, parameter sets, table/CSV
 //! output, and the `r_stationary` calibration used by every figure.
 
-use manet_core::{CoreError, ModelKind, MtrProblem};
+use manet_core::{AnyModel, CoreError, ModelRegistry, MtrProblem, PaperScale};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -34,6 +34,9 @@ pub struct RunOptions {
     pub threads: Option<usize>,
     /// CSV output directory.
     pub out_dir: PathBuf,
+    /// Mobility models to sweep (`--models a,b,c`); `None` keeps each
+    /// experiment's default list.
+    pub models: Option<Vec<String>>,
 }
 
 impl Default for RunOptions {
@@ -45,6 +48,7 @@ impl Default for RunOptions {
             seed: 20_020_623, // DSN 2002 conference date
             threads: None,
             out_dir: PathBuf::from("results"),
+            models: None,
         }
     }
 }
@@ -76,6 +80,31 @@ impl RunOptions {
                     let v = args.get(i).ok_or("--out requires a directory")?;
                     opts.out_dir = PathBuf::from(v);
                 }
+                "--models" => {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .ok_or("--models requires a comma-separated list")?;
+                    let registry = ModelRegistry::<2>::with_builtins();
+                    let names: Vec<String> = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect();
+                    if names.is_empty() {
+                        return Err("--models requires at least one model name".into());
+                    }
+                    for name in &names {
+                        if !registry.contains(name) {
+                            return Err(format!(
+                                "unknown model `{name}`; known models: {}",
+                                registry.names().join(", ")
+                            ));
+                        }
+                    }
+                    opts.models = Some(names);
+                }
                 // Sub-command words (e.g. `theory t1`) are consumed by
                 // the caller; tolerate bare words here.
                 w if !w.starts_with("--") => {}
@@ -95,15 +124,59 @@ impl RunOptions {
         ((paper_value as f64) * self.steps as f64 / PAPER_STEPS as f64).round() as u32
     }
 
+    /// The registry scale for side `l`: the paper's pause horizon
+    /// scaled to this run's step count.
+    pub fn paper_scale(&self, l: f64) -> PaperScale {
+        PaperScale::new(l).with_pause(self.scale_steps(2000))
+    }
+
+    /// Resolves one registry model at side `l` with run-scaled pauses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Model`] for unknown names or
+    /// scale-incompatible parameters.
+    pub fn model(&self, name: &str, l: f64) -> Result<AnyModel<2>, CoreError> {
+        Ok(ModelRegistry::<2>::with_builtins().build(name, &self.paper_scale(l))?)
+    }
+
+    /// The model sweep for an experiment: the `--models` list when
+    /// given, otherwise `default_names`, each resolved through the
+    /// registry at side `l` and paired with its registry name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Model`].
+    pub fn resolve_models(
+        &self,
+        default_names: &[&str],
+        l: f64,
+    ) -> Result<Vec<(String, AnyModel<2>)>, CoreError> {
+        let names: Vec<String> = match &self.models {
+            Some(list) => list.clone(),
+            None => default_names.iter().map(|s| s.to_string()).collect(),
+        };
+        // One registry for the whole sweep, not one per name.
+        let registry = ModelRegistry::<2>::with_builtins();
+        let scale = self.paper_scale(l);
+        names
+            .into_iter()
+            .map(|name| {
+                let model = registry.build(&name, &scale)?;
+                Ok((name, model))
+            })
+            .collect()
+    }
+
     /// The paper's random waypoint model for side `l` (§4.2 defaults),
     /// pause time scaled to the run horizon.
-    pub fn paper_waypoint(&self, l: f64) -> Result<ModelKind<2>, CoreError> {
-        ModelKind::random_waypoint(0.1, 0.01 * l, self.scale_steps(2000), 0.0)
+    pub fn paper_waypoint(&self, l: f64) -> Result<AnyModel<2>, CoreError> {
+        self.model("waypoint", l)
     }
 
     /// The paper's drunkard model for side `l` (§4.2 defaults).
-    pub fn paper_drunkard(&self, l: f64) -> Result<ModelKind<2>, CoreError> {
-        ModelKind::drunkard(0.1, 0.3, 0.01 * l)
+    pub fn paper_drunkard(&self, l: f64) -> Result<AnyModel<2>, CoreError> {
+        self.model("drunkard", l)
     }
 }
 
@@ -275,6 +348,33 @@ mod tests {
         assert!(o.paper_drunkard(4096.0).is_ok());
         // Tiny region: waypoint speed range is empty.
         assert!(o.paper_waypoint(5.0).is_err());
+    }
+
+    #[test]
+    fn models_flag_parses_and_validates() {
+        let o = parse(&["--models", "gauss-markov,rpgm"]).unwrap();
+        assert_eq!(
+            o.models.as_deref().unwrap(),
+            ["gauss-markov".to_string(), "rpgm".to_string()]
+        );
+        let o = parse(&["--models", " waypoint , drunkard "]).unwrap();
+        assert_eq!(o.models.as_deref().unwrap().len(), 2);
+        assert!(parse(&["--models"]).is_err());
+        assert!(parse(&["--models", "bogus"]).is_err());
+        assert!(parse(&["--models", ""]).is_err());
+    }
+
+    #[test]
+    fn resolve_models_defaults_and_overrides() {
+        let o = parse(&[]).unwrap();
+        let resolved = o.resolve_models(&["waypoint", "drunkard"], 1024.0).unwrap();
+        let names: Vec<&str> = resolved.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["waypoint", "drunkard"]);
+
+        let o = parse(&["--models", "rpgm,gauss-markov-wrap"]).unwrap();
+        let resolved = o.resolve_models(&["waypoint", "drunkard"], 1024.0).unwrap();
+        let names: Vec<&str> = resolved.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["rpgm", "gauss-markov-wrap"]);
     }
 
     #[test]

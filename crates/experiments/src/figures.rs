@@ -1,14 +1,15 @@
 //! Figures 2–9 of the paper.
 
 use crate::common::{self, banner, fmt, nodes_for_side, r_stationary, RunOptions, Table};
-use manet_core::{CoreError, ModelKind, MtrmProblem};
+use manet_core::mobility::RandomWaypoint;
+use manet_core::{AnyModel, CoreError, MtrmProblem};
 
 /// Builds the MTRM problem for one `(l, model)` cell of the figures.
 fn problem(
     opts: &RunOptions,
     l: f64,
     n: usize,
-    model: ModelKind<2>,
+    model: AnyModel<2>,
 ) -> Result<MtrmProblem<2>, CoreError> {
     let mut b = MtrmProblem::<2>::builder();
     b.nodes(n)
@@ -41,7 +42,7 @@ fn range_ratio_figure<F>(
     make_model: F,
 ) -> Result<(), CoreError>
 where
-    F: Fn(&RunOptions, f64) -> Result<ModelKind<2>, CoreError>,
+    F: Fn(&RunOptions, f64) -> Result<AnyModel<2>, CoreError>,
 {
     banner(title);
     let mut table = Table::new(&[
@@ -105,7 +106,7 @@ fn component_figure<F>(
     make_model: F,
 ) -> Result<(), CoreError>
 where
-    F: Fn(&RunOptions, f64) -> Result<ModelKind<2>, CoreError>,
+    F: Fn(&RunOptions, f64) -> Result<AnyModel<2>, CoreError>,
 {
     banner(title);
     let mut table = Table::new(&["l", "n", "at_r90", "at_r10", "at_r0"]);
@@ -193,7 +194,7 @@ fn sweep_r100<F>(
     make_model: F,
 ) -> Result<(), CoreError>
 where
-    F: Fn(f64) -> Result<ModelKind<2>, CoreError>,
+    F: Fn(f64) -> Result<AnyModel<2>, CoreError>,
 {
     banner(title);
     let l = 4096.0;
@@ -238,7 +239,11 @@ pub fn fig7(opts: &RunOptions) -> Result<(), CoreError> {
         "Figure 7: r100/r_stationary vs p_stationary (random waypoint, l=4096, n=64)",
         "p_stat",
         &points,
-        |p_stat| ModelKind::random_waypoint(0.1, 0.01 * l, pause, p_stat),
+        |p_stat| {
+            RandomWaypoint::new(0.1, 0.01 * l, pause, p_stat)
+                .map(AnyModel::from)
+                .map_err(CoreError::from)
+        },
     )
 }
 
@@ -256,7 +261,11 @@ pub fn fig8(opts: &RunOptions) -> Result<(), CoreError> {
         "Figure 8: r100/r_stationary vs t_pause (random waypoint, l=4096, n=64)",
         "t_pause",
         &points,
-        |t| ModelKind::random_waypoint(0.1, 0.01 * l, t as u32, 0.0),
+        |t| {
+            RandomWaypoint::new(0.1, 0.01 * l, t as u32, 0.0)
+                .map(AnyModel::from)
+                .map_err(CoreError::from)
+        },
     )
 }
 
@@ -271,7 +280,11 @@ pub fn fig9(opts: &RunOptions) -> Result<(), CoreError> {
         "Figure 9: r100/r_stationary vs v_max/l (random waypoint, l=4096, n=64)",
         "vmax/l",
         &points,
-        |v| ModelKind::random_waypoint(0.1, v * l, pause, 0.0),
+        |v| {
+            RandomWaypoint::new(0.1, v * l, pause, 0.0)
+                .map(AnyModel::from)
+                .map_err(CoreError::from)
+        },
     )
 }
 

@@ -12,22 +12,23 @@
 //! engine swaps from rebuild-and-relabel to delta-apply.
 
 use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
-use manet_core::{CoreError, ModelKind, MtrmProblem};
+use manet_core::{CoreError, MtrmProblem};
 
 /// Range multiples of `r_stationary` swept per model. Shifted one
 /// notch below X3's grid so the table crosses the disconnection knee
 /// (at 1.25·r_stationary and above everything is connected anyway).
 const MULTIPLIERS: [f64; 4] = [0.5, 0.75, 1.0, 1.25];
 
+/// Models swept when `--models` is not given: the paper's two plus the
+/// zoo's correlated-velocity and group families.
+const DEFAULT_MODELS: [&str; 4] = ["waypoint", "drunkard", "gauss-markov", "rpgm"];
+
 /// Runs the fixed-range sweep.
 pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
     banner("X4 (extension): fixed-range simulator (connectivity, largest component)");
     let (l, n) = (1024.0, 32usize);
     let rs = r_stationary(opts, l)?;
-    let models: Vec<(&str, ModelKind<2>)> = vec![
-        ("waypoint", opts.paper_waypoint(l)?),
-        ("drunkard", opts.paper_drunkard(l)?),
-    ];
+    let models = opts.resolve_models(&DEFAULT_MODELS, l)?;
 
     let mut table = Table::new(&[
         "model",
@@ -57,7 +58,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
             let r = rs * mult;
             let report = problem.fixed_range_report(r)?;
             table.row(vec![
-                name.to_string(),
+                name.clone(),
                 fmt(mult),
                 fmt(r),
                 fmt(report.connectivity_fraction()),

@@ -12,11 +12,17 @@
 //! with the model family.
 
 use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
+use manet_core::mobility::{Drunkard, RandomWaypoint};
 use manet_core::sim::quantity::{mean_quantity, measure_mobility_quantity};
 use manet_core::sim::RangeQuantiles;
-use manet_core::{CoreError, ModelKind, MtrmProblem};
+use manet_core::{AnyModel, CoreError, MtrmProblem};
 
 /// Runs the quantity-of-mobility comparison at `l = 1024`, `n = 32`.
+///
+/// Without `--models`, sweeps a curated list: every registry family at
+/// paper scale plus parameter variants (stationary fractions, no-pause,
+/// always-busy) that spread the quantity axis. With `--models`, sweeps
+/// exactly the requested registry names.
 pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
     banner("X1 (extension): quantity of mobility vs r100 across models");
     let (l, n) = (1024.0, 32usize);
@@ -24,28 +30,32 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
     let step = 0.01 * l;
     let pause = opts.scale_steps(2000);
 
-    let cases: Vec<(String, ModelKind<2>)> = vec![
-        (
-            "waypoint".into(),
-            ModelKind::random_waypoint(0.1, step, pause, 0.0)?,
-        ),
-        (
-            "waypoint p_s=0.5".into(),
-            ModelKind::random_waypoint(0.1, step, pause, 0.5)?,
-        ),
-        (
-            "waypoint no-pause".into(),
-            ModelKind::random_waypoint(0.1, step, 0, 0.0)?,
-        ),
-        ("drunkard".into(), ModelKind::drunkard(0.1, 0.3, step)?),
-        ("drunkard busy".into(), ModelKind::drunkard(0.0, 0.0, step)?),
-        ("walk".into(), ModelKind::random_walk(step, 0.0)?),
-        (
-            "direction".into(),
-            ModelKind::random_direction(0.1, step, pause, 0.0)?,
-        ),
-        ("stationary".into(), ModelKind::stationary()),
-    ];
+    let cases: Vec<(String, AnyModel<2>)> = match &opts.models {
+        Some(_) => opts.resolve_models(&[], l)?,
+        None => {
+            vec![
+                ("waypoint".into(), opts.model("waypoint", l)?),
+                (
+                    "waypoint p_s=0.5".into(),
+                    RandomWaypoint::new(0.1, step, pause, 0.5)?.into(),
+                ),
+                (
+                    "waypoint no-pause".into(),
+                    RandomWaypoint::new(0.1, step, 0, 0.0)?.into(),
+                ),
+                ("drunkard".into(), opts.model("drunkard", l)?),
+                (
+                    "drunkard busy".into(),
+                    Drunkard::new(0.0, 0.0, step)?.into(),
+                ),
+                ("walk".into(), opts.model("walk", l)?),
+                ("direction".into(), opts.model("direction", l)?),
+                ("gauss-markov".into(), opts.model("gauss-markov", l)?),
+                ("rpgm".into(), opts.model("rpgm", l)?),
+                ("stationary".into(), opts.model("stationary", l)?),
+            ]
+        }
+    };
 
     let mut table = Table::new(&[
         "model",

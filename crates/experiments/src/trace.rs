@@ -12,10 +12,14 @@
 
 use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
 use manet_core::trace::TraceSummary;
-use manet_core::{CoreError, ModelKind, MtrmProblem};
+use manet_core::{CoreError, MtrmProblem};
 
 /// Range multiples of `r_stationary` swept per model.
 const MULTIPLIERS: [f64; 4] = [0.75, 1.0, 1.25, 1.5];
+
+/// Models swept when `--models` is not given: the paper's two plus the
+/// zoo's correlated-velocity and group families.
+const DEFAULT_MODELS: [&str; 4] = ["waypoint", "drunkard", "gauss-markov", "rpgm"];
 
 /// One (model, range) cell of the sweep, as serialized to `trace.json`.
 #[derive(serde::Serialize)]
@@ -43,10 +47,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
     banner("X3 (extension): temporal connectivity (link lifetimes, outages, repair)");
     let (l, n) = (1024.0, 32usize);
     let rs = r_stationary(opts, l)?;
-    let models: Vec<(&str, ModelKind<2>)> = vec![
-        ("waypoint", opts.paper_waypoint(l)?),
-        ("drunkard", opts.paper_drunkard(l)?),
-    ];
+    let models = opts.resolve_models(&DEFAULT_MODELS, l)?;
 
     let mut table = Table::new(&[
         "model",
@@ -81,7 +82,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
             let summary = problem.temporal_trace(r)?;
             let opt = |v: Option<f64>| v.map(fmt).unwrap_or_else(|| "-".into());
             table.row(vec![
-                name.to_string(),
+                name.clone(),
                 fmt(mult),
                 fmt(summary.availability),
                 fmt(summary.path_availability),
@@ -95,7 +96,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
                 summary.peak_churn.to_string(),
             ]);
             rows.push(TraceRow {
-                model: name.to_string(),
+                model: name.clone(),
                 multiplier: mult,
                 range: r,
                 summary,

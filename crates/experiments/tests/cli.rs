@@ -155,10 +155,58 @@ fn trace_artifacts_byte_identical_across_thread_counts() {
     ] {
         assert!(json.contains(key), "trace.json missing `{key}`");
     }
-    // 2 models x 4 multipliers.
-    assert_eq!(json.matches("\"multiplier\"").count(), 8);
+    // 4 default models (waypoint, drunkard, gauss-markov, rpgm)
+    // x 4 multipliers.
+    assert_eq!(json.matches("\"multiplier\"").count(), 16);
+    for model in ["waypoint", "drunkard", "gauss-markov", "rpgm"] {
+        assert!(
+            json.contains(&format!("\"{model}\"")),
+            "trace.json missing default model `{model}`"
+        );
+    }
     let csv = &outputs[0].1;
-    assert_eq!(csv.lines().count(), 9, "header + 8 sweep rows");
+    assert_eq!(csv.lines().count(), 17, "header + 16 sweep rows");
+}
+
+#[test]
+fn models_flag_selects_the_sweep_and_rejects_unknown_names() {
+    let dir = temp_out("models_flag");
+    let out = repro()
+        .args([
+            "fixed",
+            "--iterations",
+            "2",
+            "--steps",
+            "20",
+            "--placements",
+            "30",
+            "--models",
+            "gauss-markov-wrap,walk-bounce",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(dir.join("fixed.csv")).unwrap();
+    assert_eq!(csv.lines().count(), 9, "header + 2 models x 4 multipliers");
+    assert!(csv.contains("gauss-markov-wrap"));
+    assert!(csv.contains("walk-bounce"));
+    assert!(!csv.contains("drunkard"));
+    std::fs::remove_dir_all(dir).ok();
+
+    let out = repro()
+        .args(["fixed", "--models", "no-such-model"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown model"), "stderr: {err}");
+    assert!(err.contains("rpgm"), "error should list known names: {err}");
 }
 
 #[test]
@@ -190,7 +238,8 @@ fn theory_t4_reports_gap_probabilities() {
 }
 
 /// The incremental connectivity spine must not move a single output
-/// byte: `fixed` and `uptime` at the pinned golden configuration match
+/// byte: `fixed` and `uptime` at the pinned golden configuration
+/// (pinned to the paper's two models, the pre-registry default) match
 /// the goldens captured from the pre-refactor rebuild-and-relabel
 /// engine, at any thread count.
 #[test]
@@ -212,6 +261,8 @@ fn fixed_and_uptime_match_goldens_across_thread_counts() {
                     "20020623",
                     "--threads",
                     threads,
+                    "--models",
+                    "waypoint,drunkard",
                     "--out",
                 ])
                 .arg(&dir)
@@ -231,6 +282,51 @@ fn fixed_and_uptime_match_goldens_across_thread_counts() {
                 "{artifact} diverged from tests/goldens at --threads {threads}"
             );
         }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// The zoo's golden: the trace sweep over the two *new* model families
+/// (`gauss-markov`, `rpgm`) at a pinned configuration reproduces
+/// `tests/goldens/trace_zoo.csv` byte-for-byte at any thread count —
+/// the same contract `fixed.csv` holds for the paper's models.
+#[test]
+fn trace_zoo_matches_golden_across_thread_counts() {
+    let golden =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens/trace_zoo.csv");
+    for threads in ["1", "3"] {
+        let dir = temp_out(&format!("trace_zoo_t{threads}"));
+        let out = repro()
+            .args([
+                "trace",
+                "--iterations",
+                "3",
+                "--steps",
+                "120",
+                "--placements",
+                "200",
+                "--seed",
+                "20020623",
+                "--threads",
+                threads,
+                "--models",
+                "gauss-markov,rpgm",
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let got = std::fs::read_to_string(dir.join("trace.csv")).unwrap();
+        let want = std::fs::read_to_string(&golden).unwrap();
+        assert_eq!(
+            got, want,
+            "trace_zoo.csv diverged from tests/goldens at --threads {threads}"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -110,6 +110,42 @@ impl<const D: usize> Region<D> {
         Point::new(out)
     }
 
+    /// Wraps each coordinate of `p` onto the torus `[0, side)^D`
+    /// (`x mod side`, with the seam `side` itself mapping to `0`).
+    ///
+    /// This changes the *motion* topology only: positions stay in the
+    /// region and the communication graph remains Euclidean in
+    /// `[0, l]^d` — wrap-around mobility does not create wrap-around
+    /// radio links.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use manet_geom::{Point, Region};
+    ///
+    /// let r: Region<1> = Region::new(10.0)?;
+    /// assert_eq!(r.wrap(&Point::new([12.5]))[0], 2.5);
+    /// assert_eq!(r.wrap(&Point::new([-0.5]))[0], 9.5);
+    /// # Ok::<(), manet_geom::GeomError>(())
+    /// ```
+    pub fn wrap(&self, p: &Point<D>) -> Point<D> {
+        let mut out = p.coords();
+        for c in &mut out {
+            if !(0.0..self.side).contains(c) {
+                let mut x = *c % self.side;
+                if x < 0.0 {
+                    x += self.side;
+                }
+                // `-1e-17 % side` rounds to `side` after the shift.
+                if x >= self.side {
+                    x = 0.0;
+                }
+                *c = x;
+            }
+        }
+        Point::new(out)
+    }
+
     /// Reflects each out-of-range coordinate back into the region
     /// (mirror at the violated boundary, repeated until inside).
     pub fn reflect(&self, p: &Point<D>) -> Point<D> {
@@ -224,6 +260,20 @@ mod tests {
         // Result always inside.
         for x in [-100.0, -7.3, 3.0, 17.9, 99.9] {
             assert!(r.contains(&r.reflect(&Point::new([x]))), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn wrap_folds_onto_torus() {
+        let r: Region<1> = Region::new(10.0).unwrap();
+        assert_eq!(r.wrap(&Point::new([3.0]))[0], 3.0);
+        assert_eq!(r.wrap(&Point::new([10.0]))[0], 0.0);
+        assert!((r.wrap(&Point::new([12.5]))[0] - 2.5).abs() < 1e-12);
+        assert!((r.wrap(&Point::new([-0.5]))[0] - 9.5).abs() < 1e-12);
+        assert!((r.wrap(&Point::new([-13.0]))[0] - 7.0).abs() < 1e-12);
+        for x in [-100.0, -7.3, 3.0, 17.9, 99.9, -1e-17] {
+            let w = r.wrap(&Point::new([x]))[0];
+            assert!((0.0..10.0).contains(&w), "x = {x} wrapped to {w}");
         }
     }
 

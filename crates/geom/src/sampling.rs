@@ -61,6 +61,38 @@ pub fn sample_in_ball<const D: usize, R: Rng + ?Sized>(
     }
 }
 
+/// Draws one standard-normal (`N(0, 1)`) variate.
+///
+/// Implemented with the Marsaglia polar method, consuming a
+/// deterministic number of uniforms per *accepted* pair, so the draw is
+/// a pure function of the RNG stream. The second variate of each pair
+/// is intentionally discarded: carrying it across calls would make the
+/// sample depend on call history, breaking the workspace's
+/// clone-and-replay determinism contract for mobility models.
+///
+/// Used by the Gauss–Markov mobility model's velocity noise.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::sampling::sample_standard_normal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = sample_standard_normal(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.random_range(-1.0..=1.0);
+        let v = rng.random_range(-1.0..=1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
 /// Draws a unit vector uniformly from the sphere `S^{D-1}`.
 ///
 /// Implemented by rejection-sampling a point in the unit ball
@@ -136,6 +168,34 @@ mod tests {
             let p = sample_in_ball(&c, 0.5, &mut g).unwrap();
             assert!((4.5..=5.5).contains(&p[0]));
         }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut g = rng();
+        let trials = 40_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..trials {
+            let x = sample_standard_normal(&mut g);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / trials as f64;
+        let var = sum_sq / trials as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn standard_normal_deterministic() {
+        let draw = |seed| {
+            let mut g = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..10)
+                .map(|_| sample_standard_normal(&mut g))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
     }
 
     #[test]

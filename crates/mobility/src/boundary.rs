@@ -1,0 +1,372 @@
+//! Boundary policies for free-moving mobility models.
+//!
+//! The walk, direction and Gauss–Markov models all share one
+//! structural step: propose a raw displacement, then resolve it
+//! against the region boundary. [`Bounded`] factors that resolution
+//! out into a wrapper so one model family can be studied under three
+//! boundary treatments without touching the model itself:
+//!
+//! * [`BoundaryMode::Reflect`] — mirror the overshoot back into the
+//!   region (specular reflection; the walk model's default);
+//! * [`BoundaryMode::Wrap`] — fold positions onto the torus
+//!   `[0, l)^d`. Only the *motion* wraps: the communication graph
+//!   stays Euclidean in `[0, l]^d`, so wrap-around radio links are
+//!   never created;
+//! * [`BoundaryMode::Bounce`] — stop exactly at the wall and reverse
+//!   the velocity components that violated it (the next step moves
+//!   away from the wall).
+//!
+//! Models opt in by implementing [`FreeMobility`]: a `step_free` that
+//! ignores the boundary, plus a `deflect` hook through which the
+//! wrapper mirrors any persistent per-node velocity state when a
+//! reflection or bounce flips an axis.
+
+use crate::{Mobility, ModelError};
+use manet_geom::{Point, Region};
+use rand::Rng;
+
+/// How a [`Bounded`] wrapper resolves positions that leave the region.
+///
+/// Distinct from [`manet_geom::BoundaryPolicy`], which governs the
+/// drunkard model's *jump proposal* distribution; `BoundaryMode`
+/// post-processes whole trajectories of velocity-carrying models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BoundaryMode {
+    /// Mirror the overshoot back into the region and flip the velocity
+    /// on the mirrored axes.
+    #[default]
+    Reflect,
+    /// Fold the position onto the torus `[0, l)^d`; velocity is kept.
+    Wrap,
+    /// Clamp to the wall and flip the velocity on the violated axes.
+    Bounce,
+}
+
+impl BoundaryMode {
+    /// Stable lowercase name (`reflect` / `wrap` / `bounce`), used as
+    /// the registry-name suffix for wrapped model variants.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BoundaryMode::Reflect => "reflect",
+            BoundaryMode::Wrap => "wrap",
+            BoundaryMode::Bounce => "bounce",
+        }
+    }
+
+    /// Parses the output of [`BoundaryMode::as_str`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownBoundaryMode`] for any other
+    /// string.
+    pub fn parse(name: &str) -> Result<Self, ModelError> {
+        match name {
+            "reflect" => Ok(BoundaryMode::Reflect),
+            "wrap" => Ok(BoundaryMode::Wrap),
+            "bounce" => Ok(BoundaryMode::Bounce),
+            other => Err(ModelError::UnknownBoundaryMode { name: other.into() }),
+        }
+    }
+}
+
+/// A mobility model whose step can run unconstrained by the region,
+/// delegating boundary resolution to a [`Bounded`] wrapper.
+///
+/// Contract: `step_free` must advance every node exactly as `step`
+/// would in the region's interior, but may leave positions outside the
+/// region; `deflect(i, mirrored)` must mirror any persistent velocity
+/// state of node `i` along the axes where `mirrored` is `true`, so
+/// that reflection and bouncing stay kinematically consistent (a node
+/// pressed against a wall turns around instead of grinding into it).
+pub trait FreeMobility<const D: usize>: Mobility<D> {
+    /// Advances all nodes one step, ignoring the region boundary.
+    fn step_free(&mut self, positions: &mut [Point<D>], region: &Region<D>, rng: &mut dyn Rng);
+
+    /// Mirrors node `i`'s persistent velocity state along the axes
+    /// flagged in `mirrored`. Models without per-node velocity state
+    /// (e.g. the random walk) keep the default no-op.
+    fn deflect(&mut self, i: usize, mirrored: &[bool; D]) {
+        let _ = (i, mirrored);
+    }
+}
+
+/// Wraps a [`FreeMobility`] model with an explicit [`BoundaryMode`].
+///
+/// The wrapper is itself a [`Mobility`] model: deterministic, `Clone`,
+/// and region-safe for every mode.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::Region;
+/// use manet_mobility::{Bounded, BoundaryMode, GaussMarkov, Mobility};
+/// use rand::SeedableRng;
+///
+/// let region: Region<2> = Region::new(100.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let mut positions = region.place_uniform(8, &mut rng);
+///
+/// let inner = GaussMarkov::new(0.85, 1.0, 0.5, 0.0)?;
+/// let mut model = Bounded::new(inner, BoundaryMode::Wrap);
+/// model.init(&positions, &region, &mut rng);
+/// for _ in 0..200 {
+///     model.step(&mut positions, &region, &mut rng);
+/// }
+/// assert!(positions.iter().all(|p| region.contains(p)));
+/// # Ok::<(), manet_mobility::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bounded<M> {
+    inner: M,
+    mode: BoundaryMode,
+}
+
+impl<M> Bounded<M> {
+    /// Wraps `inner` with the given boundary mode.
+    pub fn new(inner: M, mode: BoundaryMode) -> Self {
+        Bounded { inner, mode }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The configured boundary mode.
+    pub fn mode(&self) -> BoundaryMode {
+        self.mode
+    }
+}
+
+impl<const D: usize, M: FreeMobility<D>> Mobility<D> for Bounded<M> {
+    fn init(&mut self, positions: &[Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
+        self.inner.init(positions, region, rng);
+    }
+
+    fn step(&mut self, positions: &mut [Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
+        self.inner.step_free(positions, region, rng);
+        for (i, pos) in positions.iter_mut().enumerate() {
+            if region.contains(pos) {
+                continue;
+            }
+            match self.mode {
+                BoundaryMode::Wrap => *pos = region.wrap(pos),
+                BoundaryMode::Reflect => {
+                    let (folded, mirrored) = reflect_tracking(region, pos);
+                    *pos = folded;
+                    if mirrored.iter().any(|&m| m) {
+                        self.inner.deflect(i, &mirrored);
+                    }
+                }
+                BoundaryMode::Bounce => {
+                    let mut out = pos.coords();
+                    let mut mirrored = [false; D];
+                    for (c, m) in out.iter_mut().zip(&mut mirrored) {
+                        if *c < 0.0 {
+                            *c = 0.0;
+                            *m = true;
+                        } else if *c > region.side() {
+                            *c = region.side();
+                            *m = true;
+                        }
+                    }
+                    *pos = Point::new(out);
+                    self.inner.deflect(i, &mirrored);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            BoundaryMode::Reflect => "bounded-reflect",
+            BoundaryMode::Wrap => "bounded-wrap",
+            BoundaryMode::Bounce => "bounded-bounce",
+        }
+    }
+}
+
+/// Folds `p` back into the region by repeated mirroring, reporting for
+/// each axis whether the fold ended on a mirrored branch (odd number of
+/// reflections), i.e. whether the axis velocity must flip.
+pub(crate) fn reflect_tracking<const D: usize>(
+    region: &Region<D>,
+    p: &Point<D>,
+) -> (Point<D>, [bool; D]) {
+    let side = region.side();
+    let period = 2.0 * side;
+    let mut out = p.coords();
+    let mut mirrored = [false; D];
+    for (c, m) in out.iter_mut().zip(&mut mirrored) {
+        if !(0.0..=side).contains(c) {
+            let mut x = *c % period;
+            if x < 0.0 {
+                x += period;
+            }
+            // The fold map has slope -1 on (side, 2·side): landing
+            // there means an odd reflection count on this axis.
+            if x > side {
+                x = period - x;
+                *m = true;
+            }
+            *c = x;
+        }
+    }
+    (Point::new(out), mirrored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GaussMarkov, RandomDirection, RandomWalk};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    const MODES: [BoundaryMode; 3] = [
+        BoundaryMode::Reflect,
+        BoundaryMode::Wrap,
+        BoundaryMode::Bounce,
+    ];
+
+    #[test]
+    fn mode_names_round_trip() {
+        for mode in MODES {
+            assert_eq!(BoundaryMode::parse(mode.as_str()).unwrap(), mode);
+        }
+        assert!(BoundaryMode::parse("teleport").is_err());
+        assert_eq!(BoundaryMode::default(), BoundaryMode::Reflect);
+    }
+
+    #[test]
+    fn reflect_tracking_reports_parity() {
+        let region: Region<1> = Region::new(10.0).unwrap();
+        // One reflection: mirrored.
+        let (p, m) = reflect_tracking(&region, &Point::new([12.0]));
+        assert!((p[0] - 8.0).abs() < 1e-12 && m[0]);
+        // Two reflections (past the far wall and back): not mirrored.
+        let (p, m) = reflect_tracking(&region, &Point::new([21.0]));
+        assert!((p[0] - 1.0).abs() < 1e-12 && !m[0]);
+        // Negative overshoot: mirrored.
+        let (p, m) = reflect_tracking(&region, &Point::new([-3.0]));
+        assert!((p[0] - 3.0).abs() < 1e-12 && m[0]);
+        // Inside: untouched.
+        let (p, m) = reflect_tracking(&region, &Point::new([4.0]));
+        assert!((p[0] - 4.0).abs() < 1e-12 && !m[0]);
+    }
+
+    #[test]
+    fn all_modes_keep_walk_direction_gauss_markov_inside() {
+        let region: Region<2> = Region::new(20.0).unwrap();
+        for mode in MODES {
+            let mut g = rng(77);
+            let mut pos = region.place_uniform(12, &mut g);
+            // Large step length provokes frequent boundary crossings.
+            let mut walk = Bounded::new(RandomWalk::new(9.0, 0.0).unwrap(), mode);
+            walk.init(&pos, &region, &mut g);
+            for _ in 0..300 {
+                walk.step(&mut pos, &region, &mut g);
+                assert!(pos.iter().all(|p| region.contains(p)), "walk {mode:?}");
+            }
+
+            let mut g = rng(78);
+            let mut pos = region.place_uniform(12, &mut g);
+            let mut dir = Bounded::new(RandomDirection::new(4.0, 8.0, 1, 0.0).unwrap(), mode);
+            dir.init(&pos, &region, &mut g);
+            for _ in 0..300 {
+                dir.step(&mut pos, &region, &mut g);
+                assert!(pos.iter().all(|p| region.contains(p)), "direction {mode:?}");
+            }
+
+            let mut g = rng(79);
+            let mut pos = region.place_uniform(12, &mut g);
+            let mut gm = Bounded::new(GaussMarkov::new(0.9, 3.0, 2.0, 0.0).unwrap(), mode);
+            gm.init(&pos, &region, &mut g);
+            for _ in 0..300 {
+                gm.step(&mut pos, &region, &mut g);
+                assert!(
+                    pos.iter().all(|p| region.contains(p)),
+                    "gauss-markov {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounce_stops_exactly_at_wall() {
+        let region: Region<1> = Region::new(10.0).unwrap();
+        let mut g = rng(5);
+        let mut pos = vec![Point::new([9.0])];
+        // Straight-line traveler with speed 4: first step overshoots.
+        let mut m = Bounded::new(
+            RandomDirection::new(4.0, 4.0, 0, 0.0).unwrap(),
+            BoundaryMode::Bounce,
+        );
+        m.init(&pos, &region, &mut g);
+        // Reach a wall within a few steps (the heading is ±4/step).
+        let mut wall = pos[0][0];
+        for _ in 0..5 {
+            m.step(&mut pos, &region, &mut g);
+            wall = pos[0][0];
+            if wall == 0.0 || wall == 10.0 {
+                break;
+            }
+        }
+        assert!(wall == 0.0 || wall == 10.0, "stopped at {wall}");
+        // Velocity reversed: next step moves 4 units off the wall.
+        m.step(&mut pos, &region, &mut g);
+        assert!((pos[0][0] - wall).abs() > 3.9, "did not leave the wall");
+    }
+
+    #[test]
+    fn wrap_preserves_heading() {
+        let region: Region<1> = Region::new(10.0).unwrap();
+        let mut g = rng(6);
+        let mut pos = vec![Point::new([9.0])];
+        let mut m = Bounded::new(
+            RandomDirection::new(4.0, 4.0, 0, 0.0).unwrap(),
+            BoundaryMode::Wrap,
+        );
+        m.init(&pos, &region, &mut g);
+        let x0 = pos[0][0];
+        m.step(&mut pos, &region, &mut g);
+        let x1 = pos[0][0];
+        // Displacement is ±4 modulo the torus, never a reversal.
+        let raw = x1 - x0;
+        let torus = [raw, raw + 10.0, raw - 10.0]
+            .into_iter()
+            .min_by(|a, b| a.abs().total_cmp(&b.abs()))
+            .unwrap();
+        assert!((torus.abs() - 4.0).abs() < 1e-9, "torus step {torus}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let region: Region<2> = Region::new(30.0).unwrap();
+        let run = |seed| {
+            let mut g = rng(seed);
+            let mut pos = region.place_uniform(6, &mut g);
+            let mut m = Bounded::new(
+                GaussMarkov::new(0.8, 1.0, 0.7, 0.1).unwrap(),
+                BoundaryMode::Bounce,
+            );
+            m.init(&pos, &region, &mut g);
+            for _ in 0..100 {
+                m.step(&mut pos, &region, &mut g);
+            }
+            pos
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let m = Bounded::new(RandomWalk::<2>::new(1.0, 0.0).unwrap(), BoundaryMode::Wrap);
+        assert_eq!(m.mode(), BoundaryMode::Wrap);
+        assert_eq!(m.inner().step_length(), 1.0);
+        assert_eq!(Mobility::<2>::name(&m), "bounded-wrap");
+    }
+}

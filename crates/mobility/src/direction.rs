@@ -7,7 +7,7 @@
 //! useful foil for the paper's observation that connectivity is largely
 //! insensitive to the motion pattern.
 
-use crate::{validate_positive, validate_probability, Mobility, ModelError};
+use crate::{validate_positive, validate_probability, FreeMobility, Mobility, ModelError};
 use manet_geom::{sampling::sample_unit_vector, Point, Region};
 use rand::{Rng, RngExt};
 
@@ -19,6 +19,26 @@ enum Phase<const D: usize> {
 }
 
 /// The random-direction mobility model.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::Region;
+/// use manet_mobility::{Mobility, RandomDirection};
+/// use rand::SeedableRng;
+///
+/// let region: Region<2> = Region::new(50.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut positions = region.place_uniform(10, &mut rng);
+///
+/// let mut model = RandomDirection::new(0.5, 2.0, 3, 0.0)?;
+/// model.init(&positions, &region, &mut rng);
+/// for _ in 0..50 {
+///     model.step(&mut positions, &region, &mut rng);
+/// }
+/// assert!(positions.iter().all(|p| region.contains(p)));
+/// # Ok::<(), manet_mobility::ModelError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct RandomDirection<const D: usize> {
     v_min: f64,
@@ -90,27 +110,24 @@ impl<const D: usize> Mobility<D> for RandomDirection<D> {
             self.state.len(),
             "step called with a different node count than init"
         );
-        for (i, phase) in self.state.iter_mut().enumerate() {
-            match *phase {
+        for (i, pos) in positions.iter_mut().enumerate() {
+            match self.state[i] {
                 Phase::Stationary => {}
                 Phase::Paused { remaining } => {
                     if remaining > 0 {
-                        *phase = Phase::Paused {
+                        self.state[i] = Phase::Paused {
                             remaining: remaining - 1,
                         };
                     } else {
-                        let dir = sample_unit_vector(rng);
-                        let speed = if self.v_min == self.v_max {
-                            self.v_min
-                        } else {
-                            rng.random_range(self.v_min..=self.v_max)
-                        };
-                        *phase = Phase::Moving { dir, speed };
-                        move_until_boundary(&mut positions[i], phase, region, self.pause_steps);
+                        let mut phase = self.new_leg(rng);
+                        move_until_boundary(pos, &mut phase, region, self.pause_steps);
+                        self.state[i] = phase;
                     }
                 }
                 Phase::Moving { .. } => {
-                    move_until_boundary(&mut positions[i], phase, region, self.pause_steps);
+                    let mut phase = self.state[i];
+                    move_until_boundary(pos, &mut phase, region, self.pause_steps);
+                    self.state[i] = phase;
                 }
             }
         }
@@ -118,6 +135,51 @@ impl<const D: usize> Mobility<D> for RandomDirection<D> {
 
     fn name(&self) -> &'static str {
         "random-direction"
+    }
+}
+
+impl<const D: usize> FreeMobility<D> for RandomDirection<D> {
+    fn step_free(&mut self, positions: &mut [Point<D>], _region: &Region<D>, rng: &mut dyn Rng) {
+        assert_eq!(
+            positions.len(),
+            self.state.len(),
+            "step called with a different node count than init"
+        );
+        for (i, pos) in positions.iter_mut().enumerate() {
+            match self.state[i] {
+                Phase::Stationary => {}
+                Phase::Paused { remaining } => {
+                    // Only reachable when a standalone-stepped model is
+                    // later driven through a wrapper; honor the pause.
+                    if remaining > 0 {
+                        self.state[i] = Phase::Paused {
+                            remaining: remaining - 1,
+                        };
+                    } else {
+                        let phase = self.new_leg(rng);
+                        if let Phase::Moving { dir, speed } = phase {
+                            *pos = *pos + dir * speed;
+                        }
+                        self.state[i] = phase;
+                    }
+                }
+                Phase::Moving { dir, speed } => {
+                    *pos = *pos + dir * speed;
+                }
+            }
+        }
+    }
+
+    fn deflect(&mut self, i: usize, mirrored: &[bool; D]) {
+        if let Phase::Moving { dir, .. } = &mut self.state[i] {
+            let mut c = dir.coords();
+            for (x, &m) in c.iter_mut().zip(mirrored) {
+                if m {
+                    *x = -*x;
+                }
+            }
+            *dir = Point::new(c);
+        }
     }
 }
 

@@ -21,6 +21,26 @@ use rand::{Rng, RngExt};
 ///
 /// The paper's moderate-mobility defaults are `p_stationary = 0.1`,
 /// `p_pause = 0.3`, `m = 0.01·l`.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::Region;
+/// use manet_mobility::{Drunkard, Mobility};
+/// use rand::SeedableRng;
+///
+/// let region: Region<2> = Region::new(100.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let mut positions = region.place_uniform(16, &mut rng);
+///
+/// let mut model = Drunkard::paper_defaults(100.0)?;
+/// model.init(&positions, &region, &mut rng);
+/// for _ in 0..100 {
+///     model.step(&mut positions, &region, &mut rng);
+/// }
+/// assert!(positions.iter().all(|p| region.contains(p)));
+/// # Ok::<(), manet_mobility::ModelError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct Drunkard<const D: usize> {
     p_stationary: f64,

@@ -1,40 +1,49 @@
-//! Mobility models for ad hoc network simulation.
+//! Mobility models for ad hoc network simulation — the scenario zoo.
 //!
-//! Section 4.1 of Santi & Blough (DSN 2002) extends their stationary
-//! simulator with two mobility models, both reproduced here behind the
-//! [`Mobility`] trait:
+//! Every model implements the [`Mobility`] trait and is resolved by
+//! name through the [`ModelRegistry`]: an extensible name →
+//! validated-constructor table with paper-scale defaults, so new
+//! families reach every simulation pipeline and every `manet-repro
+//! --models` sweep without an enum edit. [`AnyModel`] is the
+//! type-erased handle the registry hands out; it still satisfies the
+//! `Clone + Send + Sync` bounds the parallel engines require.
 //!
-//! * [`RandomWaypoint`] — *intentional* movement: each node repeatedly
-//!   picks a uniform destination in the region, travels toward it at a
-//!   speed drawn uniformly from `[v_min, v_max]`, then pauses for
-//!   `t_pause` steps. A fraction `p_stationary` of nodes never moves.
-//! * [`Drunkard`] — *non-intentional* movement: at each step a mobile
-//!   node pauses with probability `p_pause`, otherwise jumps to a point
-//!   chosen uniformly at random in the ball of radius `m` around its
-//!   current position. Again `p_stationary` of the nodes never move.
+//! The zoo spans three kinds of motion:
 //!
-//! Two further classical models are provided as extensions (useful for
-//! testing the paper's claim that the *pattern* of motion matters less
-//! than the *quantity* of motion): [`RandomWalk`] and
-//! [`RandomDirection`]. [`StationaryModel`] is the degenerate model of
-//! the stationary analysis.
+//! * **Per-node, paper §4.1** — [`RandomWaypoint`] (*intentional*
+//!   travel toward uniform destinations with pauses) and [`Drunkard`]
+//!   (*non-intentional* uniform jumps in a ball of radius `m`), plus
+//!   the classical extensions [`RandomWalk`] and [`RandomDirection`]
+//!   and the degenerate [`StationaryModel`];
+//! * **Velocity-correlated** — [`GaussMarkov`], a stationary
+//!   autoregression on node velocity with tunable memory `α`: smooth,
+//!   turn-averse trajectories between the waypoint's straight legs and
+//!   the drunkard's scatter;
+//! * **Group-structured** — [`ReferencePointGroup`] (RPGM): waypoint
+//!   leaders with members tethered within a radius, producing the
+//!   clustered/partitioned regimes no per-node model reaches.
+//!
+//! Free-moving families additionally take a boundary treatment via the
+//! [`Bounded`] wrapper and [`BoundaryMode`]: specular reflection,
+//! torus wrap-around, or stop-and-reverse bouncing.
 //!
 //! All models are deterministic functions of the RNG handed to them,
 //! `Clone` (so parallel simulation iterations can each own a fresh
-//! copy), and validated at construction.
+//! copy), region-safe, and validated at construction.
 //!
 //! # Example
 //!
 //! ```
 //! use manet_geom::Region;
-//! use manet_mobility::{Mobility, RandomWaypoint};
+//! use manet_mobility::{Mobility, ModelRegistry, PaperScale};
 //! use rand::SeedableRng;
 //!
 //! let region: Region<2> = Region::new(100.0).unwrap();
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
 //! let mut positions = region.place_uniform(16, &mut rng);
 //!
-//! let mut model = RandomWaypoint::new(0.1, 1.0, 20, 0.0)?;
+//! let registry = ModelRegistry::<2>::with_builtins();
+//! let mut model = registry.build("rpgm", &PaperScale::new(100.0).with_pause(20))?;
 //! model.init(&positions, &region, &mut rng);
 //! for _ in 0..100 {
 //!     model.step(&mut positions, &region, &mut rng);
@@ -46,14 +55,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod boundary;
 pub mod direction;
 pub mod drunkard;
+pub mod gauss_markov;
+pub mod group;
+pub mod registry;
 pub mod stationary;
 pub mod walk;
 pub mod waypoint;
 
+pub use boundary::{BoundaryMode, Bounded, FreeMobility};
 pub use direction::RandomDirection;
 pub use drunkard::Drunkard;
+pub use gauss_markov::GaussMarkov;
+pub use group::ReferencePointGroup;
+pub use registry::{AnyModel, ModelRegistry, PaperScale};
 pub use stationary::StationaryModel;
 pub use walk::RandomWalk;
 pub use waypoint::RandomWaypoint;
@@ -115,6 +132,21 @@ pub enum ModelError {
         /// Parameter name.
         name: &'static str,
     },
+    /// A model name was not found in the registry.
+    UnknownModel {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A model name was registered twice.
+    DuplicateModel {
+        /// The colliding name.
+        name: String,
+    },
+    /// A boundary-mode name was not `reflect`, `wrap`, or `bounce`.
+    UnknownBoundaryMode {
+        /// The unresolved name.
+        name: String,
+    },
 }
 
 impl core::fmt::Display for ModelError {
@@ -130,6 +162,18 @@ impl core::fmt::Display for ModelError {
                 write!(f, "speed range [{v_min}, {v_max}] is empty")
             }
             ModelError::NonFinite { name } => write!(f, "parameter `{name}` must be finite"),
+            ModelError::UnknownModel { name } => {
+                write!(f, "unknown mobility model `{name}` (not in the registry)")
+            }
+            ModelError::DuplicateModel { name } => {
+                write!(f, "mobility model `{name}` is already registered")
+            }
+            ModelError::UnknownBoundaryMode { name } => {
+                write!(
+                    f,
+                    "unknown boundary mode `{name}` (valid: reflect, wrap, bounce)"
+                )
+            }
         }
     }
 }
@@ -176,6 +220,9 @@ mod lib_tests {
                 v_max: 1.0,
             },
             ModelError::NonFinite { name: "v" },
+            ModelError::UnknownModel { name: "x".into() },
+            ModelError::DuplicateModel { name: "x".into() },
+            ModelError::UnknownBoundaryMode { name: "x".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -1,0 +1,517 @@
+//! The mobility model registry: name → validated constructor with
+//! paper-scale defaults.
+//!
+//! The registry replaces the workspace's old closed `ModelKind` enum:
+//! instead of editing an enum in four crates, a new model family is
+//! one [`ModelRegistry::register`] call away from every simulation
+//! pipeline and every `manet-repro --models` sweep.
+//!
+//! Two pieces:
+//!
+//! * [`AnyModel`] — a type-erased [`Mobility`] model that is still
+//!   `Clone + Send + Sync + Debug`, so the generic simulation engines
+//!   (`manet-sim`) run it unchanged;
+//! * [`ModelRegistry`] — an ordered name → constructor table. Each
+//!   constructor receives a [`PaperScale`] (region side `l` plus the
+//!   run-scaled pause horizon) and returns a fully validated model at
+//!   the paper's §4.2 parameter scale.
+//!
+//! # Determinism contract
+//!
+//! Every registered constructor must be a **pure function** of the
+//! [`PaperScale`]: building the same name at the same scale twice
+//! yields models whose trajectories are byte-identical when driven by
+//! identically seeded RNGs. Constructors never consume randomness;
+//! all randomness flows through `init`/`step` RNG arguments. This is
+//! what lets `manet-repro` sweep `--models` lists across thread counts
+//! and reproduce byte-identical CSV/JSON artifacts.
+//!
+//! # Example
+//!
+//! ```
+//! use manet_geom::Region;
+//! use manet_mobility::{Mobility, ModelRegistry, PaperScale};
+//! use rand::SeedableRng;
+//!
+//! let registry = ModelRegistry::<2>::with_builtins();
+//! let scale = PaperScale::new(256.0);
+//! let mut model = registry.build("gauss-markov", &scale)?;
+//!
+//! let region: Region<2> = Region::new(scale.side).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let mut positions = region.place_uniform(16, &mut rng);
+//! model.init(&positions, &region, &mut rng);
+//! for _ in 0..50 {
+//!     model.step(&mut positions, &region, &mut rng);
+//! }
+//! assert!(positions.iter().all(|p| region.contains(p)));
+//! # Ok::<(), manet_mobility::ModelError>(())
+//! ```
+
+use crate::{
+    BoundaryMode, Bounded, Drunkard, GaussMarkov, Mobility, ModelError, RandomDirection,
+    RandomWalk, RandomWaypoint, ReferencePointGroup, StationaryModel,
+};
+use manet_geom::{Point, Region};
+use rand::Rng;
+
+/// Object-safe closure of the bounds the simulation engines need from
+/// a model (`Mobility + Clone + Send + Sync + Debug`), used as the
+/// erased payload of [`AnyModel`].
+trait ErasedMobility<const D: usize>: Mobility<D> + std::fmt::Debug + Send + Sync {
+    fn clone_box(&self) -> Box<dyn ErasedMobility<D>>;
+}
+
+impl<const D: usize, M> ErasedMobility<D> for M
+where
+    M: Mobility<D> + Clone + std::fmt::Debug + Send + Sync + 'static,
+{
+    fn clone_box(&self) -> Box<dyn ErasedMobility<D>> {
+        Box::new(self.clone())
+    }
+}
+
+/// A type-erased mobility model.
+///
+/// Wraps any `Mobility + Clone + Send + Sync + Debug + 'static` model
+/// behind one concrete type, so heterogeneous model lists (and the
+/// [`ModelRegistry`]) can feed the generic simulation engines. The
+/// erasure preserves the determinism contract: cloning an `AnyModel`
+/// clones the underlying model state exactly.
+///
+/// # Example
+///
+/// ```
+/// use manet_mobility::{AnyModel, Mobility, RandomWalk, StationaryModel};
+///
+/// let zoo: Vec<AnyModel<2>> = vec![
+///     RandomWalk::new(1.0, 0.0)?.into(),
+///     StationaryModel::new().into(),
+/// ];
+/// assert_eq!(zoo[0].name(), "random-walk");
+/// assert_eq!(zoo[1].name(), "stationary");
+/// # Ok::<(), manet_mobility::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct AnyModel<const D: usize>(Box<dyn ErasedMobility<D>>);
+
+impl<const D: usize> AnyModel<D> {
+    /// Erases a concrete mobility model.
+    pub fn new<M>(model: M) -> Self
+    where
+        M: Mobility<D> + Clone + std::fmt::Debug + Send + Sync + 'static,
+    {
+        AnyModel(Box::new(model))
+    }
+}
+
+impl<const D: usize> Clone for AnyModel<D> {
+    fn clone(&self) -> Self {
+        AnyModel(self.0.clone_box())
+    }
+}
+
+impl<const D: usize> Mobility<D> for AnyModel<D> {
+    fn init(&mut self, positions: &[Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
+        self.0.init(positions, region, rng);
+    }
+
+    fn step(&mut self, positions: &mut [Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
+        self.0.step(positions, region, rng);
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+macro_rules! impl_into_any_model {
+    ($($ty:ty),* $(,)?) => {
+        $(impl<const D: usize> From<$ty> for AnyModel<D> {
+            fn from(model: $ty) -> Self {
+                AnyModel::new(model)
+            }
+        })*
+    };
+}
+
+impl_into_any_model!(
+    StationaryModel,
+    RandomWaypoint<D>,
+    Drunkard<D>,
+    RandomWalk<D>,
+    RandomDirection<D>,
+    GaussMarkov<D>,
+    ReferencePointGroup<D>,
+);
+
+impl<const D: usize, M> From<Bounded<M>> for AnyModel<D>
+where
+    M: crate::FreeMobility<D> + Clone + std::fmt::Debug + Send + Sync + 'static,
+{
+    fn from(model: Bounded<M>) -> Self {
+        AnyModel::new(model)
+    }
+}
+
+/// The parameter scale the registry's paper-default constructors are
+/// anchored to: the region side `l` and the pause horizon.
+///
+/// The paper ties pause times to its 10000-step horizon;
+/// `pause_steps` is that value after the caller's horizon scaling
+/// (`RunOptions::scale_steps` in `manet-repro`), so registry models
+/// stay comparable at CI-sized step counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperScale {
+    /// Region side `l`.
+    pub side: f64,
+    /// Pause duration in steps (the paper's `t_pause = 2000`, scaled
+    /// to the run horizon).
+    pub pause_steps: u32,
+}
+
+impl PaperScale {
+    /// Paper defaults for side `l`: the unscaled `t_pause = 2000`.
+    pub fn new(side: f64) -> Self {
+        PaperScale {
+            side,
+            pause_steps: 2000,
+        }
+    }
+
+    /// Overrides the pause horizon (chainable).
+    pub fn with_pause(mut self, pause_steps: u32) -> Self {
+        self.pause_steps = pause_steps;
+        self
+    }
+}
+
+type BuildFn<const D: usize> =
+    Box<dyn Fn(&PaperScale) -> Result<AnyModel<D>, ModelError> + Send + Sync>;
+
+struct Entry<const D: usize> {
+    name: String,
+    summary: String,
+    build: BuildFn<D>,
+}
+
+/// An ordered name → validated-constructor table of mobility models.
+///
+/// See the [module docs](self) for the determinism contract and a
+/// usage example. [`ModelRegistry::with_builtins`] registers the full
+/// zoo; [`ModelRegistry::register`] adds project-specific families
+/// without touching any downstream crate.
+pub struct ModelRegistry<const D: usize> {
+    entries: Vec<Entry<D>>,
+}
+
+impl<const D: usize> Default for ModelRegistry<D> {
+    fn default() -> Self {
+        ModelRegistry::with_builtins()
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for ModelRegistry<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl<const D: usize> ModelRegistry<D> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry with every built-in model family:
+    ///
+    /// | name | model |
+    /// |------|-------|
+    /// | `stationary` | [`StationaryModel`] |
+    /// | `waypoint` | [`RandomWaypoint`] at §4.2 defaults |
+    /// | `drunkard` | [`Drunkard`] at §4.2 defaults |
+    /// | `walk` | [`RandomWalk`] (reflecting) |
+    /// | `direction` | [`RandomDirection`] (stop-and-pause) |
+    /// | `gauss-markov` | [`GaussMarkov`] (reflecting) |
+    /// | `rpgm` | [`ReferencePointGroup`] |
+    /// | `walk-wrap`, `walk-bounce` | [`Bounded`] walk variants |
+    /// | `direction-wrap`, `direction-bounce` | [`Bounded`] direction variants |
+    /// | `gauss-markov-wrap`, `gauss-markov-bounce` | [`Bounded`] Gauss–Markov variants |
+    pub fn with_builtins() -> Self {
+        let mut reg = ModelRegistry::new();
+        let mut add = |name: &str, summary: &str, build: BuildFn<D>| {
+            reg.entries.push(Entry {
+                name: name.to_string(),
+                summary: summary.to_string(),
+                build,
+            });
+        };
+        add(
+            "stationary",
+            "no movement (the stationary baseline)",
+            Box::new(|_s| Ok(StationaryModel::new().into())),
+        );
+        add(
+            "waypoint",
+            "random waypoint, paper \u{a7}4.2 defaults (v in [0.1, 0.01*l], pause)",
+            Box::new(|s| Ok(RandomWaypoint::new(0.1, 0.01 * s.side, s.pause_steps, 0.0)?.into())),
+        );
+        add(
+            "drunkard",
+            "drunkard jumps, paper \u{a7}4.2 defaults (p_s=0.1, p_p=0.3, m=0.01*l)",
+            Box::new(|s| Ok(Drunkard::paper_defaults(s.side)?.into())),
+        );
+        add(
+            "walk",
+            "fixed-step random walk, reflecting (step=0.01*l)",
+            Box::new(|s| Ok(RandomWalk::new(0.01 * s.side, 0.0)?.into())),
+        );
+        add(
+            "direction",
+            "random direction, stop-and-pause at walls (v in [0.1, 0.01*l])",
+            Box::new(|s| Ok(RandomDirection::new(0.1, 0.01 * s.side, s.pause_steps, 0.0)?.into())),
+        );
+        add(
+            "gauss-markov",
+            "Gauss-Markov correlated velocities (alpha=0.85, speeds ~0.005*l), reflecting",
+            Box::new(|s| Ok(GaussMarkov::paper_defaults(s.side)?.into())),
+        );
+        add(
+            "rpgm",
+            "reference-point groups of 4 tethered within 0.05*l of waypoint leaders",
+            Box::new(|s| Ok(ReferencePointGroup::paper_defaults(s.side, s.pause_steps)?.into())),
+        );
+        for mode in [BoundaryMode::Wrap, BoundaryMode::Bounce] {
+            add(
+                &format!("walk-{}", mode.as_str()),
+                &format!("random walk under the {} boundary policy", mode.as_str()),
+                Box::new(move |s: &PaperScale| {
+                    Ok(Bounded::new(RandomWalk::new(0.01 * s.side, 0.0)?, mode).into())
+                }),
+            );
+            add(
+                &format!("direction-{}", mode.as_str()),
+                &format!(
+                    "random direction under the {} boundary policy",
+                    mode.as_str()
+                ),
+                Box::new(move |s: &PaperScale| {
+                    Ok(Bounded::new(
+                        RandomDirection::new(0.1, 0.01 * s.side, s.pause_steps, 0.0)?,
+                        mode,
+                    )
+                    .into())
+                }),
+            );
+            add(
+                &format!("gauss-markov-{}", mode.as_str()),
+                &format!("Gauss-Markov under the {} boundary policy", mode.as_str()),
+                Box::new(move |s: &PaperScale| {
+                    Ok(Bounded::new(GaussMarkov::paper_defaults(s.side)?, mode).into())
+                }),
+            );
+        }
+        reg
+    }
+
+    /// Registers a new model family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateModel`] when `name` is taken.
+    pub fn register<F>(&mut self, name: &str, summary: &str, build: F) -> Result<(), ModelError>
+    where
+        F: Fn(&PaperScale) -> Result<AnyModel<D>, ModelError> + Send + Sync + 'static,
+    {
+        if self.contains(name) {
+            return Err(ModelError::DuplicateModel { name: name.into() });
+        }
+        self.entries.push(Entry {
+            name: name.to_string(),
+            summary: summary.to_string(),
+            build: Box::new(build),
+        });
+        Ok(())
+    }
+
+    /// Builds the named model at the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownModel`] for unregistered names and
+    /// propagates the constructor's validation errors.
+    pub fn build(&self, name: &str, scale: &PaperScale) -> Result<AnyModel<D>, ModelError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| ModelError::UnknownModel { name: name.into() })?;
+        (entry.build)(scale)
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// The one-line summary of a registered model.
+    pub fn summary(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.summary.as_str())
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn drive(model: &mut AnyModel<2>, seed: u64, side: f64) -> Vec<Point<2>> {
+        let region: Region<2> = Region::new(side).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pos = region.place_uniform(12, &mut rng);
+        model.init(&pos, &region, &mut rng);
+        for _ in 0..60 {
+            model.step(&mut pos, &region, &mut rng);
+        }
+        pos
+    }
+
+    #[test]
+    fn builtins_cover_the_zoo() {
+        let reg = ModelRegistry::<2>::with_builtins();
+        for name in [
+            "stationary",
+            "waypoint",
+            "drunkard",
+            "walk",
+            "direction",
+            "gauss-markov",
+            "rpgm",
+            "walk-wrap",
+            "walk-bounce",
+            "direction-wrap",
+            "direction-bounce",
+            "gauss-markov-wrap",
+            "gauss-markov-bounce",
+        ] {
+            assert!(reg.contains(name), "missing builtin `{name}`");
+            assert!(reg.summary(name).is_some());
+        }
+        assert_eq!(reg.len(), 13);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.names()[0], "stationary");
+    }
+
+    #[test]
+    fn every_builtin_builds_and_stays_in_region() {
+        let reg = ModelRegistry::<2>::with_builtins();
+        let scale = PaperScale::new(256.0).with_pause(10);
+        let region: Region<2> = Region::new(256.0).unwrap();
+        for name in reg.names() {
+            let mut model = reg.build(name, &scale).unwrap();
+            let pos = drive(&mut model, 9, 256.0);
+            assert!(
+                pos.iter().all(|p| region.contains(p)),
+                "`{name}` left the region"
+            );
+        }
+    }
+
+    #[test]
+    fn built_models_replay_deterministically() {
+        let reg = ModelRegistry::<2>::with_builtins();
+        let scale = PaperScale::new(128.0).with_pause(5);
+        for name in reg.names() {
+            let mut a = reg.build(name, &scale).unwrap();
+            let mut b = reg.build(name, &scale).unwrap();
+            assert_eq!(
+                drive(&mut a, 31, 128.0),
+                drive(&mut b, 31, 128.0),
+                "`{name}` is not a pure function of the scale"
+            );
+            // A clone taken mid-flight also replays.
+            let mut c = reg.build(name, &scale).unwrap().clone();
+            assert_eq!(drive(&mut c, 31, 128.0), drive(&mut a, 31, 128.0));
+        }
+    }
+
+    #[test]
+    fn unknown_and_duplicate_names_error() {
+        let mut reg = ModelRegistry::<2>::with_builtins();
+        let scale = PaperScale::new(100.0);
+        assert!(matches!(
+            reg.build("teleport", &scale),
+            Err(ModelError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            reg.register("waypoint", "dup", |_s| Ok(StationaryModel::new().into())),
+            Err(ModelError::DuplicateModel { .. })
+        ));
+    }
+
+    #[test]
+    fn registered_extensions_resolve() {
+        let mut reg = ModelRegistry::<2>::new();
+        reg.register("frozen", "nothing moves", |_s| {
+            Ok(StationaryModel::new().into())
+        })
+        .unwrap();
+        let scale = PaperScale::new(64.0);
+        let mut m = reg.build("frozen", &scale).unwrap();
+        assert_eq!(m.name(), "stationary");
+        let region: Region<2> = Region::new(64.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let pos = region.place_uniform(4, &mut rng);
+        let mut moved = pos.clone();
+        m.init(&moved, &region, &mut rng);
+        m.step(&mut moved, &region, &mut rng);
+        assert_eq!(pos, moved);
+    }
+
+    #[test]
+    fn constructor_errors_propagate() {
+        // A region too small for the paper speed range fails cleanly.
+        let reg = ModelRegistry::<2>::with_builtins();
+        let scale = PaperScale::new(5.0);
+        assert!(reg.build("waypoint", &scale).is_err());
+        // ...but scale-independent models still build.
+        assert!(reg.build("stationary", &scale).is_ok());
+    }
+
+    #[test]
+    fn paper_scale_accessors() {
+        let s = PaperScale::new(1024.0);
+        assert_eq!(s.pause_steps, 2000);
+        let s = s.with_pause(40);
+        assert_eq!((s.side, s.pause_steps), (1024.0, 40));
+    }
+
+    #[test]
+    fn any_model_debug_and_name() {
+        let m: AnyModel<2> = RandomWalk::new(1.0, 0.0).unwrap().into();
+        assert!(format!("{m:?}").contains("RandomWalk"));
+        assert_eq!(m.name(), "random-walk");
+    }
+}

@@ -10,6 +10,25 @@ use manet_geom::{Point, Region};
 use rand::Rng;
 
 /// A mobility model in which nothing moves.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::Region;
+/// use manet_mobility::{Mobility, StationaryModel};
+/// use rand::SeedableRng;
+///
+/// let region: Region<2> = Region::new(10.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut positions = region.place_uniform(8, &mut rng);
+/// let before = positions.clone();
+///
+/// let mut model = StationaryModel::new();
+/// Mobility::<2>::init(&mut model, &positions, &region, &mut rng);
+/// model.step(&mut positions, &region, &mut rng);
+/// assert_eq!(positions, before);
+/// # Ok::<(), manet_geom::GeomError>(())
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StationaryModel;
 

@@ -8,11 +8,31 @@
 //! mobility — predicts random walk behaves like the drunkard model at
 //! matched displacement scales, which the ablation benches probe.
 
-use crate::{validate_positive, validate_probability, Mobility, ModelError};
+use crate::{validate_positive, validate_probability, FreeMobility, Mobility, ModelError};
 use manet_geom::{sampling::sample_unit_vector, Point, Region};
 use rand::{Rng, RngExt};
 
 /// Fixed-step random walk with boundary reflection.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::Region;
+/// use manet_mobility::{Mobility, RandomWalk};
+/// use rand::SeedableRng;
+///
+/// let region: Region<2> = Region::new(50.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut positions = region.place_uniform(10, &mut rng);
+///
+/// let mut model = RandomWalk::new(2.0, 0.0)?;
+/// model.init(&positions, &region, &mut rng);
+/// for _ in 0..50 {
+///     model.step(&mut positions, &region, &mut rng);
+/// }
+/// assert!(positions.iter().all(|p| region.contains(p)));
+/// # Ok::<(), manet_mobility::ModelError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct RandomWalk<const D: usize> {
     step_length: f64,
@@ -60,6 +80,21 @@ impl<const D: usize> Mobility<D> for RandomWalk<D> {
     }
 
     fn step(&mut self, positions: &mut [Point<D>], region: &Region<D>, rng: &mut dyn Rng) {
+        self.step_free(positions, region, rng);
+        for pos in positions.iter_mut() {
+            if !region.contains(pos) {
+                *pos = region.reflect(pos);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-walk"
+    }
+}
+
+impl<const D: usize> FreeMobility<D> for RandomWalk<D> {
+    fn step_free(&mut self, positions: &mut [Point<D>], _region: &Region<D>, rng: &mut dyn Rng) {
         assert_eq!(
             positions.len(),
             self.stationary.len(),
@@ -70,14 +105,10 @@ impl<const D: usize> Mobility<D> for RandomWalk<D> {
                 continue;
             }
             let dir: Point<D> = sample_unit_vector(rng);
-            let proposal = *pos + dir * self.step_length;
-            *pos = region.reflect(&proposal);
+            *pos = *pos + dir * self.step_length;
         }
     }
-
-    fn name(&self) -> &'static str {
-        "random-walk"
-    }
+    // No persistent velocity: the default no-op `deflect` is correct.
 }
 
 #[cfg(test)]

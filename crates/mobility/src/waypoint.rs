@@ -32,6 +32,26 @@ enum Phase<const D: usize> {
 /// simulator). The paper's moderate-mobility defaults are
 /// `v_min = 0.1`, `v_max = 0.01·l`, `t_pause = 2000`,
 /// `p_stationary = 0`.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::Region;
+/// use manet_mobility::{Mobility, RandomWaypoint};
+/// use rand::SeedableRng;
+///
+/// let region: Region<2> = Region::new(100.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let mut positions = region.place_uniform(16, &mut rng);
+///
+/// let mut model = RandomWaypoint::paper_defaults(100.0)?;
+/// model.init(&positions, &region, &mut rng);
+/// for _ in 0..100 {
+///     model.step(&mut positions, &region, &mut rng);
+/// }
+/// assert!(positions.iter().all(|p| region.contains(p)));
+/// # Ok::<(), manet_mobility::ModelError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct RandomWaypoint<const D: usize> {
     v_min: f64,

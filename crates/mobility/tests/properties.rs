@@ -3,7 +3,8 @@
 
 use manet_geom::{Point, Region};
 use manet_mobility::{
-    Drunkard, Mobility, RandomDirection, RandomWalk, RandomWaypoint, StationaryModel,
+    BoundaryMode, Bounded, Drunkard, GaussMarkov, Mobility, ModelRegistry, PaperScale,
+    RandomDirection, RandomWalk, RandomWaypoint, ReferencePointGroup, StationaryModel,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -123,6 +124,106 @@ proptest! {
             m.step(&mut pos, &region, &mut rng);
         }
         prop_assert_eq!(pos, pos0);
+    }
+
+    #[test]
+    fn gauss_markov_contains_and_repeats(
+        side in 10.0..500.0f64,
+        n in 1usize..20,
+        alpha in 0.0..=1.0f64,
+        speed_frac in 0.0..0.1f64,
+        sigma_frac in 0.001..0.1f64,
+        p_stat in 0.0..=1.0f64,
+        seed in any::<u64>(),
+    ) {
+        let mean_speed = speed_frac * side;
+        let sigma = (sigma_frac * side).max(1e-6);
+        let mut m1 = GaussMarkov::new(alpha, mean_speed, sigma, p_stat).unwrap();
+        let out1 = run_model(&mut m1, side, n, 60, seed);
+        prop_assert!(all_inside(side, &out1));
+        // Determinism: a fresh instance with the same seed replays
+        // byte-identically (f64 bit equality via ==).
+        let mut m2 = GaussMarkov::new(alpha, mean_speed, sigma, p_stat).unwrap();
+        prop_assert_eq!(out1, run_model(&mut m2, side, n, 60, seed));
+    }
+
+    #[test]
+    fn rpgm_tether_containment_and_determinism(
+        side in 20.0..500.0f64,
+        n in 2usize..24,
+        group_size in 1usize..6,
+        tether_frac in 0.01..0.3f64,
+        speed_frac in 0.001..0.05f64,
+        pause in 0u32..5,
+        seed in any::<u64>(),
+    ) {
+        let tether = (tether_frac * side).max(1e-3);
+        let v_max = (speed_frac * side).max(0.2);
+        let region: Region<2> = Region::new(side).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pos = region.place_uniform(n, &mut rng);
+        let mut model =
+            ReferencePointGroup::new(group_size, tether, 0.1, v_max, pause).unwrap();
+        model.init(&pos, &region, &mut rng);
+        for _ in 0..40 {
+            model.step(&mut pos, &region, &mut rng);
+            prop_assert!(all_inside(side, &pos));
+            // The member-tether invariant, at every step.
+            for i in 0..n {
+                let d = pos[i].distance(&pos[model.leader_of(i)]);
+                prop_assert!(d <= tether + 1e-9, "node {} strayed {}", i, d);
+            }
+        }
+        // Byte-identical replay from a fresh instance.
+        let mut replay =
+            ReferencePointGroup::new(group_size, tether, 0.1, v_max, pause).unwrap();
+        prop_assert_eq!(pos, run_model(&mut replay, side, n, 40, seed));
+    }
+
+    #[test]
+    fn bounded_modes_contain_and_repeat(
+        side in 10.0..300.0f64,
+        n in 1usize..15,
+        speed_frac in 0.01..0.5f64,
+        mode_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mode = [BoundaryMode::Reflect, BoundaryMode::Wrap, BoundaryMode::Bounce][mode_idx];
+        let speed = (speed_frac * side).max(1e-3);
+
+        let mut walk = Bounded::new(RandomWalk::new(speed, 0.0).unwrap(), mode);
+        let out = run_model(&mut walk, side, n, 40, seed);
+        prop_assert!(all_inside(side, &out));
+        let mut replay = Bounded::new(RandomWalk::new(speed, 0.0).unwrap(), mode);
+        prop_assert_eq!(out, run_model(&mut replay, side, n, 40, seed));
+
+        let mut gm = Bounded::new(
+            GaussMarkov::new(0.9, speed, speed / 2.0, 0.0).unwrap(),
+            mode,
+        );
+        let out = run_model(&mut gm, side, n, 40, seed);
+        prop_assert!(all_inside(side, &out));
+
+        let mut dir = Bounded::new(RandomDirection::new(speed, speed, 1, 0.0).unwrap(), mode);
+        prop_assert!(all_inside(side, &run_model(&mut dir, side, n, 40, seed)));
+    }
+
+    #[test]
+    fn registry_builds_replay_identically(
+        side in 20.0..400.0f64,
+        n in 1usize..16,
+        pause in 0u32..10,
+        seed in any::<u64>(),
+    ) {
+        let registry = ModelRegistry::<2>::with_builtins();
+        let scale = PaperScale::new(side).with_pause(pause);
+        for name in ["gauss-markov", "rpgm", "walk-wrap", "direction-bounce"] {
+            let mut a = registry.build(name, &scale).unwrap();
+            let mut b = registry.build(name, &scale).unwrap();
+            let out_a = run_model(&mut a, side, n, 30, seed);
+            prop_assert!(all_inside(side, &out_a), "{} escaped", name);
+            prop_assert_eq!(out_a, run_model(&mut b, side, n, 30, seed));
+        }
     }
 
     #[test]

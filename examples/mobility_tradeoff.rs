@@ -9,9 +9,10 @@
 //! Run with `cargo run --release --example mobility_tradeoff`.
 
 use manet::availability::Availability;
-use manet::{energy, ModelKind, MtrmProblem};
+use manet::mobility::{Drunkard, RandomDirection, RandomWalk, RandomWaypoint};
+use manet::{energy, AnyModel, MtrmProblem};
 
-fn solve(model: ModelKind<2>, l: f64, n: usize) -> Result<(f64, f64, f64), manet::CoreError> {
+fn solve(model: AnyModel<2>, l: f64, n: usize) -> Result<(f64, f64, f64), manet::CoreError> {
     let problem = MtrmProblem::<2>::builder()
         .nodes(n)
         .side(l)
@@ -33,16 +34,16 @@ fn main() -> Result<(), manet::CoreError> {
     let step = 0.01 * l; // matched displacement scale for all models
     println!("four mobility models, n = {n}, l = {l}, matched speed {step}/step:");
     println!("{:>18}  {:>8}  {:>8}  {:>8}", "model", "r100", "r90", "r10");
-    let models: Vec<(&str, ModelKind<2>)> = vec![
+    let models: Vec<(&str, AnyModel<2>)> = vec![
         (
             "random waypoint",
-            ModelKind::random_waypoint(0.1, step, 200, 0.0)?,
+            RandomWaypoint::new(0.1, step, 200, 0.0)?.into(),
         ),
-        ("drunkard", ModelKind::drunkard(0.1, 0.3, step)?),
-        ("random walk", ModelKind::random_walk(step, 0.0)?),
+        ("drunkard", Drunkard::new(0.1, 0.3, step)?.into()),
+        ("random walk", RandomWalk::new(step, 0.0)?.into()),
         (
             "random direction",
-            ModelKind::random_direction(0.1, step, 200, 0.0)?,
+            RandomDirection::new(0.1, step, 200, 0.0)?.into(),
         ),
     ];
     let mut waypoint_r100 = None;
@@ -69,7 +70,7 @@ fn main() -> Result<(), manet::CoreError> {
         .iterations(10)
         .steps(1000)
         .seed(31)
-        .model(ModelKind::random_waypoint(0.1, step, 200, 0.0)?)
+        .model(RandomWaypoint::new(0.1, step, 200, 0.0)?)
         .build()?;
     let sol = problem.solve()?;
     let r100 = sol.ranges.r100.mean();

@@ -7,7 +7,8 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use manet::{energy, ModelKind, MtrProblem, MtrmProblem};
+use manet::mobility::RandomWaypoint;
+use manet::{energy, MtrProblem, MtrmProblem};
 
 fn main() -> Result<(), manet::CoreError> {
     // --- Stationary: 64 sensors scattered over a 4096 x 4096 field.
@@ -29,7 +30,7 @@ fn main() -> Result<(), manet::CoreError> {
         .iterations(10)
         .steps(1000)
         .seed(7)
-        .model(ModelKind::random_waypoint(0.1, 0.01 * l, 200, 0.0)?)
+        .model(RandomWaypoint::new(0.1, 0.01 * l, 200, 0.0)?)
         .build()?;
     let solution = problem.solve()?;
     let r100 = solution.ranges.r100.mean();

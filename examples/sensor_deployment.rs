@@ -14,7 +14,8 @@
 
 use manet::graph::kconn;
 use manet::graph::AdjacencyList;
-use manet::{ModelKind, MtrProblem, MtrmProblem};
+use manet::mobility::RandomWaypoint;
+use manet::{MtrProblem, MtrmProblem};
 use rand::SeedableRng;
 
 fn main() -> Result<(), manet::CoreError> {
@@ -52,12 +53,7 @@ fn main() -> Result<(), manet::CoreError> {
             .iterations(8)
             .steps(800)
             .seed(23)
-            .model(ModelKind::random_waypoint(
-                0.1,
-                0.01 * l,
-                160,
-                p_stationary,
-            )?)
+            .model(RandomWaypoint::new(0.1, 0.01 * l, 160, p_stationary)?)
             .build()?;
         let r100 = problem.solve()?.ranges.r100.mean();
         if p_stationary == 0.0 {

@@ -2,9 +2,18 @@
 //! function of its configuration (including the master seed), and is
 //! invariant to the worker thread count.
 
-use manet::{ModelKind, MtrmProblem};
+use manet::mobility::RandomWaypoint;
+use manet::{AnyModel, ModelRegistry, MtrmProblem, PaperScale};
 
 fn build(seed: u64, threads: usize) -> MtrmProblem<2> {
+    build_with(
+        RandomWaypoint::new(0.1, 4.0, 10, 0.25).unwrap().into(),
+        seed,
+        threads,
+    )
+}
+
+fn build_with(model: AnyModel<2>, seed: u64, threads: usize) -> MtrmProblem<2> {
     MtrmProblem::<2>::builder()
         .nodes(14)
         .side(200.0)
@@ -12,7 +21,7 @@ fn build(seed: u64, threads: usize) -> MtrmProblem<2> {
         .steps(60)
         .seed(seed)
         .threads(threads)
-        .model(ModelKind::random_waypoint(0.1, 4.0, 10, 0.25).unwrap())
+        .model(model)
         .build()
         .unwrap()
 }
@@ -96,6 +105,45 @@ fn trace_artifacts_byte_identical_across_seeds_and_threads() {
     assert!(reference.contains("repair"));
     // A different seed really changes the artifact.
     assert_ne!(reference, artifact(20020624, 2));
+}
+
+/// Every registry model — including the zoo families added on top of
+/// the paper's two — must produce identical solutions and fixed-range
+/// reports regardless of the worker thread count, and the trace JSON
+/// must be byte-identical (seed fixed).
+#[test]
+fn registry_zoo_is_thread_invariant() {
+    let registry = ModelRegistry::<2>::with_builtins();
+    let scale = PaperScale::new(200.0).with_pause(10);
+    for name in ["gauss-markov", "rpgm", "walk-wrap", "gauss-markov-bounce"] {
+        let run = |threads: usize| {
+            let model = registry.build(name, &scale).unwrap();
+            let p = build_with(model, 20020623, threads);
+            let sol = p.solve().unwrap();
+            let report = p.fixed_range_report(45.0).unwrap();
+            (sol, report)
+        };
+        let (sol_1, rep_1) = run(1);
+        let (sol_4, rep_4) = run(4);
+        assert_eq!(
+            sol_1.ranges.r100.mean(),
+            sol_4.ranges.r100.mean(),
+            "{name}: r100 depends on thread count"
+        );
+        assert_eq!(rep_1, rep_4, "{name}: fixed-range report not invariant");
+
+        #[cfg(feature = "serde")]
+        {
+            let trace = |threads: usize| {
+                let model = registry.build(name, &scale).unwrap();
+                let summary = build_with(model, 20020623, threads)
+                    .temporal_trace(45.0)
+                    .unwrap();
+                serde_json::to_string(&summary).unwrap()
+            };
+            assert_eq!(trace(1), trace(3), "{name}: trace JSON not byte-identical");
+        }
+    }
 }
 
 /// Workspace smoke test: the entire stack — geometry, mobility, graph,

@@ -3,10 +3,11 @@
 
 use manet::geom::{Point, Region};
 use manet::graph::{components, critical_range, AdjacencyList};
+use manet::mobility::{Drunkard, RandomWaypoint};
 use manet::occupancy::{patterns, Occupancy};
 use manet::sim::search::range_for_fraction_both_paths;
 use manet::sim::{simulate_fixed_range, SimConfig, StationaryAnalysis};
-use manet::{one_dim, theorems, ModelKind, MtrProblem, MtrmProblem};
+use manet::{one_dim, theorems, MtrProblem, MtrmProblem};
 use rand::SeedableRng;
 
 #[test]
@@ -24,7 +25,7 @@ fn figure2_pipeline_miniature() {
         .iterations(8)
         .steps(400)
         .seed(2)
-        .model(ModelKind::random_waypoint(0.1, 2.56, 80, 0.0).unwrap())
+        .model(RandomWaypoint::new(0.1, 2.56, 80, 0.0).unwrap())
         .build()
         .unwrap();
     let sol = problem.solve().unwrap();
@@ -48,7 +49,7 @@ fn figure6_pipeline_miniature() {
         .iterations(5)
         .steps(200)
         .seed(3)
-        .model(ModelKind::random_waypoint(0.1, 2.56, 40, 0.0).unwrap())
+        .model(RandomWaypoint::new(0.1, 2.56, 40, 0.0).unwrap())
         .build()
         .unwrap();
     let rl = problem
@@ -65,7 +66,7 @@ fn fast_and_slow_paths_agree_through_facade() {
     let mut b = SimConfig::<2>::builder();
     b.nodes(12).side(128.0).iterations(2).steps(20).seed(4);
     let cfg = b.build().unwrap();
-    let model = ModelKind::random_waypoint(0.1, 1.28, 4, 0.0).unwrap();
+    let model = RandomWaypoint::new(0.1, 1.28, 4, 0.0).unwrap();
     let (fast, slow) = range_for_fraction_both_paths(&cfg, &model, 0.9, 1e-5).unwrap();
     assert!((fast - slow).abs() < 1e-3, "fast {fast} vs slow {slow}");
 }
@@ -161,7 +162,7 @@ fn paper_simulator_interface_reports_all_fields() {
     let mut b = SimConfig::<2>::builder();
     b.nodes(10).side(100.0).iterations(4).steps(25).seed(8);
     let cfg = b.build().unwrap();
-    let model = ModelKind::drunkard(0.1, 0.3, 1.0).unwrap();
+    let model = Drunkard::new(0.1, 0.3, 1.0).unwrap();
     let report = simulate_fixed_range(&cfg, &model, 35.0).unwrap();
     assert_eq!(report.iterations.len(), 4);
     for it in &report.iterations {

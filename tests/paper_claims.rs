@@ -3,9 +3,10 @@
 //! from; EXPERIMENTS.md records the quantitative versions at full
 //! scale.
 
-use manet::{ModelKind, MtrmProblem};
+use manet::mobility::RandomWaypoint;
+use manet::{AnyModel, MtrmProblem};
 
-fn solve(model: ModelKind<2>, steps: usize, seed: u64) -> manet::MtrmSolution {
+fn solve(model: impl Into<AnyModel<2>>, steps: usize, seed: u64) -> manet::MtrmSolution {
     MtrmProblem::<2>::builder()
         .nodes(32)
         .side(1024.0)
@@ -24,13 +25,19 @@ fn solve(model: ModelKind<2>, steps: usize, seed: u64) -> manet::MtrmSolution {
 /// not the exact percentage.
 #[test]
 fn r90_is_substantially_below_r100() {
-    for (model, name) in [
+    let cases: [(AnyModel<2>, &str); 2] = [
         (
-            ModelKind::random_waypoint(0.1, 10.24, 400, 0.0).unwrap(),
+            RandomWaypoint::new(0.1, 10.24, 400, 0.0).unwrap().into(),
             "waypoint",
         ),
-        (ModelKind::drunkard(0.1, 0.3, 10.24).unwrap(), "drunkard"),
-    ] {
+        (
+            manet::mobility::Drunkard::new(0.1, 0.3, 10.24)
+                .unwrap()
+                .into(),
+            "drunkard",
+        ),
+    ];
+    for (model, name) in cases {
         let sol = solve(model, 1500, 11);
         let ratio = sol.ranges.r90.mean() / sol.ranges.r100.mean();
         assert!(
@@ -44,12 +51,12 @@ fn r90_is_substantially_below_r100() {
 /// there are no major differences between the two mobility models."
 #[test]
 fn waypoint_and_drunkard_are_similar() {
-    let wp = solve(
-        ModelKind::random_waypoint(0.1, 10.24, 400, 0.0).unwrap(),
+    let wp = solve(RandomWaypoint::new(0.1, 10.24, 400, 0.0).unwrap(), 1500, 12);
+    let dr = solve(
+        manet::mobility::Drunkard::new(0.1, 0.3, 10.24).unwrap(),
         1500,
         12,
     );
-    let dr = solve(ModelKind::drunkard(0.1, 0.3, 10.24).unwrap(), 1500, 12);
     for (a, b, what) in [
         (wp.ranges.r100.mean(), dr.ranges.r100.mean(), "r100"),
         (wp.ranges.r90.mean(), dr.ranges.r90.mean(), "r90"),
@@ -68,30 +75,18 @@ fn waypoint_and_drunkard_are_similar() {
 /// all-stationary value as p_stationary crosses ~0.5.
 #[test]
 fn stationary_fraction_threshold() {
-    let all_mobile = solve(
-        ModelKind::random_waypoint(0.1, 10.24, 400, 0.0).unwrap(),
-        1000,
-        13,
-    )
-    .ranges
-    .r100
-    .mean();
-    let mostly_static = solve(
-        ModelKind::random_waypoint(0.1, 10.24, 400, 0.8).unwrap(),
-        1000,
-        13,
-    )
-    .ranges
-    .r100
-    .mean();
-    let fully_static = solve(
-        ModelKind::random_waypoint(0.1, 10.24, 400, 1.0).unwrap(),
-        1000,
-        13,
-    )
-    .ranges
-    .r100
-    .mean();
+    let all_mobile = solve(RandomWaypoint::new(0.1, 10.24, 400, 0.0).unwrap(), 1000, 13)
+        .ranges
+        .r100
+        .mean();
+    let mostly_static = solve(RandomWaypoint::new(0.1, 10.24, 400, 0.8).unwrap(), 1000, 13)
+        .ranges
+        .r100
+        .mean();
+    let fully_static = solve(RandomWaypoint::new(0.1, 10.24, 400, 1.0).unwrap(), 1000, 13)
+        .ranges
+        .r100
+        .mean();
     assert!(
         mostly_static < all_mobile,
         "freezing nodes must not increase r100: {mostly_static} vs {all_mobile}"
@@ -114,7 +109,7 @@ fn disconnection_near_r90_leaves_giant_component() {
         .iterations(8)
         .steps(1000)
         .seed(14)
-        .model(ModelKind::random_waypoint(0.1, 10.24, 200, 0.0).unwrap())
+        .model(RandomWaypoint::new(0.1, 10.24, 200, 0.0).unwrap())
         .build()
         .unwrap();
     let sol = problem.solve().unwrap();
@@ -139,7 +134,7 @@ fn component_targets_cost_less_than_full_connectivity() {
         .iterations(6)
         .steps(800)
         .seed(15)
-        .model(ModelKind::random_waypoint(0.1, 10.24, 160, 0.0).unwrap())
+        .model(RandomWaypoint::new(0.1, 10.24, 160, 0.0).unwrap())
         .build()
         .unwrap();
     let rl = problem
@@ -162,7 +157,7 @@ fn component_targets_cost_less_than_full_connectivity() {
 #[test]
 fn r100_insensitive_to_vmax() {
     let slow = solve(
-        ModelKind::random_waypoint(0.1, 0.1 * 1024.0, 400, 0.0).unwrap(),
+        RandomWaypoint::new(0.1, 0.1 * 1024.0, 400, 0.0).unwrap(),
         1000,
         16,
     )
@@ -170,7 +165,7 @@ fn r100_insensitive_to_vmax() {
     .r100
     .mean();
     let fast = solve(
-        ModelKind::random_waypoint(0.1, 0.5 * 1024.0, 400, 0.0).unwrap(),
+        RandomWaypoint::new(0.1, 0.5 * 1024.0, 400, 0.0).unwrap(),
         1000,
         16,
     )

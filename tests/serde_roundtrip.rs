@@ -5,8 +5,8 @@
 #![cfg(feature = "serde")]
 
 use manet::geom::{BoundaryPolicy, Point, Region};
+use manet::mobility::Drunkard;
 use manet::sim::{simulate_fixed_range, SimConfig};
-use manet::ModelKind;
 
 fn roundtrip<T>(value: &T) -> T
 where
@@ -56,7 +56,7 @@ fn fixed_range_report_roundtrips() {
     let mut b = SimConfig::<2>::builder();
     b.nodes(6).side(50.0).iterations(2).steps(5).seed(9);
     let cfg = b.build().unwrap();
-    let model = ModelKind::drunkard(0.1, 0.2, 1.0).unwrap();
+    let model = Drunkard::new(0.1, 0.2, 1.0).unwrap();
     let report = simulate_fixed_range(&cfg, &model, 20.0).unwrap();
     let back = roundtrip(&report);
     assert_eq!(back, report);
