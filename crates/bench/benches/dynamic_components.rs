@@ -1,7 +1,7 @@
 //! Incremental components vs full rebuild-and-relabel.
 //!
 //! The connectivity spine's bet is that maintaining the component
-//! summary under edge deltas (`DynamicGraph::advance` +
+//! summary under edge deltas (`DynamicGraph::step` +
 //! `DynamicComponents::apply`) beats rebuilding the adjacency list and
 //! relabeling from scratch (`AdjacencyList::from_points` +
 //! `ComponentSummary::of`) at every step. This target prices that bet
@@ -43,16 +43,10 @@ fn trajectory(n: usize, v_max: f64, seed: u64) -> Vec<Vec<Point<2>>> {
     out
 }
 
-/// Mean per-step churn of a trajectory as a fraction of `n` (printed
-/// into the bench id so the ns/iter numbers can be read against the
-/// crossover constant).
+/// Mean per-step churn as a fraction of `n` (printed into the bench id
+/// so the ns/iter numbers can be read against the crossover constant).
 fn churn_per_node(traj: &[Vec<Point<2>>]) -> f64 {
-    let mut dg = DynamicGraph::new(&traj[0], SIDE, RANGE);
-    let mut churn = 0usize;
-    for pts in &traj[1..] {
-        churn += dg.advance(pts).churn();
-    }
-    churn as f64 / ((traj.len() - 1) as f64 * traj[0].len() as f64)
+    manet_bench::step_kernel::churn_per_node(traj, SIDE, RANGE)
 }
 
 /// The delta path: advance the graph and apply the diff to the
@@ -60,11 +54,11 @@ fn churn_per_node(traj: &[Vec<Point<2>>]) -> f64 {
 fn run_delta(traj: &[Vec<Point<2>>]) -> (usize, usize) {
     let mut dg = DynamicGraph::new(black_box(&traj[0]), SIDE, RANGE);
     let mut dc = DynamicComponents::new(traj[0].len());
-    dc.apply(&dg.initial_diff(), dg.graph());
+    dc.apply(dg.last_diff(), dg.graph());
     let mut acc = (dc.count(), dc.largest_size());
     for pts in &traj[1..] {
-        let diff = dg.advance(black_box(pts));
-        dc.apply(&diff, dg.graph());
+        dg.step(black_box(pts));
+        dc.apply(dg.last_diff(), dg.graph());
         acc = (acc.0 ^ dc.count(), acc.1 ^ dc.largest_size());
     }
     acc
@@ -108,8 +102,8 @@ fn delta_stream(traj: &[Vec<Point<2>>]) -> Vec<(manet_core::graph::EdgeDiff, Adj
     let mut dg = DynamicGraph::new(&traj[0], SIDE, RANGE);
     let mut out = vec![(dg.initial_diff(), dg.graph().clone())];
     for pts in &traj[1..] {
-        let diff = dg.advance(pts);
-        out.push((diff, dg.graph().clone()));
+        dg.step(pts);
+        out.push((dg.last_diff().clone(), dg.graph().clone()));
     }
     out
 }

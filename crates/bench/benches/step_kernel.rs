@@ -1,0 +1,44 @@
+//! The zero-rebuild step kernel vs the rebuild-and-diff path.
+//!
+//! This target prices the tentpole bet of the incremental kernel: that
+//! deriving each step's `EdgeDiff` from moved-node rescans over a
+//! `MovingCellGrid` (`DynamicGraph::step`) beats rebuilding the
+//! snapshot with `AdjacencyList::from_points` and diffing two full
+//! snapshots — especially at large `n` and low churn, where the
+//! rebuild path's per-step allocations and full-graph merges dominate.
+//!
+//! `n ∈ {256, 1000, 4000} × {low, high}` waypoint speed, sparse regime
+//! (side ≫ range). Seeds are pinned (like every fixture in
+//! `manet-bench`) so perf series stay comparable across commits. The
+//! committed `BENCH_step_kernel.json` numbers come from the
+//! `step-kernel-capture` binary, which times these exact workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_bench::step_kernel::{
+    churn_per_node, run_incremental, run_rebuild_diff, trajectory, RANGE, SCENARIOS, SIDE,
+};
+use std::hint::black_box;
+
+fn bench_step_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_kernel");
+    for &n in &[256usize, 1000, 4000] {
+        for scenario in &SCENARIOS {
+            let steps = if n >= 4000 { 30 } else { 60 };
+            let traj = trajectory(n, scenario, steps, 31);
+            let churn = churn_per_node(&traj, SIDE, RANGE);
+            let label = scenario.label;
+            group.bench_function(
+                format!("incremental_n={n}_scenario={label}_churn={churn:.3}n"),
+                |b| b.iter(|| run_incremental(black_box(&traj), SIDE, RANGE)),
+            );
+            group.bench_function(
+                format!("rebuild_diff_n={n}_scenario={label}_churn={churn:.3}n"),
+                |b| b.iter(|| run_rebuild_diff(black_box(&traj), SIDE, RANGE)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_kernel);
+criterion_main!(benches);

@@ -46,9 +46,10 @@ fn bench_delta_stream_vs_rebuild(c: &mut Criterion) {
         group.bench_function(format!("dynamic_diff_n={n}"), |b| {
             b.iter(|| {
                 let mut dg = DynamicGraph::new(black_box(&traj[0]), SIDE, RANGE);
-                let mut churn = dg.initial_diff().churn();
+                let mut churn = dg.last_diff().churn();
                 for pts in &traj[1..] {
-                    churn += dg.advance(black_box(pts)).churn();
+                    dg.step(black_box(pts));
+                    churn += dg.last_diff().churn();
                 }
                 black_box(churn)
             })
@@ -73,10 +74,10 @@ fn bench_recorder_fold(c: &mut Criterion) {
         b.iter(|| {
             let mut dg = DynamicGraph::new(&traj[0], SIDE, RANGE);
             let mut rec = TraceRecorder::new(128, traj.len());
-            rec.observe(&dg.initial_diff(), dg.graph());
+            rec.observe(dg.last_diff(), dg.graph());
             for pts in &traj[1..] {
-                let diff = dg.advance(pts);
-                rec.observe(&diff, dg.graph());
+                dg.step(pts);
+                rec.observe(dg.last_diff(), dg.graph());
             }
             black_box(rec.finish())
         })

@@ -1,0 +1,164 @@
+//! Captures step-kernel benchmark numbers to machine-readable JSON.
+//!
+//! `cargo bench` prints human-readable ns/iter lines; nothing was
+//! recording the perf trajectory. This binary times the exact
+//! workloads of the `step_kernel` Criterion target — the incremental
+//! `DynamicGraph::step` kernel vs the rebuild-and-diff path at
+//! `n ∈ {256, 1000, 4000} × {low, mid, high}` mobility — and writes
+//! the results as JSON (committed as `BENCH_step_kernel.json` at the
+//! repository root; see `scripts/capture_step_kernel.sh`).
+//!
+//! Usage: `step_kernel_capture [--quick] [--out PATH]`
+//!
+//! `--quick` runs a reduced grid with one repeat (the CI smoke: proves
+//! the capture path works and the kernel still wins, without paying
+//! for stable numbers). Without `--out`, JSON goes to stdout.
+
+use manet_bench::step_kernel::{
+    churn_per_node, run_incremental, run_rebuild_diff, trajectory, Scenario, RANGE, SCENARIOS, SIDE,
+};
+use manet_core::geom::Point;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Cell {
+    n: usize,
+    scenario: &'static str,
+    moved_fraction: f64,
+    steps: usize,
+    churn_per_node: f64,
+    incremental_ns_per_step: f64,
+    rebuild_ns_per_step: f64,
+}
+
+/// Median wall time of `repeats` timed passes over the trajectory,
+/// in nanoseconds per mobility step.
+fn time_ns_per_step<F: FnMut() -> usize>(mut f: F, steps: usize, repeats: usize) -> f64 {
+    // One untimed pass warms caches and the allocator.
+    black_box(f());
+    let mut samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos() as f64 / steps as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn measure(n: usize, scenario: &'static Scenario, steps: usize, repeats: usize) -> Cell {
+    let traj: Vec<Vec<Point<2>>> = trajectory(n, scenario, steps, 31);
+    let churn = churn_per_node(&traj, SIDE, RANGE);
+    // Mean fraction of nodes that move per step (bitwise position
+    // comparison), the quantity the moved-node kernel scales with.
+    let mut moved = 0usize;
+    for w in traj.windows(2) {
+        moved += w[0].iter().zip(&w[1]).filter(|(a, b)| a != b).count();
+    }
+    let moved_fraction = moved as f64 / ((traj.len() - 1) as f64 * n as f64);
+    let inc = time_ns_per_step(|| run_incremental(&traj, SIDE, RANGE), steps - 1, repeats);
+    let reb = time_ns_per_step(|| run_rebuild_diff(&traj, SIDE, RANGE), steps - 1, repeats);
+    Cell {
+        n,
+        scenario: scenario.label,
+        moved_fraction,
+        steps,
+        churn_per_node: churn,
+        incremental_ns_per_step: inc,
+        rebuild_ns_per_step: reb,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (sizes, repeats): (&[usize], usize) = if quick {
+        (&[256, 1000], 1)
+    } else {
+        (&[256, 1000, 4000], 5)
+    };
+
+    let mut cells = Vec::new();
+    for &n in sizes {
+        for scenario in &SCENARIOS {
+            let steps = if quick {
+                16
+            } else if n >= 4000 {
+                30
+            } else {
+                60
+            };
+            let cell = measure(n, scenario, steps, repeats);
+            eprintln!(
+                "n={:<5} scenario={:<4} moved={:.2}n churn={:.3}n  incremental {:>12.0} ns/step  rebuild {:>12.0} ns/step  speedup {:.2}x",
+                cell.n,
+                cell.scenario,
+                cell.moved_fraction,
+                cell.churn_per_node,
+                cell.incremental_ns_per_step,
+                cell.rebuild_ns_per_step,
+                cell.rebuild_ns_per_step / cell.incremental_ns_per_step,
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"step_kernel\",\n");
+    json.push_str(&format!("  \"side\": {SIDE},\n  \"range\": {RANGE},\n"));
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"scenario\": \"{}\", \"steps\": {}, \
+             \"moved_fraction\": {:.4}, \"churn_per_node\": {:.4}, \
+             \"incremental_ns_per_step\": {:.1}, \
+             \"rebuild_ns_per_step\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            c.n,
+            c.scenario,
+            c.steps,
+            c.moved_fraction,
+            c.churn_per_node,
+            c.incremental_ns_per_step,
+            c.rebuild_ns_per_step,
+            c.rebuild_ns_per_step / c.incremental_ns_per_step,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write bench JSON");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    // The capture doubles as a loud regression check: the kernel's
+    // raison d'être is beating the rebuild path at scale. Quick mode
+    // (tiny trajectories, 1 repeat) only reports.
+    if !quick {
+        let worst = cells
+            .iter()
+            .filter(|c| c.n >= 4000 && c.scenario == "low")
+            .map(|c| c.rebuild_ns_per_step / c.incremental_ns_per_step)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            worst >= 3.0,
+            "step kernel speedup regressed below 3x at n=4000 low churn: {worst:.2}x"
+        );
+    }
+}

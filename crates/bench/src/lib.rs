@@ -8,6 +8,8 @@ use manet_core::mobility::{Drunkard, RandomWaypoint};
 use manet_core::{AnyModel, ModelRegistry, MtrmProblem, PaperScale};
 use rand::SeedableRng;
 
+pub mod step_kernel;
+
 /// Deterministic uniform placement of `n` nodes in `[0, side]^2`.
 pub fn placement(n: usize, side: f64, seed: u64) -> Vec<Point<2>> {
     let region: Region<2> = Region::new(side).expect("positive side");

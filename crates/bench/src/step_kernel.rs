@@ -1,0 +1,149 @@
+//! Shared workloads for the step-kernel benchmarks.
+//!
+//! The `step_kernel` Criterion target and the `step-kernel-capture`
+//! binary (which writes `BENCH_step_kernel.json`) time the exact same
+//! two routines over the exact same pinned-seed trajectories, so the
+//! committed JSON numbers and the interactive bench output are
+//! directly comparable.
+
+use crate::placement;
+use manet_core::geom::{Point, Region};
+use manet_core::graph::{AdjacencyList, DynamicGraph};
+use manet_core::mobility::{Mobility, RandomWaypoint};
+use rand::SeedableRng;
+
+/// Region side of the step-kernel workloads (sparse regime: the
+/// communication graph has bounded degree at [`RANGE`]).
+pub const SIDE: f64 = 1000.0;
+/// Transmitting range of the step-kernel workloads.
+pub const RANGE: f64 = 30.0;
+
+/// One mobility regime of the step-kernel grid.
+pub struct Scenario {
+    /// Bench label (`low` / `mid` / `high`).
+    pub label: &'static str,
+    /// Waypoint speed range (distance per step).
+    pub v_min: f64,
+    /// Waypoint speed range (distance per step).
+    pub v_max: f64,
+    /// Pause steps at each reached destination.
+    pub pause: u32,
+    /// Fraction of permanently stationary nodes.
+    pub p_stationary: f64,
+}
+
+/// The benched regimes. `low` is the paper-style low-churn scenario —
+/// a mixed deployment (waypoint's `p_stationary`, §4.1) where most
+/// nodes are fixed sensors and the movers are slow with pauses; this
+/// is the regime the paper's long-pause defaults (`t_pause = 2000` of
+/// 10000 steps) spend most of their time in, and where per-step work
+/// proportional to the *moved set* pays off. `mid` keeps every node
+/// moving slowly (low edge churn, full moved set); `high` is fast,
+/// pauseless motion — the adversarial regime for any incremental
+/// kernel, served by the bulk-rescan path.
+pub const SCENARIOS: [Scenario; 3] = [
+    Scenario {
+        label: "low",
+        v_min: 1.0,
+        v_max: 2.0,
+        pause: 20,
+        p_stationary: 0.8,
+    },
+    Scenario {
+        label: "mid",
+        v_min: 1.0,
+        v_max: 2.0,
+        pause: 3,
+        p_stationary: 0.0,
+    },
+    Scenario {
+        label: "high",
+        v_min: 20.0,
+        v_max: 40.0,
+        pause: 0,
+        p_stationary: 0.0,
+    },
+];
+
+/// A pinned-seed random-waypoint trajectory under `scenario`: `steps`
+/// position snapshots of `n` nodes.
+pub fn trajectory(n: usize, scenario: &Scenario, steps: usize, seed: u64) -> Vec<Vec<Point<2>>> {
+    let region: Region<2> = Region::new(SIDE).expect("positive side");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut positions = placement(n, SIDE, seed);
+    let mut model = RandomWaypoint::new(
+        scenario.v_min,
+        scenario.v_max,
+        scenario.pause,
+        scenario.p_stationary,
+    )
+    .expect("valid parameters");
+    model.init(&positions, &region, &mut rng);
+    let mut out = vec![positions.clone()];
+    for _ in 1..steps {
+        model.step(&mut positions, &region, &mut rng);
+        out.push(positions.clone());
+    }
+    out
+}
+
+/// Mean per-step churn of a trajectory as a fraction of `n` (printed
+/// into bench ids / the JSON so numbers can be read against regime).
+/// Shared by the `step_kernel` and `dynamic_components` benches.
+pub fn churn_per_node(traj: &[Vec<Point<2>>], side: f64, range: f64) -> f64 {
+    let mut dg = DynamicGraph::new(&traj[0], side, range);
+    let mut churn = 0usize;
+    for pts in &traj[1..] {
+        dg.step(pts);
+        churn += dg.last_diff().churn();
+    }
+    churn as f64 / ((traj.len() - 1) as f64 * traj[0].len() as f64)
+}
+
+/// The incremental path: one `DynamicGraph` stepped through the
+/// trajectory, folding a checksum over the held diff. Allocation-free
+/// after the constructor.
+pub fn run_incremental(traj: &[Vec<Point<2>>], side: f64, range: f64) -> usize {
+    let mut dg = DynamicGraph::new(&traj[0], side, range);
+    let mut acc = dg.last_diff().churn();
+    for pts in &traj[1..] {
+        dg.step(pts);
+        acc ^= dg.last_diff().churn() ^ dg.graph().edge_count();
+    }
+    acc
+}
+
+/// The pre-kernel path: rebuild the snapshot from scratch each step
+/// and diff the two full snapshots (`from_points` + `diff`), exactly
+/// what `DynamicGraph::advance` did before the incremental kernel.
+pub fn run_rebuild_diff(traj: &[Vec<Point<2>>], side: f64, range: f64) -> usize {
+    let mut graph = AdjacencyList::from_points(&traj[0], side, range);
+    let mut acc = graph.edge_count();
+    for pts in &traj[1..] {
+        let next = AdjacencyList::from_points(pts, side, range);
+        let diff = graph.diff(&next);
+        graph = next;
+        acc ^= diff.churn() ^ graph.edge_count();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both timed routines must do the same logical work — identical
+    /// checksums — or the bench compares apples to oranges.
+    #[test]
+    fn incremental_and_rebuild_paths_fold_identical_checksums() {
+        for scenario in &SCENARIOS {
+            let traj = trajectory(96, scenario, 20, 5);
+            assert_eq!(
+                run_incremental(&traj, SIDE, RANGE),
+                run_rebuild_diff(&traj, SIDE, RANGE),
+                "scenario {}",
+                scenario.label
+            );
+        }
+    }
+}

@@ -37,6 +37,10 @@ pub struct RunOptions {
     /// Mobility models to sweep (`--models a,b,c`); `None` keeps each
     /// experiment's default list.
     pub models: Option<Vec<String>>,
+    /// Node-count override (`--nodes N`) for the trace experiment —
+    /// the large-`n` lever for exercising the incremental step kernel
+    /// at scale; `None` keeps the experiment's paper-tied default.
+    pub nodes: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -49,6 +53,7 @@ impl Default for RunOptions {
             threads: None,
             out_dir: PathBuf::from("results"),
             models: None,
+            nodes: None,
         }
     }
 }
@@ -73,6 +78,7 @@ impl RunOptions {
                 "--iterations" => opts.iterations = take_usize(args, &mut i)?,
                 "--steps" => opts.steps = take_usize(args, &mut i)?,
                 "--placements" => opts.placements = take_usize(args, &mut i)?,
+                "--nodes" => opts.nodes = Some(take_usize(args, &mut i)?),
                 "--seed" => opts.seed = take_usize(args, &mut i)? as u64,
                 "--threads" => opts.threads = Some(take_usize(args, &mut i)?),
                 "--out" => {
@@ -114,6 +120,9 @@ impl RunOptions {
         }
         if opts.iterations == 0 || opts.steps == 0 || opts.placements == 0 {
             return Err("iterations, steps and placements must be positive".into());
+        }
+        if opts.nodes == Some(0) {
+            return Err("--nodes must be positive".into());
         }
         Ok(opts)
     }
@@ -191,7 +200,11 @@ fn take_usize(args: &[String], i: &mut usize) -> Result<usize, String> {
 
 /// Computes `r_stationary` for `(n, l)` at the standard quantile.
 pub fn r_stationary(opts: &RunOptions, l: f64) -> Result<f64, CoreError> {
-    let n = nodes_for_side(l);
+    r_stationary_for(opts, l, nodes_for_side(l))
+}
+
+/// [`r_stationary`] at an explicit node count (the `--nodes` override).
+pub fn r_stationary_for(opts: &RunOptions, l: f64, n: usize) -> Result<f64, CoreError> {
     let problem = MtrProblem::<2>::new(n, l)?;
     problem.r_stationary(R_STATIONARY_QUANTILE, opts.placements, opts.seed ^ 0x5747)
 }

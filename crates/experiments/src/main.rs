@@ -26,6 +26,8 @@
 //!   --out DIR        CSV output directory (default results/)
 //!   --models A,B,..  mobility models for quantity/uptime/fixed/trace
 //!                    (registry names, e.g. gauss-markov,rpgm)
+//!   --nodes N        node-count override for trace (large-n runs on
+//!                    the incremental step kernel; default n = 32)
 //! ```
 //!
 //! Without `--paper`, pause times and sweep axes that the paper ties to
@@ -107,6 +109,6 @@ fn print_usage() {
         "manet-repro: reproduce Santi & Blough (DSN 2002)\n\n\
          usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|fixed|trace|all> [options]\n\
          options: --quick | --paper | --iterations N | --steps N | --placements N\n\
-         \x20        --seed N | --threads N | --out DIR | --models A,B,.."
+         \x20        --seed N | --threads N | --out DIR | --models A,B,.. | --nodes N (trace)"
     );
 }

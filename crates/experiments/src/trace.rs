@@ -10,7 +10,7 @@
 //! summaries (histogram quantiles + survival curves) go to
 //! `trace.json`, the headline numbers to `trace.csv`.
 
-use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
+use crate::common::{banner, fmt, r_stationary_for, RunOptions, Table};
 use manet_core::trace::TraceSummary;
 use manet_core::{CoreError, MtrmProblem};
 
@@ -45,8 +45,11 @@ struct TraceArtifact {
 /// Runs the temporal-trace sweep.
 pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
     banner("X3 (extension): temporal connectivity (link lifetimes, outages, repair)");
-    let (l, n) = (1024.0, 32usize);
-    let rs = r_stationary(opts, l)?;
+    // `--nodes` scales the cell beyond the paper's n = 32 — the
+    // large-n smoke for the incremental step kernel; `r_stationary`
+    // tracks the override so the range multiples stay meaningful.
+    let (l, n) = (1024.0, opts.nodes.unwrap_or(32));
+    let rs = r_stationary_for(opts, l, n)?;
     let models = opts.resolve_models(&DEFAULT_MODELS, l)?;
 
     let mut table = Table::new(&[

@@ -6,7 +6,19 @@
 //! adjacent cells, giving expected `O(n + E)` graph construction for
 //! uniformly placed nodes. The brute-force path is kept in
 //! `manet-graph` and the two are cross-checked by property tests.
+//!
+//! The occupancy tables are **epoch-stamped and sparse**: filling the
+//! index touches only the cells that actually hold points (at most `n`
+//! of them), never the full `cells_per_side^D` lattice — the earlier
+//! dense layout's per-build `O(n_cells)` counting-buffer zeroing and
+//! prefix-sum passes are gone. A one-shot [`CellGrid::build`] still
+//! allocates the stamp tables once (zeroed pages from the allocator,
+//! no explicit pass); callers that index many point sets at the same
+//! `side`/`cell_size` should hold the grid and use
+//! [`CellGrid::rebuild`], which reuses every buffer and costs
+//! `O(n + t log t)` for `t <= n` occupied cells.
 
+use crate::cells::CellLayout;
 use crate::{GeomError, Point};
 
 /// A bucket grid over `[0, side]^D` with cells of width `>= cell_size`.
@@ -29,11 +41,20 @@ use crate::{GeomError, Point};
 /// ```
 #[derive(Debug, Clone)]
 pub struct CellGrid<const D: usize> {
-    cells_per_side: usize,
-    cell_width: f64,
-    /// `start[c]..start[c+1]` indexes into `order` for cell `c`.
-    start: Vec<u32>,
-    /// Point indices sorted by cell.
+    layout: CellLayout,
+    /// Build epoch; a cell's `start`/`end` entries are valid only when
+    /// its stamp equals the current epoch, so empty cells need no
+    /// per-rebuild clearing.
+    epoch: u32,
+    stamp: Vec<u32>,
+    cell_start: Vec<u32>,
+    cell_end: Vec<u32>,
+    /// Scratch: occupied cell ids of the current build, sorted.
+    touched: Vec<u32>,
+    /// Scratch: per-cell counts, valid only for stamped cells mid-build.
+    counts: Vec<u32>,
+    /// Point indices sorted by cell (original index order within each
+    /// cell — the counting-sort order, kept for determinism).
     order: Vec<u32>,
     points: Vec<Point<D>>,
 }
@@ -51,70 +72,94 @@ impl<const D: usize> CellGrid<D> {
     /// is not strictly positive, and [`GeomError::NonFinite`] when
     /// either is NaN/infinite.
     pub fn build(points: &[Point<D>], side: f64, cell_size: f64) -> Result<Self, GeomError> {
-        if !side.is_finite() || !cell_size.is_finite() {
-            return Err(GeomError::NonFinite {
-                name: "side/cell_size",
-            });
-        }
-        if side <= 0.0 {
-            return Err(GeomError::NonPositive {
-                name: "side",
-                value: side,
-            });
-        }
-        if cell_size <= 0.0 {
-            return Err(GeomError::NonPositive {
-                name: "cell_size",
-                value: cell_size,
-            });
-        }
-        let cells_per_side = ((side / cell_size).floor() as usize).max(1);
-        let cell_width = side / cells_per_side as f64;
-        let n_cells = cells_per_side.pow(D as u32);
-
-        // Counting sort of points into cells.
-        let mut counts = vec![0u32; n_cells + 1];
-        let cell_of = |p: &Point<D>| -> usize {
-            let mut idx = 0usize;
-            for i in 0..D {
-                let c = ((p.coord(i) / cell_width).floor() as isize)
-                    .clamp(0, cells_per_side as isize - 1) as usize;
-                idx = idx * cells_per_side + c;
-            }
-            idx
+        let layout = CellLayout::new(side, cell_size)?;
+        let n_cells = layout.n_cells::<D>();
+        let mut grid = CellGrid {
+            layout,
+            epoch: 0,
+            stamp: vec![0; n_cells],
+            cell_start: vec![0; n_cells],
+            cell_end: vec![0; n_cells],
+            touched: Vec::new(),
+            counts: vec![0; n_cells],
+            order: Vec::new(),
+            points: Vec::new(),
         };
-        for p in points {
-            counts[cell_of(p) + 1] += 1;
-        }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
-        }
-        let start = counts.clone();
-        let mut cursor = counts;
-        let mut order = vec![0u32; points.len()];
-        for (i, p) in points.iter().enumerate() {
-            let c = cell_of(p);
-            order[cursor[c] as usize] = i as u32;
-            cursor[c] += 1;
-        }
+        grid.rebuild(points);
+        Ok(grid)
+    }
 
-        Ok(CellGrid {
-            cells_per_side,
-            cell_width,
-            start,
-            order,
-            points: points.to_vec(),
-        })
+    /// Re-indexes a fresh point set (any length) at the same
+    /// `side`/`cell_size`, reusing every internal buffer.
+    ///
+    /// Cost is `O(n + t log t)` where `t <= n` is the number of
+    /// occupied cells — independent of the total cell count, so sparse
+    /// point sets in large regions don't pay for empty cells (the
+    /// epoch stamps make stale occupancy entries unreadable without
+    /// clearing them).
+    pub fn rebuild(&mut self, points: &[Point<D>]) {
+        let layout = self.layout;
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        self.touched.clear();
+        let epoch = self.next_epoch();
+        for p in points {
+            let c = layout.cell_of(p);
+            if self.stamp[c] != epoch {
+                self.stamp[c] = epoch;
+                self.counts[c] = 0;
+                self.touched.push(c as u32);
+            }
+            self.counts[c] += 1;
+        }
+        self.touched.sort_unstable();
+        let mut off = 0u32;
+        for &cu in &self.touched {
+            let c = cu as usize;
+            self.cell_start[c] = off;
+            off += self.counts[c];
+            self.cell_end[c] = off;
+        }
+        self.order.clear();
+        self.order.resize(points.len(), 0);
+        for (i, p) in points.iter().enumerate() {
+            let c = layout.cell_of(p);
+            let slot = (self.cell_end[c] - self.counts[c]) as usize;
+            self.order[slot] = i as u32;
+            self.counts[c] -= 1;
+        }
+    }
+
+    /// Advances the build epoch, resetting stamps on wraparound.
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+        self.epoch
+    }
+
+    /// The `order` range of cell `c` (empty for untouched cells).
+    #[inline]
+    fn cell_range(&self, c: usize) -> core::ops::Range<usize> {
+        if self.stamp[c] == self.epoch {
+            self.cell_start[c] as usize..self.cell_end[c] as usize
+        } else {
+            0..0
+        }
     }
 
     /// Number of cells along each axis.
     pub fn cells_per_side(&self) -> usize {
-        self.cells_per_side
+        self.layout.cells_per_side
     }
 
     /// Actual width of each cell (`>= cell_size` requested at build).
     pub fn cell_width(&self) -> f64 {
-        self.cell_width
+        self.layout.cell_width
     }
 
     /// Number of indexed points.
@@ -125,23 +170,6 @@ impl<const D: usize> CellGrid<D> {
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
-    }
-
-    fn cell_coords(&self, p: &Point<D>) -> [usize; D] {
-        let mut out = [0usize; D];
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = ((p.coord(i) / self.cell_width).floor() as isize)
-                .clamp(0, self.cells_per_side as isize - 1) as usize;
-        }
-        out
-    }
-
-    fn linear_index(&self, coords: &[usize; D]) -> usize {
-        let mut idx = 0usize;
-        for c in coords {
-            idx = idx * self.cells_per_side + c;
-        }
-        idx
     }
 
     /// Visits each unordered pair `(i, j)` with `i < j` and
@@ -155,19 +183,17 @@ impl<const D: usize> CellGrid<D> {
     /// incomplete. Build the grid with `cell_size >= radius`.
     pub fn for_each_pair_within<F: FnMut(usize, usize, f64)>(&self, radius: f64, mut f: F) {
         assert!(
-            radius <= self.cell_width * (1.0 + 1e-9),
+            radius <= self.layout.cell_width * (1.0 + 1e-9),
             "radius {radius} exceeds cell width {}",
-            self.cell_width
+            self.layout.cell_width
         );
         let r2 = radius * radius;
         for idx_pos in 0..self.order.len() {
             let i = self.order[idx_pos] as usize;
             let pi = self.points[i];
-            let base = self.cell_coords(&pi);
-            self.for_each_neighbor_cell(&base, |cell| {
-                let s = self.start[cell] as usize;
-                let e = self.start[cell + 1] as usize;
-                for &j_raw in &self.order[s..e] {
+            let base = self.layout.cell_coords(&pi);
+            self.layout.for_each_neighbor_cell(&base, |cell| {
+                for &j_raw in &self.order[self.cell_range(cell)] {
                     let j = j_raw as usize;
                     if j <= i {
                         continue;
@@ -191,18 +217,16 @@ impl<const D: usize> CellGrid<D> {
     pub fn neighbors_within(&self, i: usize, radius: f64) -> Vec<usize> {
         assert!(i < self.points.len(), "point index {i} out of range");
         assert!(
-            radius <= self.cell_width * (1.0 + 1e-9),
+            radius <= self.layout.cell_width * (1.0 + 1e-9),
             "radius {radius} exceeds cell width {}",
-            self.cell_width
+            self.layout.cell_width
         );
         let r2 = radius * radius;
         let pi = self.points[i];
-        let base = self.cell_coords(&pi);
+        let base = self.layout.cell_coords(&pi);
         let mut out = Vec::new();
-        self.for_each_neighbor_cell(&base, |cell| {
-            let s = self.start[cell] as usize;
-            let e = self.start[cell + 1] as usize;
-            for &j_raw in &self.order[s..e] {
+        self.layout.for_each_neighbor_cell(&base, |cell| {
+            for &j_raw in &self.order[self.cell_range(cell)] {
                 let j = j_raw as usize;
                 if j != i && pi.distance_sq(&self.points[j]) <= r2 {
                     out.push(j);
@@ -211,26 +235,6 @@ impl<const D: usize> CellGrid<D> {
         });
         out.sort_unstable();
         out
-    }
-
-    /// Calls `f` with the linear index of every cell adjacent to (or
-    /// equal to) the cell at `base`, iterating offsets in `{-1,0,1}^D`.
-    fn for_each_neighbor_cell<F: FnMut(usize)>(&self, base: &[usize; D], mut f: F) {
-        let n_offsets = 3usize.pow(D as u32);
-        'outer: for code in 0..n_offsets {
-            let mut coords = [0usize; D];
-            let mut c = code;
-            for k in 0..D {
-                let off = (c % 3) as isize - 1;
-                c /= 3;
-                let v = base[k] as isize + off;
-                if v < 0 || v >= self.cells_per_side as isize {
-                    continue 'outer;
-                }
-                coords[k] = v as usize;
-            }
-            f(self.linear_index(&coords));
-        }
     }
 }
 
@@ -335,6 +339,39 @@ mod tests {
         let mut want3 = brute_force_pairs(&pts3, 4.0);
         want3.sort_unstable();
         assert_eq!(got3, want3);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_and_reuses_capacity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(515);
+        let mut grid: CellGrid<2> = CellGrid::build(&[], 100.0, 5.0).unwrap();
+        for trial in 0..12 {
+            // Rebuild with varying point counts, including shrinking.
+            let n = [40usize, 80, 10, 0, 60][trial % 5];
+            let pts: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]))
+                .collect();
+            grid.rebuild(&pts);
+            let fresh = CellGrid::build(&pts, 100.0, 5.0).unwrap();
+            let collect = |g: &CellGrid<2>| {
+                let mut v = Vec::new();
+                g.for_each_pair_within(5.0, |i, j, d2| v.push((i, j, d2.to_bits())));
+                v
+            };
+            assert_eq!(collect(&grid), collect(&fresh), "trial {trial} n={n}");
+            assert_eq!(grid.len(), n);
+        }
+    }
+
+    #[test]
+    fn rebuild_survives_epoch_wraparound() {
+        let pts = [Point::new([0.5, 0.5]), Point::new([0.9, 0.5])];
+        let mut grid = CellGrid::build(&pts, 10.0, 1.0).unwrap();
+        grid.epoch = u32::MAX; // force a wrap on the next rebuild
+        grid.rebuild(&pts);
+        let mut pairs = Vec::new();
+        grid.for_each_pair_within(1.0, |i, j, _| pairs.push((i, j)));
+        assert_eq!(pairs, vec![(0, 1)]);
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!   drunkard model's jump distribution);
 //! * [`CellGrid`] — a uniform-grid spatial index answering fixed-radius
 //!   neighbor queries in `O(1)` expected per node, used to build
-//!   communication graphs without the `O(n²)` distance matrix.
+//!   communication graphs without the `O(n²)` distance matrix;
+//! * [`MovingCellGrid`] — the same lattice maintained *incrementally*
+//!   across mobility steps: built once, then updated by relocating only
+//!   the nodes that crossed a cell boundary, while measuring the moved
+//!   set and maximum displacement for the incremental step kernels.
 //!
 //! # Example
 //!
@@ -30,12 +34,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cells;
 pub mod grid;
+pub mod moving_grid;
 pub mod point;
 pub mod region;
 pub mod sampling;
 
 pub use grid::CellGrid;
+pub use moving_grid::MovingCellGrid;
 pub use point::Point;
 pub use region::{BoundaryPolicy, Region};
 

@@ -1,0 +1,375 @@
+//! A spatial index that *moves with* its point set.
+//!
+//! [`CellGrid`](crate::CellGrid) answers fixed-radius queries for one
+//! frozen placement; a mobile trajectory would have to rebuild it every
+//! step, paying the full counting sort and buffer traffic even when
+//! almost nothing moved. [`MovingCellGrid`] is built once and then
+//! [`MovingCellGrid::update`]d per step: only the nodes whose position
+//! changed are examined, and only those that crossed a cell boundary
+//! are relocated between buckets. The update also *measures* the step —
+//! it reports which nodes moved and the maximum squared displacement —
+//! which is exactly the information an incremental neighbor kernel
+//! needs to scan only moved nodes and to police a mobility model's
+//! declared displacement bound.
+//!
+//! Bucket membership lists preserve a stable order (relocation removes
+//! in place instead of swap-removing), so iteration order — and
+//! therefore any downstream tie-breaking — is a deterministic function
+//! of the update history.
+
+use crate::cells::CellLayout;
+use crate::{GeomError, Point};
+
+/// A per-cell bucket index over `[0, side]^D`, updated in place as its
+/// points move.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::{MovingCellGrid, Point};
+///
+/// let mut pts = vec![Point::new([0.5, 0.5]), Point::new([9.0, 9.0])];
+/// let mut grid = MovingCellGrid::build(&pts, 10.0, 1.0)?;
+///
+/// pts[1] = Point::new([1.2, 0.5]); // node 1 walks next to node 0
+/// let mut moved = Vec::new();
+/// grid.update(&pts, &mut moved);
+/// assert_eq!(moved, vec![1]);
+///
+/// let mut near0 = Vec::new();
+/// grid.for_each_candidate(&pts[0], |j| near0.push(j));
+/// near0.sort_unstable();
+/// assert_eq!(near0, vec![0, 1]);
+/// # Ok::<(), manet_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingCellGrid<const D: usize> {
+    layout: CellLayout,
+    /// Occupant node ids per cell, in stable (insertion) order.
+    buckets: Vec<Vec<u32>>,
+    /// Current cell of each node.
+    node_cell: Vec<u32>,
+    /// Current positions (the *new* positions after an `update`).
+    points: Vec<Point<D>>,
+}
+
+impl<const D: usize> MovingCellGrid<D> {
+    /// Builds the index over `points` in `[0, side]^D` with cells at
+    /// least `cell_size` wide (points outside the region clamp to the
+    /// nearest boundary cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositive`] when `side` or `cell_size`
+    /// is not strictly positive, and [`GeomError::NonFinite`] when
+    /// either is NaN/infinite.
+    pub fn build(points: &[Point<D>], side: f64, cell_size: f64) -> Result<Self, GeomError> {
+        let layout = CellLayout::new(side, cell_size)?;
+        let mut grid = MovingCellGrid {
+            layout,
+            buckets: vec![Vec::new(); layout.n_cells::<D>()],
+            node_cell: Vec::with_capacity(points.len()),
+            points: points.to_vec(),
+        };
+        for (i, p) in points.iter().enumerate() {
+            let c = layout.cell_of(p);
+            grid.buckets[c].push(i as u32);
+            grid.node_cell.push(c as u32);
+        }
+        Ok(grid)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of cells along each axis.
+    pub fn cells_per_side(&self) -> usize {
+        self.layout.cells_per_side
+    }
+
+    /// Actual cell width (`>= cell_size` requested at build).
+    pub fn cell_width(&self) -> f64 {
+        self.layout.cell_width
+    }
+
+    /// The current positions (after the most recent update).
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    /// Measures the next step without mutating the index: appends the
+    /// indices of every node whose position changed (bitwise coordinate
+    /// comparison) to `moved` in ascending order — the vector is
+    /// cleared first, so its capacity is reused across steps — and
+    /// returns the maximum squared displacement over the moved nodes
+    /// (`0.0` when nothing moved).
+    ///
+    /// Callers then commit the step with [`MovingCellGrid::relocate`]
+    /// (cost proportional to the moved set) or
+    /// [`MovingCellGrid::reset`] (one bulk re-bucketing pass) — the
+    /// split lets an adaptive kernel pick the cheaper commit *after*
+    /// seeing how much actually moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `new_points.len()` differs from the indexed node
+    /// count (a driver logic error).
+    pub fn measure(&self, new_points: &[Point<D>], moved: &mut Vec<u32>) -> f64 {
+        assert_eq!(
+            new_points.len(),
+            self.points.len(),
+            "node count changed between updates"
+        );
+        moved.clear();
+        let mut max_d2 = 0.0f64;
+        for (i, (&new_p, &old_p)) in new_points.iter().zip(&self.points).enumerate() {
+            if new_p == old_p {
+                continue;
+            }
+            moved.push(i as u32);
+            let d2 = old_p.distance_sq(&new_p);
+            if d2 > max_d2 {
+                max_d2 = d2;
+            }
+        }
+        max_d2
+    }
+
+    /// Commits a measured step by relocating exactly the nodes in
+    /// `moved` (as produced by [`MovingCellGrid::measure`] for the same
+    /// `new_points`); only nodes that crossed a cell boundary touch the
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `new_points.len()` differs from the indexed node
+    /// count or a `moved` index is out of range.
+    pub fn relocate(&mut self, new_points: &[Point<D>], moved: &[u32]) {
+        assert_eq!(
+            new_points.len(),
+            self.points.len(),
+            "node count changed between updates"
+        );
+        for &iu in moved {
+            let i = iu as usize;
+            let new_p = new_points[i];
+            let c = self.layout.cell_of(&new_p);
+            let old_c = self.node_cell[i] as usize;
+            if c != old_c {
+                let bucket = &mut self.buckets[old_c];
+                let pos = bucket
+                    .iter()
+                    .position(|&x| x == iu)
+                    .expect("node listed in its cell bucket");
+                // Order-preserving removal keeps bucket iteration
+                // stable (see module docs).
+                bucket.remove(pos);
+                self.buckets[c].push(iu);
+                self.node_cell[i] = c as u32;
+            }
+            self.points[i] = new_p;
+        }
+    }
+
+    /// Moves the index to the next step's positions in one call:
+    /// [`MovingCellGrid::measure`] followed by
+    /// [`MovingCellGrid::relocate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `new_points.len()` differs from the indexed node
+    /// count (a driver logic error).
+    pub fn update(&mut self, new_points: &[Point<D>], moved: &mut Vec<u32>) -> f64 {
+        let max_d2 = self.measure(new_points, moved);
+        self.relocate(new_points, moved);
+        max_d2
+    }
+
+    /// Re-buckets every node from scratch at `new_points`, reusing the
+    /// bucket allocations. Restores the canonical ascending-id order
+    /// inside each bucket; useful to resynchronize after a caller
+    /// bypassed [`MovingCellGrid::update`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `new_points.len()` differs from the indexed node
+    /// count.
+    pub fn reset(&mut self, new_points: &[Point<D>]) {
+        assert_eq!(
+            new_points.len(),
+            self.points.len(),
+            "node count changed between updates"
+        );
+        // Clear only the buckets that hold someone (<= n of them).
+        for &c in &self.node_cell {
+            self.buckets[c as usize].clear();
+        }
+        for (i, p) in new_points.iter().enumerate() {
+            let c = self.layout.cell_of(p);
+            self.buckets[c].push(i as u32);
+            self.node_cell[i] = c as u32;
+            self.points[i] = *p;
+        }
+    }
+
+    /// Visits the id of every node in the `3^D` cells adjacent to (or
+    /// containing) `p` — a superset of all nodes within
+    /// [`MovingCellGrid::cell_width`] of `p`, including any node at `p`
+    /// itself. Callers filter by exact distance.
+    pub fn for_each_candidate<F: FnMut(u32)>(&self, p: &Point<D>, mut f: F) {
+        let base = self.layout.cell_coords(p);
+        self.layout.for_each_neighbor_cell(&base, |cell| {
+            for &j in &self.buckets[cell] {
+                f(j);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn candidates(grid: &MovingCellGrid<2>, p: &Point<2>) -> Vec<u32> {
+        let mut out = Vec::new();
+        grid.for_each_candidate(p, |j| out.push(j));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn build_validates() {
+        let pts = [Point::new([0.5])];
+        assert!(MovingCellGrid::build(&pts, 0.0, 1.0).is_err());
+        assert!(MovingCellGrid::build(&pts, 1.0, -1.0).is_err());
+        assert!(MovingCellGrid::build(&pts, f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid: MovingCellGrid<2> = MovingCellGrid::build(&[], 10.0, 1.0).unwrap();
+        assert!(grid.is_empty());
+        let mut moved = vec![7u32]; // must be cleared
+        assert_eq!(grid.clone().update(&[], &mut moved), 0.0);
+        assert!(moved.is_empty());
+    }
+
+    /// Candidate completeness: after arbitrary updates, every pair
+    /// within `cell_width` must be covered by some candidate scan.
+    #[test]
+    fn candidates_cover_all_in_range_pairs_under_updates() {
+        let side = 50.0;
+        let r = 4.0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut pts: Vec<Point<2>> = (0..40)
+            .map(|_| Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)]))
+            .collect();
+        let mut grid = MovingCellGrid::build(&pts, side, r).unwrap();
+        let mut moved = Vec::new();
+        for step in 0..30 {
+            for p in &mut pts {
+                // Mix small moves with occasional teleports.
+                *p = if rng.random_range(0.0..1.0) < 0.1 {
+                    Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)])
+                } else {
+                    let q =
+                        *p + Point::new([rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)]);
+                    Point::new([q.coord(0).clamp(0.0, side), q.coord(1).clamp(0.0, side)])
+                };
+            }
+            grid.update(&pts, &mut moved);
+            assert_eq!(grid.points(), &pts[..]);
+            for i in 0..pts.len() {
+                let cand = candidates(&grid, &pts[i]);
+                for j in 0..pts.len() {
+                    if pts[i].distance(&pts[j]) <= r {
+                        assert!(
+                            cand.binary_search(&(j as u32)).is_ok(),
+                            "step {step}: candidate scan of {i} missed in-range node {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_reports_moved_set_and_max_displacement() {
+        let mut pts = vec![
+            Point::new([1.0, 1.0]),
+            Point::new([5.0, 5.0]),
+            Point::new([9.0, 9.0]),
+        ];
+        let mut grid = MovingCellGrid::build(&pts, 10.0, 1.0).unwrap();
+        let mut moved = Vec::new();
+        // Nothing moved.
+        assert_eq!(grid.update(&pts.clone(), &mut moved), 0.0);
+        assert!(moved.is_empty());
+        // Node 1 moves by (3, 4): squared displacement 25.
+        pts[1] = Point::new([8.0, 9.0]);
+        let d2 = grid.update(&pts, &mut moved);
+        assert_eq!(moved, vec![1]);
+        assert!((d2 - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relocation_preserves_stable_bucket_order() {
+        // Three nodes share a cell; the middle one leaves and returns.
+        let side = 30.0;
+        let mut pts = vec![
+            Point::new([1.0, 1.0]),
+            Point::new([1.2, 1.2]),
+            Point::new([1.4, 1.4]),
+        ];
+        let mut grid = MovingCellGrid::build(&pts, side, 3.0).unwrap();
+        let mut moved = Vec::new();
+        pts[1] = Point::new([20.0, 20.0]);
+        grid.update(&pts, &mut moved);
+        pts[1] = Point::new([1.2, 1.2]);
+        grid.update(&pts, &mut moved);
+        // 0 and 2 kept their relative order; 1 re-enters at the back.
+        let mut seen = Vec::new();
+        grid.for_each_candidate(&pts[0], |j| seen.push(j));
+        assert_eq!(seen, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn reset_restores_canonical_order_and_matches_update_positions() {
+        let side = 30.0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut pts: Vec<Point<2>> = (0..20)
+            .map(|_| Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)]))
+            .collect();
+        let mut grid = MovingCellGrid::build(&pts, side, 3.0).unwrap();
+        let mut moved = Vec::new();
+        for _ in 0..10 {
+            for p in &mut pts {
+                let q = *p + Point::new([rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)]);
+                *p = Point::new([q.coord(0).clamp(0.0, side), q.coord(1).clamp(0.0, side)]);
+            }
+            grid.update(&pts, &mut moved);
+        }
+        grid.reset(&pts);
+        let fresh = MovingCellGrid::build(&pts, side, 3.0).unwrap();
+        for p in &pts {
+            assert_eq!(candidates(&grid, p), candidates(&fresh, p));
+        }
+        assert_eq!(grid.points(), fresh.points());
+    }
+
+    #[test]
+    #[should_panic(expected = "node count changed")]
+    fn update_rejects_resized_point_set() {
+        let pts = [Point::new([1.0, 1.0])];
+        let mut grid = MovingCellGrid::build(&pts, 10.0, 1.0).unwrap();
+        grid.update(&[], &mut Vec::new());
+    }
+}

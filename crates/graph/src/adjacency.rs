@@ -139,6 +139,49 @@ impl AdjacencyList {
         self.edge_count += 1;
     }
 
+    /// Inserts the undirected edge `(a, b)` keeping both neighbor
+    /// lists sorted — the in-place maintenance path of the incremental
+    /// step kernel. Reuses list capacity; `O(deg)` per endpoint.
+    pub(crate) fn insert_edge_sorted(&mut self, a: usize, b: usize) {
+        debug_assert_ne!(a, b, "self loops are not allowed");
+        for (x, y) in [(a, b), (b, a)] {
+            let list = &mut self.neighbors[x];
+            let pos = list
+                .binary_search(&(y as u32))
+                .expect_err("edge already present");
+            list.insert(pos, y as u32);
+        }
+        self.edge_count += 1;
+    }
+
+    /// Removes the undirected edge `(a, b)` from both sorted neighbor
+    /// lists; `O(deg)` per endpoint.
+    pub(crate) fn remove_edge_sorted(&mut self, a: usize, b: usize) {
+        for (x, y) in [(a, b), (b, a)] {
+            let list = &mut self.neighbors[x];
+            let pos = list
+                .binary_search(&(y as u32))
+                .expect("edge present in both lists");
+            list.remove(pos);
+        }
+        self.edge_count -= 1;
+    }
+
+    /// Swaps in a fully rebuilt set of (sorted) neighbor rows with its
+    /// edge count — the bulk-rescan path of the step kernel, which
+    /// assembles the next snapshot into persistent scratch rows and
+    /// exchanges them wholesale so the displaced rows' capacity is
+    /// reused on the following rescan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row count differs from the node count.
+    pub(crate) fn swap_neighbor_rows(&mut self, rows: &mut Vec<Vec<u32>>, edge_count: usize) {
+        assert_eq!(rows.len(), self.neighbors.len(), "row count must match");
+        core::mem::swap(&mut self.neighbors, rows);
+        self.edge_count = edge_count;
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.neighbors.len()

@@ -296,3 +296,176 @@ fn replay_exercises_partial_and_full_rebuild_paths_for_every_mobile_model() {
     assert!(partial_total > 0, "no model took the epoch partial rebuild");
     assert!(full_total > 0, "no model took the amortized full rebuild");
 }
+
+// ---------------------------------------------------------------------------
+// The zero-rebuild step kernel: bit-identical EdgeDiff streams and
+// snapshots against the from_points + diff oracle, for every mobility
+// model in the registry (including wrap/bounce variants and the
+// unbounded-displacement Gauss-Markov family).
+// ---------------------------------------------------------------------------
+
+use manet_graph::EdgeDiff;
+use manet_mobility::{ModelRegistry, PaperScale};
+
+/// Replays `steps` of the named registry model through the incremental
+/// kernel, asserting at every step that the held diff and the
+/// maintained snapshot are bit-identical to rebuilding via
+/// `AdjacencyList::from_points` and diffing the two full snapshots.
+/// Returns the kernel's (incremental, bulk, fallback) step counters.
+fn replay_kernel_against_oracle(
+    model_name: &str,
+    n: usize,
+    side: f64,
+    range: f64,
+    steps: usize,
+    seed: u64,
+) -> Result<(u64, u64, u64), TestCaseError> {
+    let registry = ModelRegistry::<2>::with_builtins();
+    let scale = PaperScale::new(side).with_pause(3);
+    let mut model = registry.build(model_name, &scale).expect("registry model");
+
+    let region: Region<2> = Region::new(side).expect("positive side");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut positions = region.place_uniform(n, &mut rng);
+    model.init(&positions, &region, &mut rng);
+
+    let mut dg = DynamicGraph::new(&positions, side, range)
+        .with_displacement_bound(model.max_step_displacement());
+    let mut oracle = AdjacencyList::from_points(&positions, side, range);
+    prop_assert_eq!(dg.graph(), &oracle, "{}: initial snapshot", model_name);
+
+    let mut expected = EdgeDiff::default();
+    for step in 0..steps {
+        model.step(&mut positions, &region, &mut rng);
+        dg.step(&positions);
+        let next = AdjacencyList::from_points(&positions, side, range);
+        oracle.diff_into(&next, &mut expected);
+        prop_assert_eq!(
+            dg.last_diff(),
+            &expected,
+            "{}: diff diverged at step {}",
+            model_name,
+            step
+        );
+        prop_assert_eq!(
+            dg.graph(),
+            &next,
+            "{}: snapshot diverged at step {}",
+            model_name,
+            step
+        );
+        oracle = next;
+    }
+    Ok((
+        dg.incremental_steps(),
+        dg.bulk_rescan_steps(),
+        dg.fallback_steps(),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn step_kernel_matches_oracle_for_every_registry_model(
+        model_idx in 0usize..13,
+        n in 2usize..48,
+        range_frac in 0.02..0.4f64,
+        steps in 1usize..30,
+        seed in 0u64..1_000_000,
+    ) {
+        let registry = ModelRegistry::<2>::with_builtins();
+        let names: Vec<String> =
+            registry.names().iter().map(|s| s.to_string()).collect();
+        prop_assert_eq!(names.len(), 13, "registry model count drifted");
+        let side = 100.0;
+        replay_kernel_against_oracle(
+            &names[model_idx % names.len()],
+            n,
+            side,
+            range_frac * side,
+            steps,
+            seed,
+        )?;
+    }
+}
+
+/// Deterministic coverage: the per-moved-node path must carry paused
+/// models, the bulk path must carry all-moving models, and a declared
+/// steady-state bound may be exceeded at most on the structurally
+/// special first step (RPGM's gathering step) — never later.
+#[test]
+fn step_kernel_paths_cover_every_registry_model_with_bounded_fallback() {
+    let registry = ModelRegistry::<2>::with_builtins();
+    let mut incremental_total = 0;
+    let mut bulk_total = 0;
+    for name in registry.names() {
+        let (incremental, bulk, fallback) =
+            replay_kernel_against_oracle(name, 40, 100.0, 18.0, 80, 99).unwrap();
+        assert!(
+            fallback <= 1,
+            "{name}: steady-state steps must respect the declared bound \
+             (got {fallback} fallbacks over 80 steps)"
+        );
+        assert_eq!(
+            fallback,
+            u64::from(name == "rpgm"),
+            "{name}: only RPGM's first (gathering) step may fall back"
+        );
+        assert!(
+            incremental + bulk > 0,
+            "{name}: kernel never stepped incrementally"
+        );
+        incremental_total += incremental;
+        bulk_total += bulk;
+    }
+    assert!(incremental_total > 0, "no model took the moved-node path");
+    assert!(bulk_total > 0, "no model took the bulk-rescan path");
+}
+
+/// A model that teleports while declaring a tiny displacement bound:
+/// the kernel must detect the violation on exactly the violating steps
+/// and route them through the full rebuild-and-diff oracle — the
+/// output stays exact (checked against the oracle), the lie costs only
+/// throughput.
+#[test]
+fn step_kernel_dmax_violation_falls_back_not_corrupts() {
+    let side = 100.0;
+    let range = 15.0;
+    let n = 30;
+    let region: Region<2> = Region::new(side).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let mut positions = region.place_uniform(n, &mut rng);
+
+    // Declared bound of 1.0; every 4th step teleports one node.
+    let mut dg = DynamicGraph::new(&positions, side, range).with_displacement_bound(Some(1.0));
+    let mut oracle = AdjacencyList::from_points(&positions, side, range);
+    let mut violations = 0u64;
+    for step in 0..40 {
+        for (i, p) in positions.iter_mut().enumerate() {
+            if step % 4 == 3 && i == step % n {
+                *p = region.sample_uniform(&mut rng); // teleport: bound lie
+            } else if i % 3 == 0 {
+                let q = *p + Point::new([0.3, -0.2]);
+                *p = region.clamp(&q);
+            }
+        }
+        if step % 4 == 3 {
+            violations += 1;
+        }
+        dg.step(&positions);
+        let next = AdjacencyList::from_points(&positions, side, range);
+        assert_eq!(dg.last_diff(), &oracle.diff(&next), "diff at step {step}");
+        assert_eq!(dg.graph(), &next, "snapshot at step {step}");
+        oracle = next;
+    }
+    assert_eq!(
+        dg.fallback_steps(),
+        violations,
+        "every violating step (and only those) must take the oracle path"
+    );
+    assert!(
+        dg.incremental_steps() > 0,
+        "in-bound steps stay incremental"
+    );
+}

@@ -184,6 +184,19 @@ impl<const D: usize, M: FreeMobility<D>> Mobility<D> for Bounded<M> {
             BoundaryMode::Bounce => "bounded-bounce",
         }
     }
+
+    fn max_step_displacement(&self) -> Option<f64> {
+        match self.mode {
+            // Reflection folding and bounce clamping are per-axis
+            // non-expansive maps that fix the region, so the wrapped
+            // step's displacement never exceeds the free step's.
+            BoundaryMode::Reflect | BoundaryMode::Bounce => self.inner.max_step_displacement(),
+            // Torus wrap teleports a node across the region in
+            // Euclidean terms (the communication graph stays
+            // Euclidean), so no useful bound exists.
+            BoundaryMode::Wrap => None,
+        }
+    }
 }
 
 /// Folds `p` back into the region by repeated mirroring, reporting for

@@ -136,6 +136,12 @@ impl<const D: usize> Mobility<D> for RandomDirection<D> {
     fn name(&self) -> &'static str {
         "random-direction"
     }
+
+    fn max_step_displacement(&self) -> Option<f64> {
+        // A traveling node covers at most v_max; wall stops truncate
+        // the leg and paused nodes do not move.
+        Some(self.v_max)
+    }
 }
 
 impl<const D: usize> FreeMobility<D> for RandomDirection<D> {

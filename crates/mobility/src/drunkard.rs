@@ -170,6 +170,14 @@ impl<const D: usize> Mobility<D> for Drunkard<D> {
     fn name(&self) -> &'static str {
         "drunkard"
     }
+
+    fn max_step_displacement(&self) -> Option<f64> {
+        // Jumps land in the ball of radius m around the current
+        // position; both boundary policies only shrink the jump
+        // (resampling stays in the ball, clamping projects onto the
+        // region, which is non-expansive from an in-region start).
+        Some(self.radius)
+    }
 }
 
 #[cfg(test)]

@@ -192,6 +192,14 @@ impl<const D: usize> Mobility<D> for GaussMarkov<D> {
     fn name(&self) -> &'static str {
         "gauss-markov"
     }
+
+    fn max_step_displacement(&self) -> Option<f64> {
+        // Velocities carry unbounded Gaussian innovations: no finite
+        // per-step displacement bound exists (the trait default, made
+        // explicit here because the omission is load-bearing for the
+        // incremental step kernel's contract check).
+        None
+    }
 }
 
 impl<const D: usize> FreeMobility<D> for GaussMarkov<D> {

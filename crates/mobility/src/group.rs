@@ -241,6 +241,21 @@ impl<const D: usize> Mobility<D> for ReferencePointGroup<D> {
     fn name(&self) -> &'static str {
         "rpgm"
     }
+
+    fn max_step_displacement(&self) -> Option<f64> {
+        // Steady-state bound. A leader moves at most v_max (waypoint
+        // leg). A member sits at clamp(leader + offset + jitter) with
+        // the persistent offset unchanged across steps, so its
+        // displacement is bounded by the leader's move plus the jitter
+        // difference: |j_new - j_old| <= tether/2 + tether/2 = tether
+        // (clamping is non-expansive). Exception: the *first* step
+        // after `init` gathers uniformly-placed members onto their
+        // leaders and can move them across the region — the step
+        // kernel's contract check detects exactly that step and routes
+        // it through its full-diff fallback (see
+        // [`Mobility::max_step_displacement`]).
+        Some(self.v_max + self.tether)
+    }
 }
 
 #[cfg(test)]

@@ -101,6 +101,27 @@ pub trait Mobility<const D: usize> {
 
     /// Short human-readable model name for reports.
     fn name(&self) -> &'static str;
+
+    /// An upper bound on any single node's Euclidean displacement in
+    /// one [`Mobility::step`], when the model can declare one.
+    ///
+    /// This is the contract the incremental step kernel
+    /// (`DynamicGraph` in `manet-graph`) polices: it measures the true
+    /// per-step maximum displacement and falls back to a full
+    /// rebuild-and-diff for any step on which a declared bound is
+    /// exceeded, so a misdeclaring model costs throughput, never
+    /// correctness. Return `None` when displacement is unbounded
+    /// (Gaussian velocities) or not meaningful as a Euclidean bound
+    /// (torus wrap-around teleports a node across the region).
+    ///
+    /// The bound is the model's *steady-state* guarantee: a model may
+    /// exceed it on rare, structurally special steps (e.g.
+    /// [`ReferencePointGroup`]'s first step gathers uniformly-placed
+    /// members onto their leaders) — those steps simply take the
+    /// kernel's exact fallback path.
+    fn max_step_displacement(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Errors from mobility-model construction.

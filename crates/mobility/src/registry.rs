@@ -123,6 +123,10 @@ impl<const D: usize> Mobility<D> for AnyModel<D> {
     fn name(&self) -> &'static str {
         self.0.name()
     }
+
+    fn max_step_displacement(&self) -> Option<f64> {
+        self.0.max_step_displacement()
+    }
 }
 
 macro_rules! impl_into_any_model {

@@ -47,6 +47,10 @@ impl<const D: usize> Mobility<D> for StationaryModel {
     fn name(&self) -> &'static str {
         "stationary"
     }
+
+    fn max_step_displacement(&self) -> Option<f64> {
+        Some(0.0)
+    }
 }
 
 #[cfg(test)]

@@ -91,6 +91,11 @@ impl<const D: usize> Mobility<D> for RandomWalk<D> {
     fn name(&self) -> &'static str {
         "random-walk"
     }
+
+    fn max_step_displacement(&self) -> Option<f64> {
+        // One fixed-length jump; boundary folding is non-expansive.
+        Some(self.step_length)
+    }
 }
 
 impl<const D: usize> FreeMobility<D> for RandomWalk<D> {

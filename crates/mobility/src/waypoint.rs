@@ -197,6 +197,12 @@ impl<const D: usize> Mobility<D> for RandomWaypoint<D> {
     fn name(&self) -> &'static str {
         "random-waypoint"
     }
+
+    fn max_step_displacement(&self) -> Option<f64> {
+        // A leg travels at most v_max per step; arrivals move less and
+        // paused/stationary nodes not at all.
+        Some(self.v_max)
+    }
 }
 
 /// Moves one node along its current leg; on arrival switches to

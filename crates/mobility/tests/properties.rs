@@ -249,3 +249,76 @@ proptest! {
         prop_assert_eq!(&pos, &pos0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// The displacement-bound contract behind the incremental step kernel:
+// whenever a registry model declares `max_step_displacement`, its
+// steady-state steps must respect it (the kernel treats violations as
+// fallback-worthy lies). RPGM's first step is the one sanctioned
+// exception — it gathers uniformly-placed members onto their leaders.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn declared_displacement_bounds_hold_on_steady_state_steps() {
+    let side = 200.0;
+    let region: Region<2> = Region::new(side).unwrap();
+    let registry = ModelRegistry::<2>::with_builtins();
+    let scale = PaperScale::new(side).with_pause(4);
+    let mut bounded_models = 0;
+    for name in registry.names() {
+        let mut model = registry.build(name, &scale).unwrap();
+        let Some(bound) = model.max_step_displacement() else {
+            continue;
+        };
+        bounded_models += 1;
+        assert!(bound.is_finite() && bound >= 0.0, "{name}: invalid bound");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+        let mut pos = region.place_uniform(36, &mut rng);
+        model.init(&pos, &region, &mut rng);
+        let limit = bound * (1.0 + 1e-9);
+        for step in 0..150 {
+            let prev = pos.clone();
+            model.step(&mut pos, &region, &mut rng);
+            if step == 0 && name == "rpgm" {
+                continue; // the sanctioned gathering step
+            }
+            for (i, (a, b)) in prev.iter().zip(&pos).enumerate() {
+                let d = a.distance(b);
+                assert!(
+                    d <= limit,
+                    "{name}: node {i} moved {d} > declared bound {bound} at step {step}"
+                );
+            }
+        }
+    }
+    // stationary, waypoint, drunkard, walk, direction, rpgm, and the
+    // reflect/bounce wrap variants declare bounds; gauss-markov and
+    // the wrap-torus variants do not.
+    assert!(bounded_models >= 8, "bounds disappeared from the registry");
+}
+
+#[test]
+fn wrap_and_gaussian_models_decline_to_declare_bounds() {
+    let registry = ModelRegistry::<2>::with_builtins();
+    let scale = PaperScale::new(100.0);
+    for name in [
+        "gauss-markov",
+        "walk-wrap",
+        "direction-wrap",
+        "gauss-markov-wrap",
+    ] {
+        let model = registry.build(name, &scale).unwrap();
+        assert_eq!(
+            model.max_step_displacement(),
+            None,
+            "{name} cannot promise a Euclidean per-step bound"
+        );
+    }
+    for name in ["walk-bounce", "direction-bounce"] {
+        let model = registry.build(name, &scale).unwrap();
+        assert!(
+            model.max_step_displacement().is_some(),
+            "{name} folds motion non-expansively and should declare its bound"
+        );
+    }
+}

@@ -6,12 +6,18 @@
 //! re-ran full component labeling, the trace pipeline maintained its
 //! own [`DynamicGraph`], and the rest worked from raw positions — six
 //! copies of the per-step setup code. [`ConnectivityStream`] owns that
-//! loop once: it drives [`DynamicGraph::advance`] and
+//! loop once: it drives [`DynamicGraph::step`] and
 //! [`DynamicComponents::apply`] per step and hands each
 //! [`ConnectivityObserver`] a [`StepView`] with the positions plus (when
 //! a transmitting range is configured) the snapshot graph, the
 //! incrementally-maintained components, and the step's [`EdgeDiff`] —
-//! so the hot loop is delta-apply, never rebuild-and-relabel.
+//! so the hot loop is delta-apply, never rebuild-and-relabel. Since
+//! the zero-rebuild step kernel landed, the graph side is incremental
+//! too: the kernel rescans only moved nodes over a
+//! [`MovingCellGrid`](manet_geom::MovingCellGrid) and reuses every
+//! buffer, so a whole iteration runs allocation-free after its first
+//! step, with the model's declared displacement bound
+//! ([`Mobility::max_step_displacement`]) policed on every step.
 //!
 //! # Determinism contract
 //!
@@ -136,20 +142,27 @@ pub trait ConnectivityObserver<const D: usize> {
     fn finish(self) -> Self::Output;
 }
 
-/// Adapter owning the per-step `DynamicGraph::advance` +
+/// Adapter owning the per-step `DynamicGraph::step` +
 /// `DynamicComponents::apply` loop for one iteration, delegating each
 /// assembled [`StepView`] to an inner [`ConnectivityObserver`].
 ///
+/// All per-step scratch (the moving grid, the diff buffers, the
+/// component bookkeeping) lives inside the held kernel state, so after
+/// the first step of an iteration the stream performs no allocation.
+///
 /// Built per iteration by [`run_connectivity_stream`]; constructable
 /// directly for replaying hand-rolled trajectories in tests.
-pub struct ConnectivityStream<O> {
+pub struct ConnectivityStream<O, const D: usize> {
     side: f64,
     range: Option<f64>,
-    state: Option<(DynamicGraph, DynamicComponents)>,
+    /// The mobility model's declared per-step displacement bound,
+    /// handed to the kernel's contract check.
+    displacement_bound: Option<f64>,
+    state: Option<(DynamicGraph<D>, DynamicComponents)>,
     inner: O,
 }
 
-impl<O> ConnectivityStream<O> {
+impl<O, const D: usize> ConnectivityStream<O, D> {
     /// Creates a stream over `[0, side]^D`; `range = None` runs the
     /// positions-only fast path (no graph maintenance at all).
     ///
@@ -160,22 +173,48 @@ impl<O> ConnectivityStream<O> {
     /// [`SimError::InvalidConfig`]; a NaN range would otherwise build
     /// silently-edgeless snapshots.
     pub fn new(side: f64, range: Option<f64>, inner: O) -> Self {
+        Self::with_displacement_bound(side, range, None, inner)
+    }
+
+    /// [`ConnectivityStream::new`] plus the mobility model's declared
+    /// per-step displacement bound (see
+    /// [`Mobility::max_step_displacement`]): the incremental kernel
+    /// polices it every step and falls back to the full
+    /// rebuild-and-diff path on violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid range (as [`ConnectivityStream::new`]) or
+    /// a NaN/infinite/negative bound.
+    pub fn with_displacement_bound(
+        side: f64,
+        range: Option<f64>,
+        displacement_bound: Option<f64>,
+        inner: O,
+    ) -> Self {
         if let Some(r) = range {
             assert!(
                 r.is_finite() && r > 0.0,
                 "transmitting range must be positive and finite, got {r}"
             );
         }
+        if let Some(b) = displacement_bound {
+            assert!(
+                b.is_finite() && b >= 0.0,
+                "displacement bound must be finite and non-negative, got {b}"
+            );
+        }
         ConnectivityStream {
             side,
             range,
+            displacement_bound,
             state: None,
             inner,
         }
     }
 }
 
-impl<const D: usize, O: ConnectivityObserver<D>> StepObserver<D> for ConnectivityStream<O> {
+impl<const D: usize, O: ConnectivityObserver<D>> StepObserver<D> for ConnectivityStream<O, D> {
     type Output = O::Output;
 
     fn observe(&mut self, step: usize, positions: &[Point<D>]) {
@@ -187,17 +226,16 @@ impl<const D: usize, O: ConnectivityObserver<D>> StepObserver<D> for Connectivit
             });
             return;
         };
-        let diff = match self.state.as_mut() {
+        match self.state.as_mut() {
             None => {
-                let dg = DynamicGraph::new(positions, self.side, range);
-                let diff = dg.initial_diff();
+                let dg = DynamicGraph::new(positions, self.side, range)
+                    .with_displacement_bound(self.displacement_bound);
                 self.state = Some((dg, DynamicComponents::new(positions.len())));
-                diff
             }
-            Some((dg, _)) => dg.advance(positions),
-        };
+            Some((dg, _)) => dg.step(positions),
+        }
         let (dg, dc) = self.state.as_mut().expect("state initialized above");
-        dc.apply(&diff, dg.graph());
+        dc.apply(dg.last_diff(), dg.graph());
         self.inner.observe(&StepView {
             step,
             positions,
@@ -205,7 +243,7 @@ impl<const D: usize, O: ConnectivityObserver<D>> StepObserver<D> for Connectivit
                 range,
                 graph: dg.graph(),
                 components: dc,
-                diff: &diff,
+                diff: dg.last_diff(),
             }),
         });
     }
@@ -248,8 +286,11 @@ where
         }
     }
     let side = config.side();
+    // The model's declared per-step displacement bound arms the step
+    // kernel's contract check in every iteration's stream.
+    let bound = model.max_step_displacement();
     run_simulation(config, model, move |iteration| {
-        ConnectivityStream::new(side, range, make_observer(iteration))
+        ConnectivityStream::with_displacement_bound(side, range, bound, make_observer(iteration))
     })
 }
 

@@ -142,12 +142,14 @@ mod stream_oracle {
     use manet_graph::{AdjacencyList, ComponentSummary};
     use manet_sim::{ConnectivityObserver, StepView};
 
-    /// Per-step oracle checker: recomputes the snapshot and its
-    /// components from scratch and compares against the stream's
+    /// Per-step oracle checker: recomputes the snapshot, its edge
+    /// delta against the previous step, and its components from
+    /// scratch, and compares all three against the stream's
     /// incremental state.
     pub struct OracleObserver {
         pub range: f64,
         pub checked_steps: usize,
+        pub prev: Option<AdjacencyList>,
     }
 
     impl<const D: usize> ConnectivityObserver<D> for OracleObserver {
@@ -156,6 +158,15 @@ mod stream_oracle {
         fn observe(&mut self, view: &StepView<'_, D>) {
             let rebuilt = AdjacencyList::from_points_brute_force(view.positions(), self.range);
             assert_eq!(view.graph(), &rebuilt, "snapshot diverged from rebuild");
+            let older = self
+                .prev
+                .take()
+                .unwrap_or_else(|| AdjacencyList::empty(rebuilt.len()));
+            assert_eq!(
+                view.diff(),
+                &older.diff(&rebuilt),
+                "edge delta diverged from the rebuild-and-diff oracle"
+            );
             let oracle = ComponentSummary::of(&rebuilt);
             let incremental = view.components();
             assert_eq!(incremental.count(), oracle.count());
@@ -168,6 +179,7 @@ mod stream_oracle {
                 rebuilt.isolated_nodes().len(),
                 "singleton components must be the degree-0 nodes"
             );
+            self.prev = Some(rebuilt);
             self.checked_steps += 1;
         }
 
@@ -192,7 +204,11 @@ proptest! {
         let cfg = config(nodes, side, 2, steps, seed);
         let range = range_frac * side;
         let run = |obs_range: f64| {
-            let make = |_| stream_oracle::OracleObserver { range: obs_range, checked_steps: 0 };
+            let make = |_| stream_oracle::OracleObserver {
+                range: obs_range,
+                checked_steps: 0,
+                prev: None,
+            };
             match model_kind % 3 {
                 0 => run_connectivity_stream(
                     &cfg, &StationaryModel::new(), Some(obs_range), make),
@@ -213,4 +229,121 @@ proptest! {
         let outs = run(range).unwrap();
         prop_assert_eq!(outs, vec![steps, steps]);
     }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end byte-identity of the incremental spine: for every registry
+// model, `simulate_trace` (moved-node kernel + incremental components)
+// must produce a TraceSummary identical to a hand-rolled replay of the
+// same trajectories through the from_points + diff oracle.
+// ---------------------------------------------------------------------------
+
+mod trace_identity {
+    use manet_geom::Point;
+    use manet_graph::AdjacencyList;
+    use manet_sim::{SimConfig, StepObserver};
+    use manet_trace::{TemporalRecord, TraceRecorder};
+
+    /// Records every step's positions of one iteration.
+    pub struct PositionCollector(pub Vec<Vec<Point<2>>>);
+
+    impl StepObserver<2> for PositionCollector {
+        type Output = Vec<Vec<Point<2>>>;
+        fn observe(&mut self, _step: usize, positions: &[Point<2>]) {
+            self.0.push(positions.to_vec());
+        }
+        fn finish(self) -> Self::Output {
+            self.0
+        }
+    }
+
+    /// Folds one trajectory through the oracle path (full rebuild +
+    /// full diff per step) into a temporal record.
+    pub fn oracle_record(
+        cfg: &SimConfig<2>,
+        steps: &[Vec<Point<2>>],
+        range: f64,
+    ) -> TemporalRecord {
+        let mut rec = TraceRecorder::new(cfg.nodes(), cfg.steps());
+        let mut prev = AdjacencyList::empty(cfg.nodes());
+        for pts in steps {
+            let next = AdjacencyList::from_points(pts, cfg.side(), range);
+            rec.observe(&prev.diff(&next), &next);
+            prev = next;
+        }
+        rec.finish()
+    }
+}
+
+#[test]
+fn trace_summary_identical_to_oracle_replay_for_every_registry_model() {
+    use manet_mobility::{ModelRegistry, PaperScale};
+    use manet_sim::{run_simulation, simulate_trace};
+    use manet_trace::TraceSummary;
+
+    let side = 150.0;
+    let range = 40.0;
+    let registry = ModelRegistry::<2>::with_builtins();
+    let scale = PaperScale::new(side).with_pause(3);
+    for name in registry.names() {
+        let model = registry.build(name, &scale).unwrap();
+        let cfg = config(14, side, 2, 25, 20020623);
+        let incremental = simulate_trace(&cfg, &model, range).unwrap();
+        // Same config + model + master seed => the engine reproduces
+        // identical trajectories for the collector run.
+        let trajectories = run_simulation(&cfg, &model, |_| {
+            trace_identity::PositionCollector(Vec::new())
+        })
+        .unwrap();
+        let records: Vec<_> = trajectories
+            .iter()
+            .map(|steps| trace_identity::oracle_record(&cfg, steps, range))
+            .collect();
+        let oracle = TraceSummary::aggregate(&records).unwrap();
+        assert_eq!(incremental, oracle, "{name}: TraceSummary diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Displacement-bound violations through the whole stream: a model that
+// lies about its bound must still yield exact results (the kernel falls
+// back to the full diff), never silent corruption.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stream_survives_models_that_lie_about_their_displacement_bound() {
+    use manet_geom::{Point, Region};
+    use manet_mobility::Mobility;
+    use manet_sim::run_connectivity_stream;
+    use rand::Rng;
+
+    /// Teleports every node every step while declaring a 0.5 bound.
+    #[derive(Clone, Debug)]
+    struct LyingTeleporter;
+
+    impl Mobility<2> for LyingTeleporter {
+        fn init(&mut self, _: &[Point<2>], _: &Region<2>, _: &mut dyn Rng) {}
+        fn step(&mut self, positions: &mut [Point<2>], region: &Region<2>, rng: &mut dyn Rng) {
+            for p in positions {
+                *p = region.sample_uniform(rng);
+            }
+        }
+        fn name(&self) -> &'static str {
+            "lying-teleporter"
+        }
+        fn max_step_displacement(&self) -> Option<f64> {
+            Some(0.5) // a lie: steps teleport across the region
+        }
+    }
+
+    let cfg = config(16, 120.0, 3, 20, 808);
+    let outs = run_connectivity_stream(&cfg, &LyingTeleporter, Some(35.0), |_| {
+        stream_oracle::OracleObserver {
+            range: 35.0,
+            checked_steps: 0,
+            prev: None,
+        }
+    })
+    .unwrap();
+    assert_eq!(outs, vec![20, 20, 20]);
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Captures step-kernel benchmark numbers to BENCH_step_kernel.json at
+# the repository root — the machine-readable perf trajectory for the
+# zero-rebuild step kernel (incremental vs rebuild-and-diff, n in
+# {256, 1000, 4000} x {low, mid, high} mobility).
+#
+# Usage:
+#   scripts/capture_step_kernel.sh            # full capture (committed numbers)
+#   scripts/capture_step_kernel.sh --quick    # reduced grid, 1 repeat (CI smoke)
+#   scripts/capture_step_kernel.sh --out PATH # write elsewhere
+#
+# The full capture also acts as a regression gate: it fails loudly if
+# the kernel's speedup at n=4000 on the low-churn scenario drops below
+# 3x the rebuild path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_step_kernel.json"
+ARGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) ARGS+=("--quick") ;;
+    --out) OUT="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cargo build --release -p manet-bench --bin step_kernel_capture
+./target/release/step_kernel_capture "${ARGS[@]:-}" --out "$OUT"
