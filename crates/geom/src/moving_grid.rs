@@ -76,6 +76,8 @@ impl<const D: usize> MovingCellGrid<D> {
             grid.buckets[c].push(i as u32);
             grid.node_cell.push(c as u32);
         }
+        #[cfg(feature = "strict-invariants")]
+        grid.debug_validate();
         Ok(grid)
     }
 
@@ -164,18 +166,20 @@ impl<const D: usize> MovingCellGrid<D> {
             let old_c = self.node_cell[i] as usize;
             if c != old_c {
                 let bucket = &mut self.buckets[old_c];
+                // Order-preserving removal keeps bucket iteration
+                // stable (see module docs).
                 let pos = bucket
                     .iter()
                     .position(|&x| x == iu)
-                    .expect("node listed in its cell bucket");
-                // Order-preserving removal keeps bucket iteration
-                // stable (see module docs).
+                    .expect("node listed in its cell bucket"); // lint:allow(R3): bucket membership is the grid's own invariant (strict-invariants checks it)
                 bucket.remove(pos);
                 self.buckets[c].push(iu);
                 self.node_cell[i] = c as u32;
             }
             self.points[i] = new_p;
         }
+        #[cfg(feature = "strict-invariants")]
+        self.debug_validate();
     }
 
     /// Moves the index to the next step's positions in one call:
@@ -216,6 +220,34 @@ impl<const D: usize> MovingCellGrid<D> {
             self.buckets[c].push(i as u32);
             self.node_cell[i] = c as u32;
             self.points[i] = *p;
+        }
+        #[cfg(feature = "strict-invariants")]
+        self.debug_validate();
+    }
+
+    /// Occupancy-vs-position consistency: the buckets partition the
+    /// node set, every node's recorded cell matches its position, and
+    /// every node is listed in (exactly) its own bucket. `O(n)` — run
+    /// after every commit under `strict-invariants`.
+    #[cfg(feature = "strict-invariants")]
+    fn debug_validate(&self) {
+        let occupancy: usize = self.buckets.iter().map(Vec::len).sum();
+        debug_assert_eq!(
+            occupancy,
+            self.points.len(),
+            "strict-invariants: bucket occupancy lost or duplicated nodes"
+        );
+        debug_assert_eq!(self.node_cell.len(), self.points.len());
+        for (i, p) in self.points.iter().enumerate() {
+            let c = self.layout.cell_of(p);
+            debug_assert_eq!(
+                self.node_cell[i] as usize, c,
+                "strict-invariants: node {i} recorded in the wrong cell"
+            );
+            debug_assert!(
+                self.buckets[c].iter().filter(|&&x| x == i as u32).count() == 1,
+                "strict-invariants: node {i} not listed exactly once in its bucket"
+            );
         }
     }
 
@@ -363,6 +395,19 @@ mod tests {
             assert_eq!(candidates(&grid, p), candidates(&fresh, p));
         }
         assert_eq!(grid.points(), fresh.points());
+    }
+
+    /// The strict-invariants checker must actually fire: a grid whose
+    /// recorded cells no longer match the positions panics on the next
+    /// commit.
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    #[should_panic(expected = "strict-invariants")]
+    fn strict_invariants_detects_stale_occupancy() {
+        let pts = [Point::new([0.5, 0.5]), Point::new([9.5, 9.5])];
+        let mut grid = MovingCellGrid::build(&pts, 10.0, 1.0).unwrap();
+        grid.node_cell.swap(0, 1); // desync recorded cells from positions
+        grid.relocate(&pts, &[]);
     }
 
     #[test]

@@ -161,7 +161,7 @@ impl AdjacencyList {
             let list = &mut self.neighbors[x];
             let pos = list
                 .binary_search(&(y as u32))
-                .expect("edge present in both lists");
+                .expect("edge present in both lists"); // lint:allow(R3): undirected symmetry invariant of the representation
             list.remove(pos);
         }
         self.edge_count -= 1;

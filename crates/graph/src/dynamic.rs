@@ -389,6 +389,14 @@ impl<const D: usize> DynamicGraph<D> {
             self.graph.len(),
             "node count changed between steps"
         );
+        self.step_dispatch(points);
+        #[cfg(feature = "strict-invariants")]
+        self.debug_validate();
+    }
+
+    /// [`DynamicGraph::step`]'s path selection, factored out so the
+    /// strict-invariants checker runs once after whichever path ran.
+    fn step_dispatch(&mut self, points: &[Point<D>]) {
         let Some(grid) = self.grid.as_mut() else {
             self.step_rebuild(points);
             return;
@@ -426,6 +434,61 @@ impl<const D: usize> DynamicGraph<D> {
         self.diff.clone()
     }
 
+    /// Structural coherence of the snapshot and the last delta:
+    /// neighbor rows strictly ascending (sorted, deduped, no
+    /// self-loops) and symmetric; diff halves strictly ascending,
+    /// canonically oriented (`a < b`), disjoint, with every added edge
+    /// present in — and every removed edge absent from — the snapshot.
+    /// `O(m log m)`-ish — run after every step under
+    /// `strict-invariants`.
+    #[cfg(feature = "strict-invariants")]
+    fn debug_validate(&self) {
+        let g = &self.graph;
+        for a in 0..g.len() {
+            let row = g.neighbors(a);
+            debug_assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "strict-invariants: neighbor row of {a} is unsorted or duplicated"
+            );
+            for &b in row {
+                debug_assert!(b as usize != a, "strict-invariants: self-loop on node {a}");
+                debug_assert!(
+                    g.neighbors(b as usize).binary_search(&(a as u32)).is_ok(),
+                    "strict-invariants: edge ({a}, {b}) is not symmetric"
+                );
+            }
+        }
+        for (label, half) in [("added", &self.diff.added), ("removed", &self.diff.removed)] {
+            debug_assert!(
+                half.windows(2).all(|w| w[0] < w[1]),
+                "strict-invariants: {label} edges are unsorted or duplicated"
+            );
+            debug_assert!(
+                half.iter().all(|&(a, b)| a < b),
+                "strict-invariants: {label} edges are not canonically oriented"
+            );
+        }
+        for &(a, b) in &self.diff.added {
+            debug_assert!(
+                g.neighbors(a as usize).binary_search(&b).is_ok(),
+                "strict-invariants: added edge ({a}, {b}) is missing from the snapshot"
+            );
+        }
+        for &(a, b) in &self.diff.removed {
+            debug_assert!(
+                g.neighbors(a as usize).binary_search(&b).is_err(),
+                "strict-invariants: removed edge ({a}, {b}) is still in the snapshot"
+            );
+        }
+        if let Some(grid) = &self.grid {
+            debug_assert_eq!(
+                grid.len(),
+                g.len(),
+                "strict-invariants: grid and snapshot disagree on the node count"
+            );
+        }
+    }
+
     /// The oracle path: rebuild the snapshot from scratch and diff the
     /// two full snapshots. Taken when no grid exists or a declared
     /// displacement bound was violated.
@@ -440,7 +503,7 @@ impl<const D: usize> DynamicGraph<D> {
     /// new positions and `self.moved` holds the moved set; emit the
     /// delta from moved-node rescans and patch the snapshot in place.
     fn step_incremental(&mut self) {
-        let grid = self.grid.as_ref().expect("caller checked the grid");
+        let grid = self.grid.as_ref().expect("caller checked the grid"); // lint:allow(R3): step() dispatches here only when the grid exists
         let pts = grid.points();
         let r2 = self.range * self.range;
         self.diff.clear();
@@ -532,7 +595,7 @@ impl<const D: usize> DynamicGraph<D> {
     /// swap the rows in — the allocation-free equivalent of
     /// `from_points` + `diff`.
     fn step_bulk(&mut self) {
-        let grid = self.grid.as_ref().expect("caller checked the grid");
+        let grid = self.grid.as_ref().expect("caller checked the grid"); // lint:allow(R3): step() dispatches here only when the grid exists
         let pts = grid.points();
         let n = pts.len();
         let r2 = self.range * self.range;

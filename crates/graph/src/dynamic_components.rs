@@ -249,6 +249,15 @@ impl DynamicComponents {
             self.parent.len(),
             "node count changed between steps"
         );
+        self.apply_dispatch(diff, graph);
+        #[cfg(feature = "strict-invariants")]
+        self.debug_validate();
+    }
+
+    /// [`DynamicComponents::apply`]'s path selection, factored out so
+    /// the strict-invariants checker runs once after whichever path
+    /// ran.
+    fn apply_dispatch(&mut self, diff: &EdgeDiff, graph: &AdjacencyList) {
         if !diff.removed.is_empty() {
             let threshold = FULL_REBUILD_CHURN_FRACTION * self.parent.len() as f64;
             if diff.churn() as f64 >= threshold {
@@ -261,6 +270,65 @@ impl DynamicComponents {
         for &(a, b) in &diff.added {
             self.union(a as usize, b as usize);
         }
+    }
+
+    /// DSU forest and accounting coherence: every parent pointer is in
+    /// range and reaches a root without cycling, `size[]` at every root
+    /// equals the member tally of that root's tree, the component
+    /// count equals the number of distinct roots, and the size
+    /// multiset both matches the per-root tallies and conserves the
+    /// node count (`Σ size · multiplicity = n`). `O(n · height)` — run
+    /// after every [`DynamicComponents::apply`] under
+    /// `strict-invariants`. Read-only: roots are found without path
+    /// halving so the checker cannot mask a broken forest.
+    #[cfg(feature = "strict-invariants")]
+    fn debug_validate(&self) {
+        let n = self.parent.len();
+        let mut members: BTreeMap<u32, u32> = BTreeMap::new();
+        for x in 0..n {
+            let mut cur = x as u32;
+            let mut hops = 0usize;
+            loop {
+                debug_assert!(
+                    (self.parent[cur as usize] as usize) < n,
+                    "strict-invariants: parent pointer of {cur} out of range"
+                );
+                let p = self.parent[cur as usize];
+                if p == cur {
+                    break;
+                }
+                cur = p;
+                hops += 1;
+                debug_assert!(hops <= n, "strict-invariants: parent chain of {x} cycles");
+            }
+            *members.entry(cur).or_insert(0) += 1;
+        }
+        debug_assert_eq!(
+            members.len(),
+            self.count,
+            "strict-invariants: component count diverged from the forest"
+        );
+        let mut multiset: BTreeMap<u32, u32> = BTreeMap::new();
+        for (&root, &tally) in &members {
+            debug_assert_eq!(
+                self.size[root as usize], tally,
+                "strict-invariants: size[] at root {root} diverged from its member tally"
+            );
+            *multiset.entry(tally).or_insert(0) += 1;
+        }
+        debug_assert_eq!(
+            multiset, self.size_counts,
+            "strict-invariants: size multiset out of sync with the forest"
+        );
+        let conserved: u64 = self
+            .size_counts
+            .iter()
+            .map(|(&s, &m)| s as u64 * m as u64)
+            .sum();
+        debug_assert_eq!(
+            conserved, n as u64,
+            "strict-invariants: size multiset does not conserve the node count"
+        );
     }
 
     /// Representative of `x`'s component (path halving).
@@ -441,6 +509,21 @@ mod tests {
         oracle_sizes.sort_unstable();
         assert_eq!(dc.sizes_sorted(), oracle_sizes, "size multiset diverged");
         assert_eq!(dc.is_connected(), oracle.is_connected());
+    }
+
+    /// The strict-invariants checker must actually fire: a forest with
+    /// corrupted size accounting panics on the next `apply`.
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    #[should_panic(expected = "strict-invariants")]
+    fn strict_invariants_detects_corrupted_accounting() {
+        let mut dc = DynamicComponents::new(3);
+        dc.size[0] = 2; // root 0's tally no longer matches its tree
+        let diff = EdgeDiff {
+            added: Vec::new(),
+            removed: Vec::new(),
+        };
+        dc.apply(&diff, &AdjacencyList::empty(3));
     }
 
     #[test]

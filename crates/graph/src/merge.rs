@@ -53,7 +53,7 @@ impl MergeProfile {
                 dists.push((points[i].distance_sq(&points[j]), i as u32, j as u32));
             }
         }
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite")); // lint:allow(R3): distances of finite points are finite, so the comparator is total
 
         let mut uf = UnionFind::new(n);
         let mut events = Vec::new();

@@ -1,0 +1,202 @@
+//! # manet-lint — static determinism & invariant analysis
+//!
+//! The workspace's core promise is *bit-identical results*: across
+//! seeds, thread counts, and the incremental vs. rebuild kernels.
+//! Goldens and CI smokes enforce that promise dynamically — long after
+//! a hazard is introduced. `manet-lint` enforces it statically: it
+//! audits every `.rs` file in the workspace (`crates/`, `src/`;
+//! `vendor/` and fixture trees excluded) against the determinism and
+//! safety rules `R1`–`R5` (see [`rules`] for the table), making the
+//! classic hazards — a hash-ordered iteration reaching an artifact, a
+//! wall-clock read in a kernel, an unchecked panic in library code —
+//! un-mergeable once the CI gate is on.
+//!
+//! Findings can be waived inline, with a mandatory justification that
+//! the report surfaces:
+//!
+//! ```text
+//! let t = x.partial_cmp(y).expect("finite"); // lint:allow(R3): inputs validated finite at construction
+//! ```
+//!
+//! A waiver comment covers its own line, or — when it is the whole
+//! line — the line directly below it. `lint:allow(R1, R3): reason`
+//! waives several rules at once; a waiver *without* a reason is
+//! ignored and the finding stands.
+//!
+//! The binary exits `0` on a clean tree, `1` on any unwaived finding
+//! and `2` on usage/I-O errors; `--json` switches to the
+//! machine-readable report (byte-deterministic, golden-tested).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+use report::{Report, WaivedFinding};
+use rules::Finding;
+use scan::ScannedLine;
+use std::io;
+use std::path::Path;
+
+/// Lints every workspace `.rs` file under `root`.
+///
+/// # Errors
+///
+/// Returns the underlying [`io::Error`] when `root` or a file under it
+/// cannot be read.
+pub fn run_lint(root: &Path) -> io::Result<Report> {
+    let files = walk::collect_rs_files(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let ctx = walk::classify(&rel);
+        let source = std::fs::read_to_string(path)?;
+        let lines = scan::scan_source(&source);
+        let mut findings = Vec::new();
+        rules::check_file(&ctx, &lines, &mut findings);
+        resolve_waivers(&lines, findings, &mut report);
+    }
+    report.findings.sort();
+    report.waived.sort();
+    Ok(report)
+}
+
+/// Splits raw findings into waived and unwaived using the file's
+/// `lint:allow` comments.
+fn resolve_waivers(lines: &[ScannedLine], findings: Vec<Finding>, report: &mut Report) {
+    for finding in findings {
+        match waiver_reason_for(lines, &finding) {
+            Some(reason) => report.waived.push(WaivedFinding { finding, reason }),
+            None => report.findings.push(finding),
+        }
+    }
+}
+
+/// Looks for a justified waiver covering `finding`: a `lint:allow`
+/// naming its rule either on the finding's own line, or on the line
+/// directly above when that line is comment-only.
+fn waiver_reason_for(lines: &[ScannedLine], finding: &Finding) -> Option<String> {
+    let idx = finding.line.checked_sub(1)?;
+    if let Some(reason) = line_waiver(lines.get(idx)?, &finding.rule) {
+        return Some(reason);
+    }
+    if idx > 0 {
+        let above = lines.get(idx - 1)?;
+        if above.code.trim().is_empty() {
+            return line_waiver(above, &finding.rule);
+        }
+    }
+    None
+}
+
+/// Parses a `lint:allow(<rules>): <reason>` out of one line's comment
+/// text, returning the reason when it names `rule` and the reason is
+/// non-empty.
+fn line_waiver(line: &ScannedLine, rule: &str) -> Option<String> {
+    let comment = &line.comment;
+    let start = comment.find("lint:allow(")?;
+    let rest = &comment[start + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rules_named = rest[..close]
+        .split(',')
+        .map(str::trim)
+        .any(|r| r.eq_ignore_ascii_case(rule));
+    if !rules_named {
+        return None;
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':')?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some(reason.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::classify;
+
+    fn lint_str(rel: &str, src: &str) -> Report {
+        let lines = scan::scan_source(src);
+        let mut findings = Vec::new();
+        rules::check_file(&classify(rel), &lines, &mut findings);
+        let mut report = Report {
+            files_scanned: 1,
+            ..Report::default()
+        };
+        resolve_waivers(&lines, findings, &mut report);
+        report
+    }
+
+    const ROOT_ATTRS: &str = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n";
+
+    #[test]
+    fn trailing_waiver_suppresses_with_reason() {
+        let src = format!(
+            "{ROOT_ATTRS}fn f(x: Option<u8>) {{ x.unwrap(); }} // lint:allow(R3): x checked Some above\n"
+        );
+        let r = lint_str("crates/demo/src/lib.rs", &src);
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.waived.len(), 1);
+        assert_eq!(r.waived[0].reason, "x checked Some above");
+    }
+
+    #[test]
+    fn standalone_waiver_covers_the_next_line() {
+        let src = format!(
+            "{ROOT_ATTRS}// lint:allow(R1): map is drained into a sorted Vec before any output\nuse std::collections::HashMap;\n"
+        );
+        let r = lint_str("crates/demo/src/lib.rs", &src);
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.waived.len(), 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_ignored() {
+        let src = format!("{ROOT_ATTRS}use std::collections::HashSet; // lint:allow(R1)\n");
+        let r = lint_str("crates/demo/src/lib.rs", &src);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.waived.is_empty());
+    }
+
+    #[test]
+    fn waiver_for_a_different_rule_does_not_apply() {
+        let src =
+            format!("{ROOT_ATTRS}use std::collections::HashSet; // lint:allow(R2): wrong rule\n");
+        let r = lint_str("crates/demo/src/lib.rs", &src);
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn multi_rule_waiver_covers_both() {
+        let src = format!(
+            "{ROOT_ATTRS}// lint:allow(R1, R5): histogram drained in sorted key order\nlet s: f64 = counts.values().sum::<f64>(); use std::collections::HashMap;\n"
+        );
+        let r = lint_str("crates/graph/src/extra.rs", &src);
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.waived.len(), 2);
+    }
+
+    #[test]
+    fn waiver_above_a_code_line_does_not_leak_past_it() {
+        // The waiver sits two lines above the finding: no match.
+        let src = format!(
+            "{ROOT_ATTRS}// lint:allow(R1): too far away\nfn f() {{}}\nuse std::collections::HashMap;\n"
+        );
+        let r = lint_str("crates/demo/src/lib.rs", &src);
+        assert_eq!(r.findings.len(), 1);
+    }
+}

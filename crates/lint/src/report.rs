@@ -1,0 +1,168 @@
+//! Report assembly and serialization.
+//!
+//! The JSON emitter is hand-rolled (the vendored serde stand-ins are
+//! not needed for a flat report) and byte-deterministic: findings and
+//! waived findings are sorted by `(file, line, rule)`, keys are
+//! emitted in a fixed order, and no timestamps or absolute paths
+//! appear — the fixture report is committed as a golden file.
+
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// A finding suppressed by an inline waiver, with the mandatory
+/// justification surfaced.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WaivedFinding {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The reason given in the `lint:allow` comment.
+    pub reason: String,
+}
+
+/// The complete result of one lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Unwaived findings — any entry here fails the run.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a justified inline waiver.
+    pub waived: Vec<WaivedFinding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the tree is clean (no unwaived findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The machine-readable report (stable key order, sorted entries,
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i + 1 < self.findings.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}{sep}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                json_str(&f.snippet),
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"waived\": [");
+        for (i, w) in self.waived.iter().enumerate() {
+            let sep = if i + 1 < self.waived.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}{sep}",
+                json_str(&w.finding.rule),
+                json_str(&w.finding.file),
+                w.finding.line,
+                json_str(&w.reason),
+            );
+        }
+        if !self.waived.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"files_scanned\": {},\n  \"unwaived\": {},\n  \"waived_count\": {}\n}}\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.waived.len(),
+        );
+        out
+    }
+
+    /// The human-readable report.
+    pub fn to_human(&self, root_label: &str) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            if !f.snippet.is_empty() {
+                let _ = writeln!(out, "    {}", f.snippet);
+            }
+        }
+        for w in &self.waived {
+            let _ = writeln!(
+                out,
+                "{}:{}: [{} waived] {}",
+                w.finding.file, w.finding.line, w.finding.rule, w.reason
+            );
+        }
+        let _ = writeln!(
+            out,
+            "manet-lint: {} file(s) under {}: {} unwaived finding(s), {} waived",
+            self.files_scanned,
+            root_label,
+            self.findings.len(),
+            self.waived.len(),
+        );
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_clean_and_serializes() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        let json = r.to_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"unwaived\": 0"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn findings_render_with_locations() {
+        let r = Report {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                rule: "R1".into(),
+                message: "m".into(),
+                snippet: "s".into(),
+            }],
+            waived: Vec::new(),
+            files_scanned: 1,
+        };
+        assert!(!r.is_clean());
+        assert!(r.to_human("x").contains("crates/x/src/lib.rs:7: [R1] m"));
+        assert!(r.to_json().contains("\"line\": 7"));
+    }
+}

@@ -1,0 +1,337 @@
+//! The line-based Rust scanner.
+//!
+//! The lint does not parse Rust — it must run against the offline
+//! vendored toolchain with no `syn`/`proc-macro2` dependency — but a
+//! naive per-line substring match would drown in false positives from
+//! comments, doc examples and string literals (this crate's own rule
+//! tables, for instance, spell the banned identifiers out in strings).
+//! The scanner therefore performs one character-level pass per file
+//! that:
+//!
+//! * strips line comments, (nested) block comments, string literals
+//!   (plain, raw, byte) and char literals out of the *code* view of
+//!   each line, while collecting the comment text separately (waivers
+//!   live in comments);
+//! * tracks `#[cfg(test)]` items by brace depth, so rules can exempt
+//!   test modules and test-only `use` statements without a syntax
+//!   tree.
+//!
+//! The heuristics are deliberately conservative: a construct the
+//! scanner cannot classify stays in the code view and is *scanned*,
+//! never silently exempted.
+
+/// One source line split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedLine {
+    /// The raw source line (for report snippets).
+    pub raw: String,
+    /// The line with comments, string contents and char literals
+    /// removed (string/char delimiters are dropped along with their
+    /// contents).
+    pub code: String,
+    /// The concatenated comment text of the line (line and block
+    /// comments, including doc comments).
+    pub comment: String,
+    /// Whether the line belongs to a `#[cfg(test)]` item (the
+    /// attribute line itself, the item header, and everything up to
+    /// the item's closing brace).
+    pub in_test: bool,
+}
+
+/// Scans one file's source into per-line code/comment views with
+/// `#[cfg(test)]` classification.
+pub fn scan_source(source: &str) -> Vec<ScannedLine> {
+    let mut lines = classify_test_regions(split_code_and_comments(source));
+    for (line, raw) in lines.iter_mut().zip(source.lines()) {
+        line.raw = raw.to_string();
+    }
+    lines
+}
+
+/// Lexer states for the code/comment splitter.
+enum State {
+    Normal,
+    LineComment,
+    /// Nesting depth of `/* */` comments.
+    BlockComment(u32),
+    /// Inside `"…"`; the flag records a pending backslash escape.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r##"…"##` with the given number of `#`s.
+    RawStr {
+        hashes: usize,
+    },
+    /// Inside `'…'`; the flag records a pending backslash escape.
+    Char {
+        escaped: bool,
+    },
+}
+
+fn split_code_and_comments(source: &str) -> Vec<ScannedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut line = ScannedLine::default();
+    let mut state = State::Normal;
+    let mut i = 0usize;
+
+    // Flushes the current line at every newline regardless of state —
+    // the scanner's views are per-line even when a token spans lines.
+    macro_rules! newline {
+        () => {
+            out.push(std::mem::take(&mut line));
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Normal;
+            }
+            newline!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str { escaped: false };
+                    i += 1;
+                } else if c == '\'' {
+                    // Distinguish char literals from lifetimes/labels:
+                    // `'x'` and `'\…'` are literals, `'a` (no closing
+                    // quote right after one char) is a lifetime.
+                    if next == Some('\\') {
+                        state = State::Char { escaped: false };
+                        line.code.push(' ');
+                        i += 1;
+                    } else if chars.get(i + 2).copied() == Some('\'') && next != Some('\'') {
+                        line.code.push(' ');
+                        i += 3; // consume 'x'
+                    } else {
+                        line.code.push(c); // lifetime or label
+                        i += 1;
+                    }
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&line.code) {
+                    // Possible raw/byte string head: r"…", r#"…"#, b"…",
+                    // br"…", rb"…".
+                    let mut j = i + 1;
+                    if (c == 'b' && chars.get(j).copied() == Some('r'))
+                        || (c == 'r' && chars.get(j).copied() == Some('b'))
+                    {
+                        j += 1;
+                    }
+                    let raw = chars[i..j].contains(&'r');
+                    let mut hashes = 0usize;
+                    while raw && chars.get(j + hashes).copied() == Some('#') {
+                        hashes += 1;
+                    }
+                    if chars.get(j + hashes).copied() == Some('"') {
+                        if raw {
+                            state = State::RawStr { hashes };
+                        } else {
+                            state = State::Str { escaped: false };
+                        }
+                        i = j + hashes + 1;
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    state = State::Str { escaped: false };
+                } else if c == '\\' {
+                    state = State::Str { escaped: true };
+                } else if c == '"' {
+                    state = State::Normal;
+                }
+                i += 1;
+            }
+            State::RawStr { hashes } => {
+                if c == '"'
+                    && chars[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == '#')
+                        .count()
+                        == hashes
+                {
+                    state = State::Normal;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char { escaped } => {
+                if escaped {
+                    state = State::Char { escaped: false };
+                } else if c == '\\' {
+                    state = State::Char { escaped: true };
+                } else if c == '\'' {
+                    state = State::Normal;
+                }
+                i += 1;
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        out.push(line);
+    }
+    out
+}
+
+/// Whether the last code character so far continues an identifier —
+/// used to tell the raw-string head `r"` from an identifier ending in
+/// `r` followed by a string.
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items by brace depth.
+fn classify_test_regions(mut lines: Vec<ScannedLine>) -> Vec<ScannedLine> {
+    let mut depth: i64 = 0;
+    // Depth at which the innermost `#[cfg(test)]` item opened.
+    let mut region: Option<i64> = None;
+    // A `#[cfg(test)]` attribute was seen and its item has not yet
+    // opened a brace (or ended at a semicolon).
+    let mut pending = false;
+    for line in &mut lines {
+        let was_in_test = region.is_some() || pending;
+        let has_attr = region.is_none() && line.code.contains("#[cfg(test)]");
+        if has_attr {
+            pending = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending && region.is_none() {
+                        region = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region == Some(depth) {
+                        region = None;
+                    }
+                }
+                // `#[cfg(test)] use …;` — an item without a body.
+                ';' if pending && region.is_none() => {
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = was_in_test || has_attr || pending || region.is_some();
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_doc_comments() {
+        let s = scan_source("let x = 1; // trailing HashMap\n/// doc unwrap()\nfn f() {}\n");
+        assert_eq!(s[0].code.trim_end(), "let x = 1;");
+        assert!(s[0].comment.contains("HashMap"));
+        assert!(s[1].code.trim().is_empty());
+        assert!(s[1].comment.contains("unwrap"));
+        assert_eq!(s[2].code, "fn f() {}");
+    }
+
+    #[test]
+    fn strips_string_and_char_literals() {
+        let s = scan_source("let s = \"HashMap .unwrap()\"; let c = 'x'; let t = '\\n';\n");
+        assert!(!s[0].code.contains("HashMap"));
+        assert!(!s[0].code.contains("unwrap"));
+        assert!(s[0].code.contains("let c ="));
+    }
+
+    #[test]
+    fn strips_raw_strings_but_keeps_lifetimes() {
+        let s = scan_source("fn f<'a>(x: &'a str) { let r = r#\"panic!(\"#; }\n");
+        assert!(s[0].code.contains("<'a>"));
+        assert!(!s[0].code.contains("panic"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_comment_text() {
+        let s = scan_source("/* outer /* inner unwrap() */ still */ let y = 2;\n");
+        assert_eq!(s[0].code.trim(), "let y = 2;");
+        assert!(s[0].comment.contains("unwrap"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_stripped() {
+        let s = scan_source("let s = \"line one\nHashMap line two\"; let z = 3;\n");
+        assert!(!s[1].code.contains("HashMap"));
+        assert!(s[1].code.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_classified() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan_source(src);
+        assert!(!s[0].in_test);
+        assert!(s[1].in_test, "the attribute line itself");
+        assert!(s[2].in_test);
+        assert!(s[3].in_test);
+        assert!(s[4].in_test, "the closing brace");
+        assert!(!s[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_use_statement_is_classified() {
+        let src = "#[cfg(test)]\nuse std::collections::BTreeSet;\nfn live() {}\n";
+        let s = scan_source(src);
+        assert!(s[0].in_test);
+        assert!(s[1].in_test);
+        assert!(!s[2].in_test);
+    }
+
+    #[test]
+    fn cfg_test_in_a_string_does_not_open_a_region() {
+        let src = "let s = \"#[cfg(test)]\";\nfn live() { x.unwrap(); }\n";
+        let s = scan_source(src);
+        assert!(!s[1].in_test);
+    }
+}

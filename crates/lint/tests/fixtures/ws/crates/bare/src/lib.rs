@@ -1,0 +1,4 @@
+//! Fixture: a crate root missing both required attributes (R4 twice).
+
+/// Nothing else wrong here.
+pub fn fine() {}

@@ -1,0 +1,10 @@
+//! Fixture: tool crates (the bench harness) may time — no R2 — but
+//! R4 still applies to their roots.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Timing is the bench crate's job: no finding.
+pub fn now_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}

@@ -1,0 +1,34 @@
+//! Fixture: a library crate exercising R1–R3 hits, waivers, and the
+//! `#[cfg(test)]` exemption.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+// lint:allow(R1): drained into a sorted Vec before any output escapes
+use std::collections::HashSet;
+
+/// Unwaived R2: a wall-clock read in library code.
+pub fn stamp() {
+    let _t = std::time::Instant::now();
+}
+
+/// One unwaived and one waived R3.
+pub fn ends(xs: &[u32]) -> u32 {
+    let a = xs.first().unwrap();
+    let b = xs.last().expect("non-empty"); // lint:allow(R3): caller validates non-empty
+    *a + *b
+}
+
+/// A waiver without a reason is ignored: the finding stands.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // lint:allow(R3)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        assert!(std::panic::catch_unwind(|| panic!("boom")).is_err());
+    }
+}

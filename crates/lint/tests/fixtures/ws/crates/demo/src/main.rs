@@ -1,0 +1,8 @@
+//! Fixture: binary targets may read the clock and unwrap (R2/R3
+//! exempt), but R1 still applies — none here.
+
+fn main() {
+    let t = std::time::Instant::now();
+    let arg = std::env::args().next().unwrap();
+    println!("{arg}: {:?}", t.elapsed());
+}

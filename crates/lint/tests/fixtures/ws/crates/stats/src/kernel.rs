@@ -1,0 +1,10 @@
+//! Fixture: an unordered float reduction in a numeric kernel crate
+//! (R5), with an unwaived R1 on the signature mentioning the map.
+
+// lint:allow(R1): keys are drained in sorted order by the only caller
+use std::collections::HashMap;
+
+/// R5: the summation order — hence the rounding — depends on the hasher.
+pub fn total(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>()
+}

@@ -1,0 +1,7 @@
+//! Fixture: the umbrella crate root, fully compliant.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Clean.
+pub fn ok() {}

@@ -1,0 +1,8 @@
+use std::collections::HashMap;
+
+#[test]
+fn exempt_tree_may_do_anything() {
+    let mut m = HashMap::new();
+    m.insert(1, std::time::Instant::now());
+    assert!(m.get(&1).copied().unwrap().elapsed().as_secs() < 60);
+}

@@ -1,0 +1,141 @@
+//! End-to-end lint runs: the fixture workspace against its golden
+//! report, and the live workspace's self-check.
+//!
+//! The fixture tree under `tests/fixtures/ws/` is a miniature
+//! workspace with one hit, one waived occurrence, and one exemption
+//! per rule; its `--json` report is committed as a golden at the repo
+//! root (`tests/goldens/lint_fixtures.json`) so any change to the
+//! scanner, the rules, or the serializer shows up as a byte diff.
+
+use manet_lint::run_lint;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn fixture_workspace_findings() {
+    let report = run_lint(&fixture_root()).expect("fixture tree readable");
+    assert_eq!(report.files_scanned, 7);
+
+    let got: Vec<(&str, usize, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule.as_str()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            // Both missing root attributes, reported at line 1.
+            ("crates/bare/src/lib.rs", 1, "R4"),
+            ("crates/bare/src/lib.rs", 1, "R4"),
+            // Unwaived hash import.
+            ("crates/demo/src/lib.rs", 7, "R1"),
+            // Wall-clock read in library code.
+            ("crates/demo/src/lib.rs", 13, "R2"),
+            // Unwaived unwrap.
+            ("crates/demo/src/lib.rs", 18, "R3"),
+            // A waiver without a reason is ignored: the finding stands.
+            ("crates/demo/src/lib.rs", 25, "R3"),
+            // Hash type in a kernel-crate signature.
+            ("crates/stats/src/kernel.rs", 8, "R1"),
+            // Unordered float reduction over the hash map.
+            ("crates/stats/src/kernel.rs", 9, "R5"),
+        ],
+    );
+
+    let waived: Vec<(&str, usize, &str, &str)> = report
+        .waived
+        .iter()
+        .map(|w| {
+            (
+                w.finding.file.as_str(),
+                w.finding.line,
+                w.finding.rule.as_str(),
+                w.reason.as_str(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        waived,
+        vec![
+            (
+                "crates/demo/src/lib.rs",
+                9,
+                "R1",
+                "drained into a sorted Vec before any output escapes",
+            ),
+            (
+                "crates/demo/src/lib.rs",
+                19,
+                "R3",
+                "caller validates non-empty",
+            ),
+            (
+                "crates/stats/src/kernel.rs",
+                5,
+                "R1",
+                "keys are drained in sorted order by the only caller",
+            ),
+        ],
+    );
+}
+
+/// Exemptions the fixture exercises by *absence* of findings: the
+/// bench tool crate's `Instant::now`, the bin target's clock/unwrap,
+/// the `tests/` tree, and `#[cfg(test)]` code.
+#[test]
+fn fixture_exemptions_produce_no_findings() {
+    let report = run_lint(&fixture_root()).expect("fixture tree readable");
+    for file in [
+        "crates/bench/src/lib.rs",
+        "crates/demo/src/main.rs",
+        "tests/integration.rs",
+        "src/lib.rs",
+    ] {
+        assert!(
+            report.findings.iter().all(|f| f.file != file)
+                && report.waived.iter().all(|w| w.finding.file != file),
+            "{file} should be clean"
+        );
+    }
+}
+
+#[test]
+fn fixture_report_matches_golden_json() {
+    let report = run_lint(&fixture_root()).expect("fixture tree readable");
+    let golden_path = workspace_root().join("tests/goldens/lint_fixtures.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("golden present");
+    assert_eq!(
+        report.to_json(),
+        golden,
+        "fixture report drifted from tests/goldens/lint_fixtures.json \
+         (regenerate with `cargo run -p manet-lint -- --root crates/lint/tests/fixtures/ws --json`)"
+    );
+}
+
+/// The live workspace must stay lint-clean: every finding either fixed
+/// or carrying a justified inline waiver. This is the same gate CI
+/// runs via the binary.
+#[test]
+fn live_workspace_is_lint_clean() {
+    let report = run_lint(&workspace_root()).expect("workspace readable");
+    assert!(report.files_scanned > 50, "scan rooted wrongly?");
+    assert!(
+        report.is_clean(),
+        "unwaived findings in the live workspace:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}\n", f.file, f.line, f.rule, f.message))
+            .collect::<String>()
+    );
+}

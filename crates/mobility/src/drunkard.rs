@@ -144,7 +144,7 @@ impl<const D: usize> Mobility<D> for Drunkard<D> {
                 continue;
             }
             let proposal =
-                sample_in_ball(pos, self.radius, rng).expect("radius validated at construction");
+                sample_in_ball(pos, self.radius, rng).expect("radius validated at construction"); // lint:allow(R3): radius validated positive and finite at construction
             *pos = match self.boundary {
                 BoundaryPolicy::Resample => {
                     if region.contains(&proposal) {
@@ -156,7 +156,7 @@ impl<const D: usize> Mobility<D> for Drunkard<D> {
                         let mut candidate = proposal;
                         while !region.contains(&candidate) {
                             candidate = sample_in_ball(pos, self.radius, rng)
-                                .expect("radius validated at construction");
+                                .expect("radius validated at construction"); // lint:allow(R3): radius validated positive and finite at construction
                         }
                         candidate
                     }

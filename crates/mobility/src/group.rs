@@ -181,7 +181,7 @@ impl<const D: usize> Mobility<D> for ReferencePointGroup<D> {
                     Role::Leader(self.new_leg(region, rng))
                 } else {
                     let o = sample_in_ball(&origin, self.tether / 2.0, rng)
-                        .expect("tether validated at construction");
+                        .expect("tether validated at construction"); // lint:allow(R3): tether validated positive and finite at construction
                     Role::Member { offset: o.coords() }
                 }
             })
@@ -224,7 +224,7 @@ impl<const D: usize> Mobility<D> for ReferencePointGroup<D> {
                 Role::Member { offset } => {
                     let leader = positions[self.leader_of(i)];
                     let jitter = sample_in_ball(&origin, self.tether / 2.0, rng)
-                        .expect("tether validated at construction");
+                        .expect("tether validated at construction"); // lint:allow(R3): tether validated positive and finite at construction
                     let mut out = leader.coords();
                     for ((c, o), j) in out.iter_mut().zip(&offset).zip(&jitter.coords()) {
                         *c += o + j;

@@ -141,6 +141,7 @@ impl Occupancy {
     /// the practicality bound.
     pub fn distribution(&self) -> Vec<f64> {
         self.distribution_impl()
+            // lint:allow(R3): documented panic: try_distribution is the fallible API
             .expect("distribution() requires a problem within the DP bound; use try_distribution")
     }
 

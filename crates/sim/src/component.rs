@@ -34,7 +34,7 @@ impl<const D: usize> ConnectivityObserver<D> for ComponentRangeObserver {
         let profile = MergeProfile::of(view.positions());
         let r = profile
             .range_for_size(self.target)
-            .expect("target validated against n at config time");
+            .expect("target validated against n at config time"); // lint:allow(R3): target validated against n at config time
         self.series.push(r);
     }
 

@@ -299,7 +299,7 @@ where
             config.profile_max_range(),
             config.profile_bins(),
         )
-        .expect("grid validated above"),
+        .expect("grid validated above"), // lint:allow(R3): grid parameters validated just above
     })?;
     Ok(ProfileResults { per_iteration })
 }

@@ -97,6 +97,7 @@ impl<const D: usize> StepView<'_, D> {
     fn link_expected(&self) -> &LinkView<'_> {
         self.link
             .as_ref()
+            // lint:allow(R3): documented panic: observers require a range-bound stream
             .expect("observer requires a ConnectivityStream built with a transmitting range")
     }
 
@@ -234,8 +235,26 @@ impl<const D: usize, O: ConnectivityObserver<D>> StepObserver<D> for Connectivit
             }
             Some((dg, _)) => dg.step(positions),
         }
-        let (dg, dc) = self.state.as_mut().expect("state initialized above");
+        let (dg, dc) = self.state.as_mut().expect("state initialized above"); // lint:allow(R3): state initialized earlier in this call
         dc.apply(dg.last_diff(), dg.graph());
+        // End-to-end oracle check: the incrementally-maintained
+        // components must match a from-scratch labeling of the
+        // snapshot at every step (the module-level determinism
+        // contract), not just stay self-consistent.
+        #[cfg(feature = "strict-invariants")]
+        {
+            let oracle = manet_graph::ComponentSummary::of(dg.graph());
+            debug_assert_eq!(
+                dc.count(),
+                oracle.count(),
+                "strict-invariants: incremental component count diverged from the oracle"
+            );
+            debug_assert_eq!(
+                dc.largest_size(),
+                oracle.largest_size(),
+                "strict-invariants: incremental largest component diverged from the oracle"
+            );
+        }
         self.inner.observe(&StepView {
             step,
             positions,

@@ -89,7 +89,7 @@ impl FrozenSeries {
         if values.iter().any(|v| !v.is_finite()) {
             return Err(StatsError::NonFinite { name: "values" });
         }
-        values.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
+        values.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite")); // lint:allow(R3): values checked finite before sorting, comparator is total
         Ok(FrozenSeries { sorted: values })
     }
 
@@ -115,7 +115,7 @@ impl FrozenSeries {
 
     /// Maximum observation.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty by construction")
+        *self.sorted.last().expect("non-empty by construction") // lint:allow(R3): non-empty by construction
     }
 
     /// Mean of the observations.

@@ -71,7 +71,7 @@ pub fn splitmix64(mut z: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn deterministic() {
@@ -85,7 +85,7 @@ mod tests {
     #[test]
     fn children_are_distinct() {
         let seq = SeedSequence::new(123);
-        let seeds: HashSet<u64> = (0..10_000).map(|i| seq.seed_for(i)).collect();
+        let seeds: BTreeSet<u64> = (0..10_000).map(|i| seq.seed_for(i)).collect();
         assert_eq!(seeds.len(), 10_000);
     }
 
@@ -100,8 +100,8 @@ mod tests {
     fn subsequences_do_not_collide_with_children() {
         let seq = SeedSequence::new(99);
         let sub = seq.subsequence(0);
-        let direct: HashSet<u64> = (0..100).map(|i| seq.seed_for(i)).collect();
-        let nested: HashSet<u64> = (0..100).map(|i| sub.seed_for(i)).collect();
+        let direct: BTreeSet<u64> = (0..100).map(|i| seq.seed_for(i)).collect();
+        let nested: BTreeSet<u64> = (0..100).map(|i| sub.seed_for(i)).collect();
         assert!(direct.is_disjoint(&nested));
     }
 

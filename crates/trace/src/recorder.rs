@@ -10,7 +10,7 @@
 
 use crate::intervals::IntervalAccumulator;
 use manet_graph::{AdjacencyList, DynamicComponents, EdgeDiff};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Packs an undirected edge `(a, b)`, `a < b`, into one map key.
 fn pair_key(a: u32, b: u32) -> u64 {
@@ -66,9 +66,9 @@ pub struct TraceRecorder {
     nodes: usize,
     steps_seen: usize,
     /// Open link intervals: pair key -> step the link came up.
-    up_since: HashMap<u64, usize>,
+    up_since: BTreeMap<u64, usize>,
     /// Open contact gaps: pair key -> step the link went down.
-    down_since: HashMap<u64, usize>,
+    down_since: BTreeMap<u64, usize>,
     /// Open isolation spells, per node.
     isolated_since: Vec<Option<usize>>,
     lifetimes: IntervalAccumulator,
@@ -100,8 +100,8 @@ impl TraceRecorder {
         TraceRecorder {
             nodes,
             steps_seen: 0,
-            up_since: HashMap::new(),
-            down_since: HashMap::new(),
+            up_since: BTreeMap::new(),
+            down_since: BTreeMap::new(),
             isolated_since: vec![None; nodes],
             lifetimes: IntervalAccumulator::new(steps),
             intercontacts: IntervalAccumulator::new(steps),

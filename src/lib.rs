@@ -25,5 +25,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use manet_core::*;
