@@ -8,16 +8,26 @@
 //! the results as JSON (committed as `BENCH_step_kernel.json` at the
 //! repository root; see `scripts/capture_step_kernel.sh`).
 //!
-//! Usage: `step_kernel_capture [--quick] [--out PATH]`
+//! Usage: `step_kernel_capture [--quick] [--profile] [--out PATH]`
 //!
 //! `--quick` runs a reduced grid with one repeat (the CI smoke: proves
 //! the capture path works and the kernel still wins, without paying
-//! for stable numbers). Without `--out`, JSON goes to stdout.
+//! for stable numbers). `--profile` arms the span timer and prints a
+//! wall-clock breakdown (trajectory generation vs timing passes) to
+//! stderr. Without `--out`, JSON goes to stdout.
+//!
+//! Besides ns/step, every row carries the kernel's deterministic path
+//! counters (incremental vs bulk-rescan vs fallback step fractions,
+//! rescan candidate volumes, grid cells touched, edge events) captured
+//! by one untimed pass — the diagnostic data for *why* the speedup
+//! moves with churn, byte-identical across machines and thread counts.
 
 use manet_bench::step_kernel::{
-    churn_per_node, run_incremental, run_rebuild_diff, trajectory, Scenario, RANGE, SCENARIOS, SIDE,
+    churn_per_node, measure_kernel_counters, run_incremental, run_rebuild_diff, trajectory,
+    Scenario, RANGE, SCENARIOS, SIDE,
 };
 use manet_core::geom::Point;
+use manet_core::obs::{KernelMetrics, SpanTimer};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -29,6 +39,7 @@ struct Cell {
     churn_per_node: f64,
     incremental_ns_per_step: f64,
     rebuild_ns_per_step: f64,
+    kernel: KernelMetrics,
 }
 
 /// Median wall time of `repeats` timed passes over the trajectory,
@@ -47,9 +58,19 @@ fn time_ns_per_step<F: FnMut() -> usize>(mut f: F, steps: usize, repeats: usize)
     samples[samples.len() / 2]
 }
 
-fn measure(n: usize, scenario: &'static Scenario, steps: usize, repeats: usize) -> Cell {
+fn measure(
+    n: usize,
+    scenario: &'static Scenario,
+    steps: usize,
+    repeats: usize,
+    timer: &mut SpanTimer,
+) -> Cell {
+    timer.enter("cell");
+    timer.enter("trajectory");
     let traj: Vec<Vec<Point<2>>> = trajectory(n, scenario, steps, 31);
+    timer.exit();
     let churn = churn_per_node(&traj, SIDE, RANGE);
+    let kernel = measure_kernel_counters(&traj, SIDE, RANGE);
     // Mean fraction of nodes that move per step (bitwise position
     // comparison), the quantity the moved-node kernel scales with.
     let mut moved = 0usize;
@@ -57,8 +78,13 @@ fn measure(n: usize, scenario: &'static Scenario, steps: usize, repeats: usize) 
         moved += w[0].iter().zip(&w[1]).filter(|(a, b)| a != b).count();
     }
     let moved_fraction = moved as f64 / ((traj.len() - 1) as f64 * n as f64);
+    timer.enter("time_incremental");
     let inc = time_ns_per_step(|| run_incremental(&traj, SIDE, RANGE), steps - 1, repeats);
+    timer.exit();
+    timer.enter("time_rebuild");
     let reb = time_ns_per_step(|| run_rebuild_diff(&traj, SIDE, RANGE), steps - 1, repeats);
+    timer.exit();
+    timer.exit();
     Cell {
         n,
         scenario: scenario.label,
@@ -67,12 +93,14 @@ fn measure(n: usize, scenario: &'static Scenario, steps: usize, repeats: usize) 
         churn_per_node: churn,
         incremental_ns_per_step: inc,
         rebuild_ns_per_step: reb,
+        kernel,
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile = args.iter().any(|a| a == "--profile");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -85,6 +113,11 @@ fn main() {
         (&[256, 1000, 4000], 5)
     };
 
+    let mut timer = if profile {
+        SpanTimer::armed()
+    } else {
+        SpanTimer::disarmed()
+    };
     let mut cells = Vec::new();
     for &n in sizes {
         for scenario in &SCENARIOS {
@@ -95,9 +128,9 @@ fn main() {
             } else {
                 60
             };
-            let cell = measure(n, scenario, steps, repeats);
+            let cell = measure(n, scenario, steps, repeats, &mut timer);
             eprintln!(
-                "n={:<5} scenario={:<4} moved={:.2}n churn={:.3}n  incremental {:>12.0} ns/step  rebuild {:>12.0} ns/step  speedup {:.2}x",
+                "n={:<5} scenario={:<4} moved={:.2}n churn={:.3}n  incremental {:>12.0} ns/step  rebuild {:>12.0} ns/step  speedup {:.2}x  paths {}i/{}b/{}f",
                 cell.n,
                 cell.scenario,
                 cell.moved_fraction,
@@ -105,9 +138,16 @@ fn main() {
                 cell.incremental_ns_per_step,
                 cell.rebuild_ns_per_step,
                 cell.rebuild_ns_per_step / cell.incremental_ns_per_step,
+                cell.kernel.step.incremental_steps,
+                cell.kernel.step.bulk_rescan_steps,
+                cell.kernel.step.fallback_steps,
             );
             cells.push(cell);
         }
+    }
+    let report = timer.report();
+    if !report.spans.is_empty() {
+        eprint!("{}", report.render_table());
     }
 
     let mut json = String::new();
@@ -121,11 +161,17 @@ fn main() {
     json.push_str(&format!("  \"repeats\": {repeats},\n"));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
+        let k = &c.kernel;
         json.push_str(&format!(
             "    {{\"n\": {}, \"scenario\": \"{}\", \"steps\": {}, \
              \"moved_fraction\": {:.4}, \"churn_per_node\": {:.4}, \
              \"incremental_ns_per_step\": {:.1}, \
-             \"rebuild_ns_per_step\": {:.1}, \"speedup\": {:.2}}}{}\n",
+             \"rebuild_ns_per_step\": {:.1}, \"speedup\": {:.2}, \
+             \"incremental_fraction\": {:.4}, \"bulk_rescan_fraction\": {:.4}, \
+             \"fallback_steps\": {}, \
+             \"moved_rescan_candidates\": {}, \"bulk_rescan_candidates\": {}, \
+             \"cells_touched\": {}, \
+             \"edges_added\": {}, \"edges_removed\": {}}}{}\n",
             c.n,
             c.scenario,
             c.steps,
@@ -134,6 +180,14 @@ fn main() {
             c.incremental_ns_per_step,
             c.rebuild_ns_per_step,
             c.rebuild_ns_per_step / c.incremental_ns_per_step,
+            k.step.incremental_fraction(),
+            k.step.bulk_fraction(),
+            k.step.fallback_steps,
+            k.step.moved_rescan_candidates,
+            k.step.bulk_rescan_candidates,
+            k.grid.cells_touched,
+            k.step.edges_added,
+            k.step.edges_removed,
             if i + 1 < cells.len() { "," } else { "" },
         ));
     }

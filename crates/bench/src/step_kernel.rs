@@ -10,6 +10,7 @@ use crate::placement;
 use manet_core::geom::{Point, Region};
 use manet_core::graph::{AdjacencyList, DynamicGraph};
 use manet_core::mobility::{Mobility, RandomWaypoint};
+use manet_core::obs::KernelMetrics;
 use rand::SeedableRng;
 
 /// Region side of the step-kernel workloads (sparse regime: the
@@ -113,6 +114,23 @@ pub fn run_incremental(traj: &[Vec<Point<2>>], side: f64, range: f64) -> usize {
     acc
 }
 
+/// The incremental path run once for its deterministic counters
+/// (grid + step-kernel planes; the component plane stays zero — this
+/// workload drives no `DynamicComponents`). A pure function of the
+/// trajectory, so the numbers committed to `BENCH_step_kernel.json`
+/// are reproducible bit-for-bit.
+pub fn measure_kernel_counters(traj: &[Vec<Point<2>>], side: f64, range: f64) -> KernelMetrics {
+    let mut dg = DynamicGraph::new(&traj[0], side, range);
+    for pts in &traj[1..] {
+        dg.step(pts);
+    }
+    KernelMetrics {
+        grid: dg.grid_metrics().copied().unwrap_or_default(),
+        step: *dg.metrics(),
+        components: Default::default(),
+    }
+}
+
 /// The pre-kernel path: rebuild the snapshot from scratch each step
 /// and diff the two full snapshots (`from_points` + `diff`), exactly
 /// what `DynamicGraph::advance` did before the incremental kernel.
@@ -144,6 +162,26 @@ mod tests {
                 "scenario {}",
                 scenario.label
             );
+        }
+    }
+
+    /// The counter capture is deterministic and accounts for every
+    /// post-build step of the trajectory.
+    #[test]
+    fn kernel_counters_are_reproducible_and_cover_all_steps() {
+        for scenario in &SCENARIOS {
+            let traj = trajectory(96, scenario, 20, 5);
+            let a = measure_kernel_counters(&traj, SIDE, RANGE);
+            let b = measure_kernel_counters(&traj, SIDE, RANGE);
+            assert_eq!(a, b, "scenario {}", scenario.label);
+            assert_eq!(a.step.steps, 19, "scenario {}", scenario.label);
+            assert_eq!(
+                a.step.incremental_steps + a.step.bulk_rescan_steps + a.step.fallback_steps,
+                a.step.steps,
+                "scenario {}",
+                scenario.label
+            );
+            assert_eq!(a.components, Default::default());
         }
     }
 }

@@ -33,7 +33,7 @@
 //! * [`energy`] — the transmit-power model that turns range reductions
 //!   into the paper's energy-savings headline numbers;
 //! * sub-crates re-exported as modules: [`geom`], [`graph`], [`stats`],
-//!   [`occupancy`], [`mobility`], [`sim`], [`trace`].
+//!   [`occupancy`], [`mobility`], [`sim`], [`trace`], [`obs`].
 //!
 //! ## Quickstart
 //!
@@ -79,6 +79,8 @@ pub use manet_geom as geom;
 pub use manet_graph as graph;
 /// Mobility models (re-export of `manet-mobility`).
 pub use manet_mobility as mobility;
+/// Two-plane telemetry (re-export of `manet-obs`).
+pub use manet_obs as obs;
 /// Occupancy theory (re-export of `manet-occupancy`).
 pub use manet_occupancy as occupancy;
 /// Simulation engine (re-export of `manet-sim`).
@@ -87,6 +89,27 @@ pub use manet_sim as sim;
 pub use manet_stats as stats;
 /// Temporal connectivity (re-export of `manet-trace`).
 pub use manet_trace as trace;
+
+/// The cargo features (and build profile) compiled into this facade,
+/// sorted — the provenance list a
+/// [`RunManifest`](manet_obs::RunManifest) records so any artifact can
+/// be traced to the exact build configuration that produced it.
+/// `debug-assertions` is included because it changes which invariant
+/// checkers run, not any simulated value.
+pub fn compiled_features() -> Vec<&'static str> {
+    let mut features = Vec::new();
+    if cfg!(feature = "serde") {
+        features.push("serde");
+    }
+    if cfg!(feature = "strict-invariants") {
+        features.push("strict-invariants");
+    }
+    if cfg!(debug_assertions) {
+        features.push("debug-assertions");
+    }
+    features.sort_unstable();
+    features
+}
 
 /// Unified error type of the facade.
 #[derive(Debug, Clone, PartialEq)]

@@ -41,6 +41,15 @@ pub struct RunOptions {
     /// the large-`n` lever for exercising the incremental step kernel
     /// at scale; `None` keeps the experiment's paper-tied default.
     pub nodes: Option<usize>,
+    /// `--metrics PATH`: write a `metrics.json` artifact (run manifest,
+    /// deterministic kernel counters, spans when profiling) on success.
+    pub metrics: Option<PathBuf>,
+    /// `--profile`: arm the wall-clock span timer and print the span
+    /// table to stderr (tool-crate-only wall clock, per lint R2).
+    pub profile: bool,
+    /// `--progress`: coarse stderr progress lines (sweep point i/N),
+    /// kept strictly off stdout and artifacts.
+    pub progress: bool,
 }
 
 impl Default for RunOptions {
@@ -54,6 +63,9 @@ impl Default for RunOptions {
             out_dir: PathBuf::from("results"),
             models: None,
             nodes: None,
+            metrics: None,
+            profile: false,
+            progress: false,
         }
     }
 }
@@ -86,6 +98,13 @@ impl RunOptions {
                     let v = args.get(i).ok_or("--out requires a directory")?;
                     opts.out_dir = PathBuf::from(v);
                 }
+                "--metrics" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--metrics requires a file path")?;
+                    opts.metrics = Some(PathBuf::from(v));
+                }
+                "--profile" => opts.profile = true,
+                "--progress" => opts.progress = true,
                 "--models" => {
                     i += 1;
                     let v = args
@@ -332,6 +351,19 @@ mod tests {
     fn bare_words_tolerated_for_subcommands() {
         let o = parse(&["t3", "--quick"]).unwrap();
         assert_eq!(o.iterations, 5);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.metrics, None);
+        assert!(!o.profile);
+        assert!(!o.progress);
+        let o = parse(&["--metrics", "out/m.json", "--profile", "--progress"]).unwrap();
+        assert_eq!(o.metrics, Some(PathBuf::from("out/m.json")));
+        assert!(o.profile);
+        assert!(o.progress);
+        assert!(parse(&["--metrics"]).is_err());
     }
 
     #[test]

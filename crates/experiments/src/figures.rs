@@ -1,6 +1,7 @@
 //! Figures 2–9 of the paper.
 
 use crate::common::{self, banner, fmt, nodes_for_side, r_stationary, RunOptions, Table};
+use crate::obs::ObsSession;
 use manet_core::mobility::RandomWaypoint;
 use manet_core::{AnyModel, CoreError, MtrmProblem};
 
@@ -37,7 +38,9 @@ fn problem(
 /// (`CriticalRangeResults::summary`) and is ablated in DESIGN.md §6.
 fn range_ratio_figure<F>(
     opts: &RunOptions,
+    session: &mut ObsSession,
     name: &str,
+    model_name: &str,
     title: &str,
     make_model: F,
 ) -> Result<(), CoreError>
@@ -45,11 +48,19 @@ where
     F: Fn(&RunOptions, f64) -> Result<AnyModel<2>, CoreError>,
 {
     banner(title);
+    session.note_model(model_name);
     let mut table = Table::new(&[
         "l", "n", "r_stat", "r100/rs", "r90/rs", "r10/rs", "r0/rs", "r100_sd", "r90_sd",
     ]);
-    for &l in &common::L_VALUES {
+    for (i, &l) in common::L_VALUES.iter().enumerate() {
         let n = nodes_for_side(l);
+        session.note_nodes(n);
+        session.progress(&format!(
+            "{name}: l={l} ({}/{})",
+            i + 1,
+            common::L_VALUES.len()
+        ));
+        session.span_enter(&format!("{name}/side"));
         let rs = r_stationary(opts, l)?;
         let p = problem(opts, l, n, make_model(opts, l)?)?;
         let sol = p.solve()?;
@@ -66,6 +77,7 @@ where
             fmt(sol.ranges.r100.sample_std_dev() / rs),
             fmt(sol.ranges.r90.sample_std_dev() / rs),
         ]);
+        session.span_exit();
     }
     table.print();
     let path = table
@@ -78,20 +90,24 @@ where
 }
 
 /// Figure 2: `r_x / r_stationary` vs `l`, random waypoint.
-pub fn fig2(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn fig2(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     range_ratio_figure(
         opts,
+        session,
         "fig2",
+        "waypoint",
         "Figure 2: r_x / r_stationary vs l (random waypoint)",
         |o, l| o.paper_waypoint(l),
     )
 }
 
 /// Figure 3: `r_x / r_stationary` vs `l`, drunkard.
-pub fn fig3(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn fig3(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     range_ratio_figure(
         opts,
+        session,
         "fig3",
+        "drunkard",
         "Figure 3: r_x / r_stationary vs l (drunkard)",
         |o, l| o.paper_drunkard(l),
     )
@@ -101,7 +117,9 @@ pub fn fig3(opts: &RunOptions) -> Result<(), CoreError> {
 /// largest connected component (fraction of `n`) at `r90`, `r10`, `r0`.
 fn component_figure<F>(
     opts: &RunOptions,
+    session: &mut ObsSession,
     name: &str,
+    model_name: &str,
     title: &str,
     make_model: F,
 ) -> Result<(), CoreError>
@@ -109,9 +127,17 @@ where
     F: Fn(&RunOptions, f64) -> Result<AnyModel<2>, CoreError>,
 {
     banner(title);
+    session.note_model(model_name);
     let mut table = Table::new(&["l", "n", "at_r90", "at_r10", "at_r0"]);
-    for &l in &common::L_VALUES {
+    for (i, &l) in common::L_VALUES.iter().enumerate() {
         let n = nodes_for_side(l);
+        session.note_nodes(n);
+        session.progress(&format!(
+            "{name}: l={l} ({}/{})",
+            i + 1,
+            common::L_VALUES.len()
+        ));
+        session.span_enter(&format!("{name}/side"));
         let p = problem(opts, l, n, make_model(opts, l)?)?;
         let sol = p.solve()?;
         let pooled = sol.critical.pooled().map_err(CoreError::Sim)?;
@@ -125,6 +151,7 @@ where
             fmt(at(q.r10)),
             fmt(at(q.r0)),
         ]);
+        session.span_exit();
     }
     table.print();
     let path = table
@@ -137,31 +164,43 @@ where
 }
 
 /// Figure 4: largest-component fraction at `r90/r10/r0`, waypoint.
-pub fn fig4(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn fig4(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     component_figure(
         opts,
+        session,
         "fig4",
+        "waypoint",
         "Figure 4: avg largest component fraction at r90/r10/r0 (random waypoint)",
         |o, l| o.paper_waypoint(l),
     )
 }
 
 /// Figure 5: largest-component fraction at `r90/r10/r0`, drunkard.
-pub fn fig5(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn fig5(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     component_figure(
         opts,
+        session,
         "fig5",
+        "drunkard",
         "Figure 5: avg largest component fraction at r90/r10/r0 (drunkard)",
         |o, l| o.paper_drunkard(l),
     )
 }
 
 /// Figure 6: `rl90/rl75/rl50 ÷ r_stationary` vs `l`, random waypoint.
-pub fn fig6(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn fig6(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     banner("Figure 6: rl90/rl75/rl50 over r_stationary vs l (random waypoint)");
+    session.note_model("waypoint");
     let mut table = Table::new(&["l", "n", "r_stat", "rl90/rs", "rl75/rs", "rl50/rs"]);
-    for &l in &common::L_VALUES {
+    for (i, &l) in common::L_VALUES.iter().enumerate() {
         let n = nodes_for_side(l);
+        session.note_nodes(n);
+        session.progress(&format!(
+            "fig6: l={l} ({}/{})",
+            i + 1,
+            common::L_VALUES.len()
+        ));
+        session.span_enter("fig6/side");
         let rs = r_stationary(opts, l)?;
         let p = problem(opts, l, n, opts.paper_waypoint(l)?)?;
         let rl = p.ranges_for_component_fractions(&[0.9, 0.75, 0.5])?;
@@ -173,6 +212,7 @@ pub fn fig6(opts: &RunOptions) -> Result<(), CoreError> {
             fmt(rl[1].1 / rs),
             fmt(rl[2].1 / rs),
         ]);
+        session.span_exit();
     }
     table.print();
     let path = table
@@ -187,6 +227,7 @@ pub fn fig6(opts: &RunOptions) -> Result<(), CoreError> {
 /// The `l = 4096`, `n = 64` single-cell sweep shared by Figures 7–9.
 fn sweep_r100<F>(
     opts: &RunOptions,
+    session: &mut ObsSession,
     name: &str,
     title: &str,
     axis: &str,
@@ -197,11 +238,15 @@ where
     F: Fn(f64) -> Result<AnyModel<2>, CoreError>,
 {
     banner(title);
+    session.note_model("waypoint");
     let l = 4096.0;
     let n = 64;
+    session.note_nodes(n);
     let rs = r_stationary(opts, l)?;
     let mut table = Table::new(&[axis, "r100/rs", "r100_sd/rs"]);
-    for &x in points {
+    for (i, &x) in points.iter().enumerate() {
+        session.progress(&format!("{name}: {axis}={x} ({}/{})", i + 1, points.len()));
+        session.span_enter(&format!("{name}/point"));
         let p = problem(opts, l, n, make_model(x)?)?;
         let sol = p.solve()?;
         let pooled = sol.critical.pooled().map_err(CoreError::Sim)?;
@@ -210,6 +255,7 @@ where
             fmt(pooled.max() / rs),
             fmt(sol.ranges.r100.sample_std_dev() / rs),
         ]);
+        session.span_exit();
     }
     table.print();
     let path = table
@@ -223,7 +269,7 @@ where
 
 /// Figure 7: `r100/r_stationary` vs `p_stationary` (coarse 0..1 plus
 /// the paper's fine sweep of the 0.4–0.6 threshold window).
-pub fn fig7(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn fig7(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     let mut points: Vec<f64> = vec![0.0, 0.2, 0.8, 1.0];
     let mut p: f64 = 0.40;
     while p <= 0.601 {
@@ -235,6 +281,7 @@ pub fn fig7(opts: &RunOptions) -> Result<(), CoreError> {
     let pause = opts.scale_steps(2000);
     sweep_r100(
         opts,
+        session,
         "fig7",
         "Figure 7: r100/r_stationary vs p_stationary (random waypoint, l=4096, n=64)",
         "p_stat",
@@ -249,7 +296,7 @@ pub fn fig7(opts: &RunOptions) -> Result<(), CoreError> {
 
 /// Figure 8: `r100/r_stationary` vs `t_pause` (axis scaled with the
 /// run horizon; equals the paper's 0..10000 under `--paper`).
-pub fn fig8(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn fig8(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     let points: Vec<f64> = [0u32, 2000, 4000, 6000, 8000, 10_000]
         .iter()
         .map(|&t| opts.scale_steps(t) as f64)
@@ -257,6 +304,7 @@ pub fn fig8(opts: &RunOptions) -> Result<(), CoreError> {
     let l = 4096.0;
     sweep_r100(
         opts,
+        session,
         "fig8",
         "Figure 8: r100/r_stationary vs t_pause (random waypoint, l=4096, n=64)",
         "t_pause",
@@ -270,12 +318,13 @@ pub fn fig8(opts: &RunOptions) -> Result<(), CoreError> {
 }
 
 /// Figure 9: `r100/r_stationary` vs `v_max` (in units of `l`).
-pub fn fig9(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn fig9(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     let points = [0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
     let l = 4096.0;
     let pause = opts.scale_steps(2000);
     sweep_r100(
         opts,
+        session,
         "fig9",
         "Figure 9: r100/r_stationary vs v_max/l (random waypoint, l=4096, n=64)",
         "vmax/l",
@@ -289,13 +338,13 @@ pub fn fig9(opts: &RunOptions) -> Result<(), CoreError> {
 }
 
 /// Runs Figures 2–9 in order.
-pub fn all(opts: &RunOptions) -> Result<(), CoreError> {
-    fig2(opts)?;
-    fig3(opts)?;
-    fig4(opts)?;
-    fig5(opts)?;
-    fig6(opts)?;
-    fig7(opts)?;
-    fig8(opts)?;
-    fig9(opts)
+pub fn all(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
+    fig2(opts, session)?;
+    fig3(opts, session)?;
+    fig4(opts, session)?;
+    fig5(opts, session)?;
+    fig6(opts, session)?;
+    fig7(opts, session)?;
+    fig8(opts, session)?;
+    fig9(opts, session)
 }

@@ -12,6 +12,7 @@
 //! engine swaps from rebuild-and-relabel to delta-apply.
 
 use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
+use crate::obs::ObsSession;
 use manet_core::{CoreError, MtrmProblem};
 
 /// Range multiples of `r_stationary` swept per model. Shifted one
@@ -24,11 +25,16 @@ const MULTIPLIERS: [f64; 4] = [0.5, 0.75, 1.0, 1.25];
 const DEFAULT_MODELS: [&str; 4] = ["waypoint", "drunkard", "gauss-markov", "rpgm"];
 
 /// Runs the fixed-range sweep.
-pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     banner("X4 (extension): fixed-range simulator (connectivity, largest component)");
     let (l, n) = (1024.0, 32usize);
+    session.note_nodes(n);
+    session.span_enter("fixed/r_stationary");
     let rs = r_stationary(opts, l)?;
+    session.span_exit();
     let models = opts.resolve_models(&DEFAULT_MODELS, l)?;
+    let cells = models.len() * MULTIPLIERS.len();
+    let mut cell = 0usize;
 
     let mut table = Table::new(&[
         "model",
@@ -42,6 +48,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
         "avg_components",
     ]);
     for (name, model) in models {
+        session.note_model(&name);
         let mut builder = MtrmProblem::<2>::builder();
         builder
             .nodes(n)
@@ -56,7 +63,12 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
         let problem = builder.build()?;
         for mult in MULTIPLIERS {
             let r = rs * mult;
+            cell += 1;
+            session.note_range(r);
+            session.progress(&format!("fixed: {name} x{mult} ({cell}/{cells})"));
+            session.span_enter("fixed/cell");
             let report = problem.fixed_range_report(r)?;
+            session.span_exit();
             table.row(vec![
                 name.clone(),
                 fmt(mult),

@@ -28,6 +28,12 @@
 //!                    (registry names, e.g. gauss-markov,rpgm)
 //!   --nodes N        node-count override for trace (large-n runs on
 //!                    the incremental step kernel; default n = 32)
+//!   --metrics PATH   write metrics.json (run manifest + deterministic
+//!                    kernel counters + spans) to PATH
+//!   --profile        arm wall-clock span profiling; span table goes
+//!                    to stderr (and into --metrics when given)
+//!   --progress       coarse progress lines on stderr (sweep point
+//!                    i/N); stdout and artifacts stay byte-identical
 //! ```
 //!
 //! Without `--paper`, pause times and sweep axes that the paper ties to
@@ -37,6 +43,7 @@
 mod common;
 mod figures;
 mod fixed;
+mod obs;
 mod quantity;
 mod stationary;
 mod theory;
@@ -44,6 +51,7 @@ mod trace;
 mod uptime;
 
 use common::RunOptions;
+use obs::ObsSession;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,36 +69,38 @@ fn main() {
         }
     };
 
+    let mut session = ObsSession::new(&command, &opts);
+    let s = &mut session;
     let result = match command.as_str() {
-        "fig2" => figures::fig2(&opts),
-        "fig3" => figures::fig3(&opts),
-        "fig4" => figures::fig4(&opts),
-        "fig5" => figures::fig5(&opts),
-        "fig6" => figures::fig6(&opts),
-        "fig7" => figures::fig7(&opts),
-        "fig8" => figures::fig8(&opts),
-        "fig9" => figures::fig9(&opts),
-        "figs" => figures::all(&opts),
-        "stationary" => stationary::run(&opts),
-        "quantity" => quantity::run(&opts),
-        "uptime" => uptime::run(&opts),
-        "fixed" => fixed::run(&opts),
-        "trace" => trace::run(&opts),
+        "fig2" => figures::fig2(&opts, s),
+        "fig3" => figures::fig3(&opts, s),
+        "fig4" => figures::fig4(&opts, s),
+        "fig5" => figures::fig5(&opts, s),
+        "fig6" => figures::fig6(&opts, s),
+        "fig7" => figures::fig7(&opts, s),
+        "fig8" => figures::fig8(&opts, s),
+        "fig9" => figures::fig9(&opts, s),
+        "figs" => figures::all(&opts, s),
+        "stationary" => stationary::run(&opts, s),
+        "quantity" => quantity::run(&opts, s),
+        "uptime" => uptime::run(&opts, s),
+        "fixed" => fixed::run(&opts, s),
+        "trace" => trace::run(&opts, s),
         "theory" => {
             let which = args[1..]
                 .iter()
                 .find(|a| matches!(a.as_str(), "t1" | "t2" | "t3" | "t4" | "t5" | "all"))
                 .map(String::as_str)
                 .unwrap_or("all");
-            theory::run(which, &opts)
+            theory::run(which, &opts, s)
         }
-        "all" => stationary::run(&opts)
-            .and_then(|_| figures::all(&opts))
-            .and_then(|_| theory::run("all", &opts))
-            .and_then(|_| quantity::run(&opts))
-            .and_then(|_| uptime::run(&opts))
-            .and_then(|_| fixed::run(&opts))
-            .and_then(|_| trace::run(&opts)),
+        "all" => stationary::run(&opts, s)
+            .and_then(|_| figures::all(&opts, s))
+            .and_then(|_| theory::run("all", &opts, s))
+            .and_then(|_| quantity::run(&opts, s))
+            .and_then(|_| uptime::run(&opts, s))
+            .and_then(|_| fixed::run(&opts, s))
+            .and_then(|_| trace::run(&opts, s)),
         other => {
             eprintln!("error: unknown command `{other}`");
             print_usage();
@@ -98,6 +108,7 @@ fn main() {
         }
     };
 
+    let result = result.and_then(|()| session.finish());
     if let Err(e) = result {
         eprintln!("experiment failed: {e}");
         std::process::exit(1);
@@ -109,6 +120,7 @@ fn print_usage() {
         "manet-repro: reproduce Santi & Blough (DSN 2002)\n\n\
          usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|fixed|trace|all> [options]\n\
          options: --quick | --paper | --iterations N | --steps N | --placements N\n\
-         \x20        --seed N | --threads N | --out DIR | --models A,B,.. | --nodes N (trace)"
+         \x20        --seed N | --threads N | --out DIR | --models A,B,.. | --nodes N (trace)\n\
+         \x20        --metrics PATH | --profile | --progress"
     );
 }

@@ -12,6 +12,7 @@
 //! with the model family.
 
 use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
+use crate::obs::ObsSession;
 use manet_core::mobility::{Drunkard, RandomWaypoint};
 use manet_core::sim::quantity::{mean_quantity, measure_mobility_quantity};
 use manet_core::sim::RangeQuantiles;
@@ -23,10 +24,13 @@ use manet_core::{AnyModel, CoreError, MtrmProblem};
 /// paper scale plus parameter variants (stationary fractions, no-pause,
 /// always-busy) that spread the quantity axis. With `--models`, sweeps
 /// exactly the requested registry names.
-pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     banner("X1 (extension): quantity of mobility vs r100 across models");
     let (l, n) = (1024.0, 32usize);
+    session.note_nodes(n);
+    session.span_enter("quantity/r_stationary");
     let rs = r_stationary(opts, l)?;
+    session.span_exit();
     let step = 0.01 * l;
     let pause = opts.scale_steps(2000);
 
@@ -64,7 +68,11 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
         "never_moved",
         "r100/rs",
     ]);
-    for (name, model) in cases {
+    let total = cases.len();
+    for (i, (name, model)) in cases.into_iter().enumerate() {
+        session.note_model(&name);
+        session.progress(&format!("quantity: {name} ({}/{total})", i + 1));
+        session.span_enter("quantity/case");
         let problem = MtrmProblem::<2>::builder()
             .nodes(n)
             .side(l)
@@ -88,6 +96,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
             fmt(quantity.never_moved_fraction),
             fmt(q.r100 / rs),
         ]);
+        session.span_exit();
     }
     table.print();
     println!(

@@ -2,13 +2,15 @@
 //! mobile ratio in Figures 2–9.
 
 use crate::common::{self, banner, fmt, nodes_for_side, RunOptions, Table};
+use crate::obs::ObsSession;
 use manet_core::{CoreError, MtrProblem};
 
 /// Prints the stationary critical-range distribution for each paper
 /// system size, with `r_stationary` at several quantiles and the
 /// theory baselines (worst case `l√2`).
-pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     banner("S1: stationary critical transmitting range calibration (d = 2)");
+    session.note_model("stationary");
     let mut table = Table::new(&[
         "l",
         "n",
@@ -20,8 +22,15 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
         "worst_case",
         "penrose@r.90",
     ]);
-    for &l in &common::L_VALUES {
+    for (i, &l) in common::L_VALUES.iter().enumerate() {
         let n = nodes_for_side(l);
+        session.note_nodes(n);
+        session.progress(&format!(
+            "stationary: l={l} ({}/{})",
+            i + 1,
+            common::L_VALUES.len()
+        ));
+        session.span_enter("stationary/side");
         let problem = MtrProblem::<2>::new(n, l)?;
         let analysis = problem.stationary_analysis(opts.placements, opts.seed ^ 0x5747)?;
         let ctr = analysis.ctr_distribution();
@@ -45,6 +54,8 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
             // the boundary effects the paper's sparse formulation keeps.
             fmt(problem.penrose_connectivity_estimate(r90)?),
         ]);
+        session.note_range(r90);
+        session.span_exit();
     }
     table.print();
     let path = table

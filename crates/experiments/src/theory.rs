@@ -1,24 +1,36 @@
 //! T1–T5: numerical validation of the Section 3 theory.
 
 use crate::common::{banner, fmt, RunOptions, Table};
+use crate::obs::ObsSession;
 use manet_core::{occupancy, one_dim, stats, CoreError};
 use occupancy::{montecarlo, patterns, LimitLaw, Occupancy, OccupancyDomain};
 use rand::{RngExt, SeedableRng};
 
-/// Dispatches the requested theory experiment(s).
-pub fn run(which: &str, opts: &RunOptions) -> Result<(), CoreError> {
+/// Dispatches the requested theory experiment(s), timing each under a
+/// `theory/<tN>` span and reporting coarse progress.
+pub fn run(which: &str, opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
+    let timed = |name: &str,
+                 session: &mut ObsSession,
+                 f: fn(&RunOptions) -> Result<(), CoreError>|
+     -> Result<(), CoreError> {
+        session.progress(&format!("theory: {name}"));
+        session.span_enter(&format!("theory/{name}"));
+        let out = f(opts);
+        session.span_exit();
+        out
+    };
     match which {
-        "t1" => t1(opts),
-        "t2" => t2(opts),
-        "t3" => t3(opts),
-        "t4" => t4(opts),
-        "t5" => t5(opts),
+        "t1" => timed("t1", session, t1),
+        "t2" => timed("t2", session, t2),
+        "t3" => timed("t3", session, t3),
+        "t4" => timed("t4", session, t4),
+        "t5" => timed("t5", session, t5),
         "all" | "" => {
-            t1(opts)?;
-            t2(opts)?;
-            t3(opts)?;
-            t4(opts)?;
-            t5(opts)
+            timed("t1", session, t1)?;
+            timed("t2", session, t2)?;
+            timed("t3", session, t3)?;
+            timed("t4", session, t4)?;
+            timed("t5", session, t5)
         }
         other => Err(CoreError::Invalid {
             reason: format!("unknown theory experiment `{other}` (t1..t5|all)"),

@@ -11,6 +11,7 @@
 //! `trace.json`, the headline numbers to `trace.csv`.
 
 use crate::common::{banner, fmt, r_stationary_for, RunOptions, Table};
+use crate::obs::ObsSession;
 use manet_core::trace::TraceSummary;
 use manet_core::{CoreError, MtrmProblem};
 
@@ -43,14 +44,18 @@ struct TraceArtifact {
 }
 
 /// Runs the temporal-trace sweep.
-pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     banner("X3 (extension): temporal connectivity (link lifetimes, outages, repair)");
     // `--nodes` scales the cell beyond the paper's n = 32 — the
     // large-n smoke for the incremental step kernel; `r_stationary`
     // tracks the override so the range multiples stay meaningful.
     let (l, n) = (1024.0, opts.nodes.unwrap_or(32));
+    session.note_nodes(n);
+    session.span_enter("trace/r_stationary");
     let rs = r_stationary_for(opts, l, n)?;
+    session.span_exit();
     let models = opts.resolve_models(&DEFAULT_MODELS, l)?;
+    let cells = models.len() * MULTIPLIERS.len();
 
     let mut table = Table::new(&[
         "model",
@@ -67,7 +72,8 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
         "peak_churn",
     ]);
     let mut rows = Vec::new();
-    for (name, model) in models {
+    for (m_idx, (name, model)) in models.into_iter().enumerate() {
+        session.note_model(&name);
         let mut builder = MtrmProblem::<2>::builder();
         builder
             .nodes(n)
@@ -80,9 +86,17 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
             builder.threads(t);
         }
         let problem = builder.build()?;
-        for mult in MULTIPLIERS {
+        for (r_idx, mult) in MULTIPLIERS.into_iter().enumerate() {
             let r = rs * mult;
+            session.note_range(r);
+            session.progress(&format!(
+                "trace: {name} x{mult} ({}/{cells})",
+                m_idx * MULTIPLIERS.len() + r_idx + 1
+            ));
+            session.span_enter("trace/cell");
             let summary = problem.temporal_trace(r)?;
+            session.span_exit();
+            session.record_counters(&format!("{name}@x{mult}"), &summary.kernel);
             let opt = |v: Option<f64>| v.map(fmt).unwrap_or_else(|| "-".into());
             table.row(vec![
                 name.clone(),

@@ -10,6 +10,7 @@
 //! *how long* is a crew out of contact when it loses the network?
 
 use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
+use crate::obs::ObsSession;
 use manet_core::sim::RangeQuantiles;
 use manet_core::{CoreError, MtrmProblem};
 
@@ -19,11 +20,15 @@ use manet_core::{CoreError, MtrmProblem};
 const DEFAULT_MODELS: [&str; 2] = ["waypoint", "drunkard"];
 
 /// Runs the outage-structure table.
-pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
+pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     banner("X2 (extension): outage structure (MTBF/MTTR) at the dependability tiers");
     let (l, n) = (4096.0, 64usize);
+    session.note_nodes(n);
+    session.span_enter("uptime/r_stationary");
     let rs = r_stationary(opts, l)?;
+    session.span_exit();
     let models = opts.resolve_models(&DEFAULT_MODELS, l)?;
+    let total = models.len();
     let mut table = Table::new(&[
         "model",
         "tier",
@@ -34,7 +39,10 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
         "worst_outage",
         "fails/iter",
     ]);
-    for (name, model) in models {
+    for (i, (name, model)) in models.into_iter().enumerate() {
+        session.note_model(&name);
+        session.progress(&format!("uptime: {name} ({}/{total})", i + 1));
+        session.span_enter("uptime/model");
         let problem = MtrmProblem::<2>::builder()
             .nodes(n)
             .side(l)
@@ -47,6 +55,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
         let pooled = sol.critical.pooled().map_err(CoreError::Sim)?;
         let q = RangeQuantiles::from_series(&pooled).map_err(CoreError::Sim)?;
         for (tier, r) in [("r100", q.r100), ("r90", q.r90), ("r10", q.r10)] {
+            session.note_range(r);
             let up = problem.uptime_at(r)?;
             table.row(vec![
                 name.clone(),
@@ -59,6 +68,7 @@ pub fn run(opts: &RunOptions) -> Result<(), CoreError> {
                 fmt(up.failures_per_iteration),
             ]);
         }
+        session.span_exit();
     }
     table.print();
     println!(

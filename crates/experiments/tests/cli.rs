@@ -286,6 +286,141 @@ fn fixed_and_uptime_match_goldens_across_thread_counts() {
     }
 }
 
+/// Blanks the value following `start_pat` (up to `end`) so manifest
+/// fields that legitimately vary between runs — the recorded worker
+/// thread count and the build-profile `features` provenance — don't
+/// break byte comparison. Everything else must match exactly.
+fn blank_manifest_field(s: &str, start_pat: &str, end: char) -> String {
+    match s.find(start_pat) {
+        Some(i) => {
+            let vstart = i + start_pat.len();
+            let vend = vstart + s[vstart..].find(end).unwrap();
+            format!("{}{}", &s[..vstart], &s[vend..])
+        }
+        None => s.to_string(),
+    }
+}
+
+fn normalize_metrics(json: &str) -> String {
+    let s = blank_manifest_field(json, "\"threads\":", ',');
+    blank_manifest_field(&s, "\"features\":[", ']')
+}
+
+/// The deterministic telemetry artifact: `--metrics` writes a
+/// manifest + counters JSON that reproduces the committed golden
+/// byte-for-byte (modulo the recorded thread count and build-profile
+/// provenance, which legitimately vary) at any thread count. The
+/// counters themselves are `u64` event totals merged commutatively
+/// over iterations — the byte identity below is the proof.
+#[test]
+fn metrics_artifact_matches_golden_across_thread_counts() {
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens/trace_metrics.json");
+    let golden = std::fs::read_to_string(&golden_path).unwrap();
+    for threads in ["1", "3"] {
+        let dir = temp_out(&format!("metrics_t{threads}"));
+        let metrics_path = dir.join("metrics.json");
+        let out = repro()
+            .args([
+                "trace",
+                "--iterations",
+                "2",
+                "--steps",
+                "30",
+                "--placements",
+                "30",
+                "--seed",
+                "20020623",
+                "--threads",
+                threads,
+                "--models",
+                "gauss-markov,rpgm",
+                "--metrics",
+            ])
+            .arg(&metrics_path)
+            .arg("--out")
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let got = std::fs::read_to_string(&metrics_path).unwrap();
+        assert_eq!(
+            normalize_metrics(&got),
+            normalize_metrics(&golden),
+            "metrics.json diverged from tests/goldens at --threads {threads}"
+        );
+        // Un-normalized, the artifact records what was actually asked.
+        assert!(got.contains(&format!("\"threads\":{threads}")));
+        // Both planes are present; the span plane is empty without
+        // `--profile` (it is the nondeterministic one).
+        assert!(got.contains("\"counters\":["));
+        assert!(got.ends_with("\"spans\":[]}"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// `--progress` is a stderr-only affordance: it must not move a byte
+/// of stdout or of any artifact.
+#[test]
+fn progress_lines_stay_on_stderr_and_leave_artifacts_untouched() {
+    let base = [
+        "fixed",
+        "--iterations",
+        "2",
+        "--steps",
+        "20",
+        "--placements",
+        "30",
+        "--seed",
+        "20020623",
+        "--threads",
+        "1",
+        "--models",
+        "waypoint",
+    ];
+    let mut artifacts = Vec::new();
+    for progress in [false, true] {
+        let dir = temp_out(&format!("progress_{progress}"));
+        let mut cmd = repro();
+        cmd.args(base);
+        if progress {
+            cmd.arg("--progress");
+        }
+        let out = cmd.arg("--out").arg(&dir).output().unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert_eq!(
+            stderr.contains("progress:"),
+            progress,
+            "progress lines present iff --progress was given; stderr: {stderr}"
+        );
+        // The `wrote <path>` lines embed the per-run temp dir; drop
+        // them before comparing the rest of stdout byte-for-byte.
+        let stdout: String = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("wrote "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        artifacts.push((
+            stdout,
+            std::fs::read_to_string(dir.join("fixed.csv")).unwrap(),
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+    assert_eq!(
+        artifacts[0], artifacts[1],
+        "--progress must not change stdout or artifacts"
+    );
+}
+
 /// The zoo's golden: the trace sweep over the two *new* model families
 /// (`gauss-markov`, `rpgm`) at a pinned configuration reproduces
 /// `tests/goldens/trace_zoo.csv` byte-for-byte at any thread count —

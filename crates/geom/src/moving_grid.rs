@@ -19,6 +19,7 @@
 
 use crate::cells::CellLayout;
 use crate::{GeomError, Point};
+use manet_obs::GridMetrics;
 
 /// A per-cell bucket index over `[0, side]^D`, updated in place as its
 /// points move.
@@ -51,6 +52,9 @@ pub struct MovingCellGrid<const D: usize> {
     node_cell: Vec<u32>,
     /// Current positions (the *new* positions after an `update`).
     points: Vec<Point<D>>,
+    /// Deterministic commit counters (see [`GridMetrics`]); the build
+    /// itself is not counted, only subsequent commits.
+    metrics: GridMetrics,
 }
 
 impl<const D: usize> MovingCellGrid<D> {
@@ -70,6 +74,7 @@ impl<const D: usize> MovingCellGrid<D> {
             buckets: vec![Vec::new(); layout.n_cells::<D>()],
             node_cell: Vec::with_capacity(points.len()),
             points: points.to_vec(),
+            metrics: GridMetrics::default(),
         };
         for (i, p) in points.iter().enumerate() {
             let c = layout.cell_of(p);
@@ -104,6 +109,15 @@ impl<const D: usize> MovingCellGrid<D> {
     /// The current positions (after the most recent update).
     pub fn points(&self) -> &[Point<D>] {
         &self.points
+    }
+
+    /// Deterministic counters accumulated over every commit since the
+    /// build ([`MovingCellGrid::relocate`] and
+    /// [`MovingCellGrid::reset`] calls; the build itself counts as
+    /// zero). Pure event counts — identical for identical update
+    /// histories regardless of timing or thread placement.
+    pub fn metrics(&self) -> &GridMetrics {
+        &self.metrics
     }
 
     /// Measures the next step without mutating the index: appends the
@@ -159,12 +173,16 @@ impl<const D: usize> MovingCellGrid<D> {
             self.points.len(),
             "node count changed between updates"
         );
+        self.metrics.relocations += 1;
+        self.metrics.nodes_moved += moved.len() as u64;
         for &iu in moved {
             let i = iu as usize;
             let new_p = new_points[i];
             let c = self.layout.cell_of(&new_p);
             let old_c = self.node_cell[i] as usize;
             if c != old_c {
+                self.metrics.boundary_crossings += 1;
+                self.metrics.cells_touched += 2; // source and destination buckets
                 let bucket = &mut self.buckets[old_c];
                 // Order-preserving removal keeps bucket iteration
                 // stable (see module docs).
@@ -211,9 +229,13 @@ impl<const D: usize> MovingCellGrid<D> {
             self.points.len(),
             "node count changed between updates"
         );
+        self.metrics.resets += 1;
         // Clear only the buckets that hold someone (<= n of them).
         for &c in &self.node_cell {
-            self.buckets[c as usize].clear();
+            if !self.buckets[c as usize].is_empty() {
+                self.metrics.cells_touched += 1;
+                self.buckets[c as usize].clear();
+            }
         }
         for (i, p) in new_points.iter().enumerate() {
             let c = self.layout.cell_of(p);
@@ -408,6 +430,37 @@ mod tests {
         let mut grid = MovingCellGrid::build(&pts, 10.0, 1.0).unwrap();
         grid.node_cell.swap(0, 1); // desync recorded cells from positions
         grid.relocate(&pts, &[]);
+    }
+
+    #[test]
+    fn metrics_count_commits_crossings_and_resets() {
+        let mut pts = vec![
+            Point::new([0.5, 0.5]),
+            Point::new([0.6, 0.6]),
+            Point::new([9.5, 9.5]),
+        ];
+        let mut grid = MovingCellGrid::build(&pts, 10.0, 1.0).unwrap();
+        assert_eq!(*grid.metrics(), GridMetrics::default());
+
+        // Node 0 moves within its cell, node 2 crosses a boundary.
+        pts[0] = Point::new([0.7, 0.7]);
+        pts[2] = Point::new([5.5, 5.5]);
+        let mut moved = Vec::new();
+        grid.update(&pts, &mut moved);
+        let m = *grid.metrics();
+        assert_eq!(m.relocations, 1);
+        assert_eq!(m.nodes_moved, 2);
+        assert_eq!(m.boundary_crossings, 1);
+        assert_eq!(m.cells_touched, 2);
+        assert_eq!(m.resets, 0);
+
+        // A reset touches each occupied bucket exactly once: nodes 0
+        // and 1 share a cell, node 2 has its own.
+        grid.reset(&pts);
+        let m = *grid.metrics();
+        assert_eq!(m.resets, 1);
+        assert_eq!(m.cells_touched, 2 + 2);
+        assert_eq!(m.relocations, 1, "reset is not a relocation");
     }
 
     #[test]

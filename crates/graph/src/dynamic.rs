@@ -43,6 +43,7 @@
 
 use crate::adjacency::AdjacencyList;
 use manet_geom::{MovingCellGrid, Point};
+use manet_obs::{GridMetrics, StepKernelMetrics};
 
 /// The symmetric difference between two graph snapshots on the same
 /// node set.
@@ -224,9 +225,10 @@ pub struct DynamicGraph<const D: usize> {
     /// swapped wholesale with the live rows so both row sets' capacity
     /// is reused on alternating rescans.
     next_rows: Vec<Vec<u32>>,
-    incremental_steps: u64,
-    bulk_rescan_steps: u64,
-    fallback_steps: u64,
+    /// Deterministic per-path counters (see [`StepKernelMetrics`]):
+    /// which path served each step, rescan candidate volumes, and
+    /// edge-event magnitudes. The initial build is not counted.
+    metrics: StepKernelMetrics,
 }
 
 /// Moved-set fraction at and above which [`DynamicGraph::step`]
@@ -284,9 +286,7 @@ impl<const D: usize> DynamicGraph<D> {
             matched_stamp: vec![0; points.len()],
             scan_id: 0,
             next_rows: Vec::new(),
-            incremental_steps: 0,
-            bulk_rescan_steps: 0,
-            fallback_steps: 0,
+            metrics: StepKernelMetrics::default(),
         }
     }
 
@@ -350,21 +350,35 @@ impl<const D: usize> DynamicGraph<D> {
 
     /// Steps taken through the per-moved-node incremental kernel.
     pub fn incremental_steps(&self) -> u64 {
-        self.incremental_steps
+        self.metrics.incremental_steps
     }
 
     /// Steps that rescanned the whole snapshot through the grid in one
     /// allocation-free bulk pass (taken when at least
     /// [`BULK_RESCAN_FRACTION`] of the nodes moved).
     pub fn bulk_rescan_steps(&self) -> u64 {
-        self.bulk_rescan_steps
+        self.metrics.bulk_rescan_steps
     }
 
     /// Steps that took the full rebuild-and-diff oracle path instead:
     /// grid construction was impossible (degenerate side/range) or a
     /// declared displacement bound was violated.
     pub fn fallback_steps(&self) -> u64 {
-        self.fallback_steps
+        self.metrics.fallback_steps
+    }
+
+    /// The full deterministic counter set accumulated since
+    /// construction: path decisions per step, moved-set and rescan
+    /// candidate volumes, and edge-event magnitudes. Pure event counts
+    /// — a function of the position history alone.
+    pub fn metrics(&self) -> &StepKernelMetrics {
+        &self.metrics
+    }
+
+    /// The internal moving grid's commit counters, when a grid exists
+    /// (`None` on the degenerate side/range rebuild-every-step path).
+    pub fn grid_metrics(&self) -> Option<&GridMetrics> {
+        self.grid.as_ref().map(MovingCellGrid::metrics)
     }
 
     /// Advances to the next step's positions; read the delta off
@@ -390,6 +404,9 @@ impl<const D: usize> DynamicGraph<D> {
             "node count changed between steps"
         );
         self.step_dispatch(points);
+        self.metrics.steps += 1;
+        self.metrics.edges_added += self.diff.added.len() as u64;
+        self.metrics.edges_removed += self.diff.removed.len() as u64;
         #[cfg(feature = "strict-invariants")]
         self.debug_validate();
     }
@@ -402,6 +419,7 @@ impl<const D: usize> DynamicGraph<D> {
             return;
         };
         let max_disp_sq = grid.measure(points, &mut self.moved);
+        self.metrics.moved_nodes += self.moved.len() as u64;
         if let Some(bound_sq) = self.bound_sq {
             if max_disp_sq > bound_sq {
                 // Contract violation: the model exceeded its declared
@@ -496,7 +514,7 @@ impl<const D: usize> DynamicGraph<D> {
         let next = AdjacencyList::from_points(points, self.side, self.range);
         self.graph.diff_into(&next, &mut self.diff);
         self.graph = next;
-        self.fallback_steps += 1;
+        self.metrics.fallback_steps += 1;
     }
 
     /// The per-moved-node kernel: the grid is already synced to the
@@ -530,6 +548,7 @@ impl<const D: usize> DynamicGraph<D> {
         let old_stamp = &mut self.old_stamp;
         let matched_stamp = &mut self.matched_stamp;
         let graph = &self.graph;
+        let mut candidates: u64 = 0;
         for &a_u in &self.moved {
             let a = a_u as usize;
             let pa = pts[a];
@@ -551,6 +570,7 @@ impl<const D: usize> DynamicGraph<D> {
             // Candidate pass: every in-range partner is either a
             // surviving old neighbor (mark it matched) or a new edge.
             grid.for_each_candidate(&pa, |b_u| {
+                candidates += 1;
                 let b = b_u as usize;
                 if b_u == a_u || (moved_stamp[b] == epoch && b_u < a_u) {
                     return;
@@ -586,7 +606,8 @@ impl<const D: usize> DynamicGraph<D> {
             let (a, b) = self.diff.added[k];
             self.graph.insert_edge_sorted(a as usize, b as usize);
         }
-        self.incremental_steps += 1;
+        self.metrics.moved_rescan_candidates += candidates;
+        self.metrics.incremental_steps += 1;
     }
 
     /// The bulk-rescan path: most nodes moved, so re-derive the whole
@@ -609,9 +630,11 @@ impl<const D: usize> DynamicGraph<D> {
         }
         let next = &mut self.next_rows;
         let mut pairs = 0usize;
+        let mut candidates: u64 = 0;
         for a in 0..n {
             let pa = pts[a];
             grid.for_each_candidate(&pa, |b_u| {
+                candidates += 1;
                 let b = b_u as usize;
                 if b <= a {
                     return;
@@ -632,7 +655,8 @@ impl<const D: usize> DynamicGraph<D> {
             merge_row_diff(self.graph.neighbors(a), row, a as u32, &mut self.diff);
         }
         self.graph.swap_neighbor_rows(&mut self.next_rows, pairs);
-        self.bulk_rescan_steps += 1;
+        self.metrics.bulk_rescan_candidates += candidates;
+        self.metrics.bulk_rescan_steps += 1;
     }
 }
 
@@ -869,6 +893,54 @@ mod tests {
         // The monotonicity assertion only has teeth if per-step churn
         // actually fluctuated below its high-water mark.
         assert!(churn_varied, "trajectory produced constant churn");
+    }
+
+    #[test]
+    fn metrics_partition_steps_and_match_diff_totals() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(321);
+        let side = 80.0;
+        let r = 8.0;
+        let mut pts: Vec<Point<2>> = (0..50)
+            .map(|_| Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)]))
+            .collect();
+        let mut dg = DynamicGraph::new(&pts, side, r);
+        assert_eq!(*dg.metrics(), StepKernelMetrics::default());
+        let (mut oracle_added, mut oracle_removed, mut oracle_moved) = (0u64, 0u64, 0u64);
+        for step in 0..40 {
+            let p_pause = if step % 4 == 3 { 0.0 } else { 0.8 };
+            let mut moved_now = 0u64;
+            for p in &mut pts {
+                if rng.random_range(0.0..1.0) < p_pause {
+                    continue;
+                }
+                let q = *p + Point::new([rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)]);
+                let q = Point::new([q.coord(0).clamp(0.0, side), q.coord(1).clamp(0.0, side)]);
+                if q != *p {
+                    moved_now += 1;
+                    *p = q;
+                }
+            }
+            dg.step(&pts);
+            oracle_moved += moved_now;
+            oracle_added += dg.last_diff().added.len() as u64;
+            oracle_removed += dg.last_diff().removed.len() as u64;
+        }
+        let m = *dg.metrics();
+        assert_eq!(m.steps, 40);
+        assert_eq!(
+            m.incremental_steps + m.bulk_rescan_steps + m.fallback_steps,
+            m.steps,
+            "every step commits through exactly one path"
+        );
+        assert!(m.incremental_steps > 0 && m.bulk_rescan_steps > 0);
+        assert_eq!(m.moved_nodes, oracle_moved);
+        assert_eq!(m.edges_added, oracle_added);
+        assert_eq!(m.edges_removed, oracle_removed);
+        assert!(m.moved_rescan_candidates > 0 && m.bulk_rescan_candidates > 0);
+        // The grid saw one commit per step, all nodes accounted for.
+        let g = dg.grid_metrics().copied().unwrap();
+        assert_eq!(g.relocations, m.incremental_steps);
+        assert_eq!(g.resets, m.bulk_rescan_steps);
     }
 
     #[test]

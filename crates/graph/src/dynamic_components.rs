@@ -41,6 +41,7 @@
 
 use crate::adjacency::AdjacencyList;
 use crate::dynamic::EdgeDiff;
+use manet_obs::ComponentMetrics;
 use std::collections::BTreeMap;
 
 /// Churn fraction (relative to the node count) above which
@@ -110,8 +111,9 @@ pub struct DynamicComponents {
     tree_nodes: Vec<u32>,
     /// Scratch: offsets into `tree_nodes`, one past each tree's end.
     tree_ends: Vec<u32>,
-    partial_rebuilds: u64,
-    full_rebuilds: u64,
+    /// Deterministic path counters (see [`ComponentMetrics`]); only
+    /// [`DynamicComponents::apply`] counts, constructors do not.
+    metrics: ComponentMetrics,
 }
 
 impl DynamicComponents {
@@ -139,8 +141,7 @@ impl DynamicComponents {
             stack: Vec::new(),
             tree_nodes: Vec::new(),
             tree_ends: Vec::new(),
-            partial_rebuilds: 0,
-            full_rebuilds: 0,
+            metrics: ComponentMetrics::default(),
         }
     }
 
@@ -226,12 +227,21 @@ impl DynamicComponents {
 
     /// Partial (epoch) rebuilds performed so far — the deletion path.
     pub fn partial_rebuilds(&self) -> u64 {
-        self.partial_rebuilds
+        self.metrics.partial_rebuilds
     }
 
     /// Amortized full rebuilds performed so far — the high-churn path.
     pub fn full_rebuilds(&self) -> u64 {
-        self.full_rebuilds
+        self.metrics.full_rebuilds
+    }
+
+    /// The full deterministic counter set accumulated over every
+    /// [`DynamicComponents::apply`]: per-path rebuild counts, actual
+    /// DSU merges, and affected-region sizes. Constructors (including
+    /// [`DynamicComponents::from_graph`]'s initial relabel) count as
+    /// zero.
+    pub fn metrics(&self) -> &ComponentMetrics {
+        &self.metrics
     }
 
     /// Applies one step's edge delta. `graph` must be the snapshot the
@@ -258,11 +268,13 @@ impl DynamicComponents {
     /// the strict-invariants checker runs once after whichever path
     /// ran.
     fn apply_dispatch(&mut self, diff: &EdgeDiff, graph: &AdjacencyList) {
+        self.metrics.applies += 1;
         if !diff.removed.is_empty() {
             let threshold = FULL_REBUILD_CHURN_FRACTION * self.parent.len() as f64;
             if diff.churn() as f64 >= threshold {
                 self.relabel(graph);
-                self.full_rebuilds += 1;
+                self.metrics.full_rebuilds += 1;
+                self.metrics.full_nodes_relabeled += graph.len() as u64;
                 return;
             }
             self.partial_rebuild(&diff.removed, graph);
@@ -367,6 +379,7 @@ impl DynamicComponents {
         if ra == rb {
             return;
         }
+        self.metrics.dsu_merges += 1;
         if self.size[ra] < self.size[rb] {
             core::mem::swap(&mut ra, &mut rb);
         }
@@ -454,7 +467,8 @@ impl DynamicComponents {
             start = end;
         }
         self.tree_ends = tree_ends;
-        self.partial_rebuilds += 1;
+        self.metrics.partial_rebuilds += 1;
+        self.metrics.partial_nodes_relabeled += self.tree_nodes.len() as u64;
     }
 
     /// Full relabeling of `graph` (the amortized high-churn path and
@@ -665,6 +679,59 @@ mod tests {
         }
         assert!(dc.partial_rebuilds() > 0, "deletion path never exercised");
         assert!(dc.full_rebuilds() > 0, "high-churn path never exercised");
+    }
+
+    #[test]
+    fn metrics_count_merges_rebuilds_and_affected_regions() {
+        // Same 8-node path split as `deletion_splits_via_partial_rebuild`:
+        // the BFS from the removed edge's endpoints relabels all 8 nodes.
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let mut moved = xs.clone();
+        for x in &mut moved[4..] {
+            *x += 0.5;
+        }
+        let old = AdjacencyList::from_points_brute_force(&pts1(&xs), 1.1);
+        let new = AdjacencyList::from_points_brute_force(&pts1(&moved), 1.1);
+        let mut dc = DynamicComponents::from_graph(&old);
+        assert_eq!(
+            *dc.metrics(),
+            ComponentMetrics::default(),
+            "constructors must not count"
+        );
+        dc.apply(&old.diff(&new), &new);
+        let m = *dc.metrics();
+        assert_eq!(m.applies, 1);
+        assert_eq!(m.partial_rebuilds, 1);
+        assert_eq!(m.partial_nodes_relabeled, 8);
+        assert_eq!((m.full_rebuilds, m.full_nodes_relabeled), (0, 0));
+        assert_eq!(m.dsu_merges, 0);
+
+        // Rejoining the path is pure insertion: one merge, no rebuild.
+        dc.apply(&new.diff(&old), &old);
+        let m = *dc.metrics();
+        assert_eq!(m.applies, 2);
+        assert_eq!(m.dsu_merges, 1);
+        assert_eq!(m.partial_rebuilds, 1);
+
+        // A redundant edge (both endpoints already joined) is not a merge.
+        let extra = EdgeDiff {
+            added: vec![(0, 2)],
+            removed: Vec::new(),
+        };
+        let mut with_extra = old.clone();
+        with_extra.insert_edge_sorted(0, 2);
+        dc.apply(&extra, &with_extra);
+        assert_eq!(dc.metrics().dsu_merges, 1, "same-root union is not a merge");
+
+        // High churn routes to the full relabel and counts every node.
+        let scattered = AdjacencyList::from_points_brute_force(
+            &pts1(&[0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0]),
+            1.1,
+        );
+        dc.apply(&with_extra.diff(&scattered), &scattered);
+        let m = *dc.metrics();
+        assert_eq!(m.full_rebuilds, 1);
+        assert_eq!(m.full_nodes_relabeled, 8);
     }
 
     #[test]

@@ -311,7 +311,12 @@ use manet_mobility::{ModelRegistry, PaperScale};
 /// kernel, asserting at every step that the held diff and the
 /// maintained snapshot are bit-identical to rebuilding via
 /// `AdjacencyList::from_points` and diffing the two full snapshots.
-/// Returns the kernel's (incremental, bulk, fallback) step counters.
+/// Alongside the structural oracle, the kernel's deterministic
+/// counters (`dg.metrics()`) are cross-checked against brute-force
+/// recomputation: edge-event totals against summed oracle diff sizes,
+/// the moved-node total against a bitwise position comparison, and the
+/// step count against the path partition. Returns the kernel's
+/// (incremental, bulk, fallback) step counters.
 fn replay_kernel_against_oracle(
     model_name: &str,
     n: usize,
@@ -335,11 +340,23 @@ fn replay_kernel_against_oracle(
     prop_assert_eq!(dg.graph(), &oracle, "{}: initial snapshot", model_name);
 
     let mut expected = EdgeDiff::default();
+    let mut brute_added = 0u64;
+    let mut brute_removed = 0u64;
+    let mut brute_moved = 0u64;
+    let mut previous = positions.clone();
     for step in 0..steps {
         model.step(&mut positions, &region, &mut rng);
+        brute_moved += positions
+            .iter()
+            .zip(&previous)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        previous.copy_from_slice(&positions);
         dg.step(&positions);
         let next = AdjacencyList::from_points(&positions, side, range);
         oracle.diff_into(&next, &mut expected);
+        brute_added += expected.added.len() as u64;
+        brute_removed += expected.removed.len() as u64;
         prop_assert_eq!(
             dg.last_diff(),
             &expected,
@@ -356,11 +373,34 @@ fn replay_kernel_against_oracle(
         );
         oracle = next;
     }
-    Ok((
-        dg.incremental_steps(),
-        dg.bulk_rescan_steps(),
-        dg.fallback_steps(),
-    ))
+
+    let m = *dg.metrics();
+    prop_assert_eq!(m.steps, steps as u64, "{}: step counter", model_name);
+    prop_assert_eq!(
+        m.incremental_steps + m.bulk_rescan_steps + m.fallback_steps,
+        m.steps,
+        "{}: every step commits through exactly one path",
+        model_name
+    );
+    prop_assert_eq!(
+        m.edges_added,
+        brute_added,
+        "{}: edges_added vs summed oracle diffs",
+        model_name
+    );
+    prop_assert_eq!(
+        m.edges_removed,
+        brute_removed,
+        "{}: edges_removed vs summed oracle diffs",
+        model_name
+    );
+    prop_assert_eq!(
+        m.moved_nodes,
+        brute_moved,
+        "{}: moved_nodes vs bitwise position recount",
+        model_name
+    );
+    Ok((m.incremental_steps, m.bulk_rescan_steps, m.fallback_steps))
 }
 
 proptest! {
@@ -393,7 +433,10 @@ proptest! {
 /// Deterministic coverage: the per-moved-node path must carry paused
 /// models, the bulk path must carry all-moving models, and a declared
 /// steady-state bound may be exceeded at most on the structurally
-/// special first step (RPGM's gathering step) — never later.
+/// special first step (RPGM's gathering step) — never later. The
+/// replay helper also cross-checks the kernel's deterministic counters
+/// against brute-force recomputation, so this doubles as the
+/// counter-integrity check for every registry model.
 #[test]
 fn step_kernel_paths_cover_every_registry_model_with_bounded_fallback() {
     let registry = ModelRegistry::<2>::with_builtins();

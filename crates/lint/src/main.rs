@@ -38,6 +38,11 @@ fn main() -> ExitCode {
                 for rule in manet_lint::rules::RULE_IDS {
                     println!("{rule}  {}", manet_lint::rules::rule_description(rule));
                 }
+                println!();
+                println!("R2-exempt library modules (documented exceptions):");
+                for (path, reason) in manet_lint::walk::R2_EXEMPT_MODULES {
+                    println!("  {path}\n    {reason}");
+                }
                 return ExitCode::SUCCESS;
             }
             "-h" | "--help" => {

@@ -96,8 +96,10 @@ pub fn check_file(ctx: &FileContext, lines: &[ScannedLine], findings: &mut Vec<F
             }
         }
 
-        // R2 — wall-clock / entropy sources.
-        if !ctx.tool_crate && !ctx.bin_target {
+        // R2 — wall-clock / entropy sources. Besides tool crates and
+        // binary targets, the modules in `R2_EXEMPT_MODULES` opt out
+        // with a documented justification.
+        if !ctx.tool_crate && !ctx.bin_target && !ctx.r2_exempt {
             for tok in R2_TOKENS {
                 if has_token(&line.code, tok) {
                     push(
@@ -217,6 +219,7 @@ mod tests {
             bin_target: false,
             lib_root: true,
             kernel_crate: false,
+            r2_exempt: false,
         }
     }
 
@@ -254,6 +257,18 @@ mod tests {
         let mut tool = lib_ctx();
         tool.tool_crate = true;
         assert!(check(&tool, &src).is_empty());
+    }
+
+    #[test]
+    fn r2_exempt_modules_skip_r2_but_keep_other_rules() {
+        let src = format!(
+            "{ROOT_ATTRS}use std::collections::HashMap;\nfn f() {{ let t = Instant::now(); }}\n"
+        );
+        let mut ctx = lib_ctx();
+        ctx.r2_exempt = true;
+        let f = check(&ctx, &src);
+        assert!(f.iter().all(|x| x.rule != "R2"), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "R1"), "{f:?}");
     }
 
     #[test]

@@ -21,6 +21,17 @@ pub const TOOL_CRATES: [&str; 3] = ["bench", "experiments", "lint"];
 /// Crates holding the numeric hot kernels `R5` guards.
 pub const KERNEL_CRATES: [&str; 3] = ["geom", "graph", "stats"];
 
+/// Library modules exempt from `R2` by design, each with the reason
+/// the exemption is sound. This is the narrow, documented doorway for
+/// wall-clock code in library crates: the module must be inert by
+/// default and its output must never feed a deterministic artifact.
+pub const R2_EXEMPT_MODULES: [(&str, &str); 1] = [(
+    "crates/obs/src/span.rs",
+    "the span-profiling plane of manet-obs: the one library module allowed to read \
+     the monotonic clock; disarmed unless a bench/CLI --profile flag arms it, and \
+     span reports go to stderr/metrics.json spans, never into deterministic outputs",
+)];
+
 /// Where a file sits in the workspace, from the rules' point of view.
 #[derive(Debug, Clone)]
 pub struct FileContext {
@@ -40,6 +51,9 @@ pub struct FileContext {
     /// File belongs to a numeric kernel crate (see [`KERNEL_CRATES`]):
     /// `R5` applies.
     pub kernel_crate: bool,
+    /// Library module listed in [`R2_EXEMPT_MODULES`]: `R2` does not
+    /// apply (all other rules still do).
+    pub r2_exempt: bool,
 }
 
 /// Classifies one workspace-relative path.
@@ -70,6 +84,7 @@ pub fn classify(rel: &str) -> FileContext {
         bin_target,
         lib_root,
         kernel_crate: KERNEL_CRATES.contains(&crate_name),
+        r2_exempt: R2_EXEMPT_MODULES.iter().any(|(path, _)| *path == rel),
     }
 }
 
@@ -133,5 +148,14 @@ mod tests {
         assert!(classify("examples/quickstart.rs").exempt);
         assert!(classify("crates/graph/tests/properties.rs").exempt);
         assert!(classify("crates/bench/benches/kernels.rs").exempt);
+    }
+
+    #[test]
+    fn r2_exemption_is_per_module_not_per_crate() {
+        let span = classify("crates/obs/src/span.rs");
+        assert!(span.r2_exempt && !span.tool_crate && !span.exempt);
+        // The rest of the obs crate stays under the full contract.
+        assert!(!classify("crates/obs/src/lib.rs").r2_exempt);
+        assert!(!classify("crates/obs/src/metrics.rs").r2_exempt);
     }
 }

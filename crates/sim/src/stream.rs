@@ -37,6 +37,7 @@ use crate::{
 use manet_geom::Point;
 use manet_graph::{AdjacencyList, DynamicComponents, DynamicGraph, EdgeDiff};
 use manet_mobility::Mobility;
+use manet_obs::KernelMetrics;
 
 /// Per-step link-layer state maintained by the stream when a
 /// transmitting range is configured.
@@ -45,6 +46,7 @@ pub struct LinkView<'a> {
     graph: &'a AdjacencyList,
     components: &'a DynamicComponents,
     diff: &'a EdgeDiff,
+    kernel: KernelMetrics,
 }
 
 impl LinkView<'_> {
@@ -67,6 +69,17 @@ impl LinkView<'_> {
     /// initial edge as added, per [`DynamicGraph::initial_diff`]).
     pub fn diff(&self) -> &EdgeDiff {
         self.diff
+    }
+
+    /// The kernel's deterministic counters, *cumulative since the
+    /// iteration's first step* — grid commits, step-kernel path
+    /// decisions and rescan volumes, component-tracker rebuild events.
+    /// The value at the final step is the iteration's total; observers
+    /// that want it fold the latest view (see
+    /// `TraceRecorder::set_kernel_metrics`). Pure event counts:
+    /// identical across thread counts for a fixed seed.
+    pub fn kernel_metrics(&self) -> &KernelMetrics {
+        &self.kernel
     }
 }
 
@@ -126,6 +139,16 @@ impl<const D: usize> StepView<'_, D> {
     /// Panics when the stream was built without a range.
     pub fn diff(&self) -> &EdgeDiff {
         self.link_expected().diff()
+    }
+
+    /// The kernel's cumulative deterministic counters (see
+    /// [`LinkView::kernel_metrics`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream was built without a range.
+    pub fn kernel_metrics(&self) -> &KernelMetrics {
+        self.link_expected().kernel_metrics()
     }
 }
 
@@ -263,6 +286,11 @@ impl<const D: usize, O: ConnectivityObserver<D>> StepObserver<D> for Connectivit
                 graph: dg.graph(),
                 components: dc,
                 diff: dg.last_diff(),
+                kernel: KernelMetrics {
+                    grid: dg.grid_metrics().copied().unwrap_or_default(),
+                    step: *dg.metrics(),
+                    components: *dc.metrics(),
+                },
             }),
         });
     }

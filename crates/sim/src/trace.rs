@@ -43,6 +43,9 @@ impl<const D: usize> ConnectivityObserver<D> for TraceObserver {
     fn observe(&mut self, view: &StepView<'_, D>) {
         self.recorder
             .observe_with(view.diff(), view.graph(), view.components());
+        // Cumulative roll-up: the last step's value is the iteration's
+        // total, which `finish` folds into the record.
+        self.recorder.set_kernel_metrics(view.kernel_metrics());
     }
 
     fn finish(self) -> TemporalRecord {

@@ -299,7 +299,13 @@ fn trace_summary_identical_to_oracle_replay_for_every_registry_model() {
             .iter()
             .map(|steps| trace_identity::oracle_record(&cfg, steps, range))
             .collect();
-        let oracle = TraceSummary::aggregate(&records).unwrap();
+        let mut oracle = TraceSummary::aggregate(&records).unwrap();
+        // The kernel counters are *path* telemetry, not temporal
+        // metrics: the oracle replay deliberately rebuilds from
+        // scratch every step, so its counters differ by design. They
+        // are cross-checked against brute-force recomputation in
+        // crates/graph/tests/properties.rs instead.
+        oracle.kernel = incremental.kernel;
         assert_eq!(incremental, oracle, "{name}: TraceSummary diverged");
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::intervals::IntervalAccumulator;
 use manet_graph::{AdjacencyList, DynamicComponents, EdgeDiff};
+use manet_obs::KernelMetrics;
 use std::collections::BTreeMap;
 
 /// Packs an undirected edge `(a, b)`, `a < b`, into one map key.
@@ -90,6 +91,10 @@ pub struct TraceRecorder {
     /// [`TraceRecorder::observe_with`] clears it, so `observe` can
     /// detect (and refuse) resuming from state that missed a delta.
     components: Option<DynamicComponents>,
+    /// The driving kernel's cumulative counters, overwritten per step
+    /// via [`TraceRecorder::set_kernel_metrics`]; zero when the driver
+    /// reports none (standalone recorder use).
+    kernel: KernelMetrics,
 }
 
 impl TraceRecorder {
@@ -116,7 +121,19 @@ impl TraceRecorder {
             first_disconnect_at: None,
             time_to_repair: None,
             components: None,
+            kernel: KernelMetrics::default(),
         }
+    }
+
+    /// Records the driving kernel's *cumulative* deterministic
+    /// counters as of the step just observed. Call once per step with
+    /// the stream's latest roll-up (see `LinkView::kernel_metrics` in
+    /// `manet-sim`) — each call overwrites the previous one, so
+    /// [`TraceRecorder::finish`] carries the trajectory's totals into
+    /// the [`TemporalRecord`]. Never calling it leaves the record's
+    /// counters zero (standalone recorder use).
+    pub fn set_kernel_metrics(&mut self, kernel: &KernelMetrics) {
+        self.kernel = *kernel;
     }
 
     /// Folds in one step: the edge delta that produced `graph` from
@@ -269,6 +286,7 @@ impl TraceRecorder {
             path_availability: self.path_connectivity_sum / steps as f64,
             first_disconnect_at: self.first_disconnect_at,
             time_to_repair: self.time_to_repair,
+            kernel: self.kernel,
         }
     }
 }
@@ -310,6 +328,10 @@ pub struct TemporalRecord {
     /// Duration of the first outage, in steps (`None` if the network
     /// never disconnected, or never repaired within the horizon).
     pub time_to_repair: Option<usize>,
+    /// The driving kernel's deterministic counter totals for this
+    /// trajectory (all-zero when the driver never reported any, e.g.
+    /// a standalone recorder outside the `manet-sim` stream).
+    pub kernel: KernelMetrics,
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use crate::intervals::IntervalSummary;
 use crate::recorder::TemporalRecord;
 use crate::TraceError;
+use manet_obs::KernelMetrics;
 use manet_stats::RunningMoments;
 
 /// Repair behavior across a campaign: how quickly the network heals
@@ -59,6 +60,10 @@ pub struct TraceSummary {
     pub outage: IntervalSummary,
     /// Time-to-repair after the first disconnection.
     pub repair: RepairSummary,
+    /// The kernel's deterministic counters summed over all iterations
+    /// (`u64` sums commute, so the total is independent of iteration
+    /// scheduling and thread count).
+    pub kernel: KernelMetrics,
 }
 
 impl TraceSummary {
@@ -82,11 +87,13 @@ impl TraceSummary {
         let mut intercontacts = first.intercontacts.clone();
         let mut isolation = first.isolation.clone();
         let mut outages = first.outages.clone();
+        let mut kernel = first.kernel;
         for r in &records[1..] {
             lifetimes.merge(&r.lifetimes);
             intercontacts.merge(&r.intercontacts);
             isolation.merge(&r.isolation);
             outages.merge(&r.outages);
+            kernel.merge(&r.kernel);
         }
 
         let n = records.len() as f64;
@@ -133,6 +140,7 @@ impl TraceSummary {
             isolation: isolation.summarize(),
             outage: outages.summarize(),
             repair,
+            kernel,
         })
     }
 }

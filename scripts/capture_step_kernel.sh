@@ -8,6 +8,12 @@
 #   scripts/capture_step_kernel.sh            # full capture (committed numbers)
 #   scripts/capture_step_kernel.sh --quick    # reduced grid, 1 repeat (CI smoke)
 #   scripts/capture_step_kernel.sh --out PATH # write elsewhere
+#   scripts/capture_step_kernel.sh --profile  # span-timer breakdown on stderr
+#
+# Each JSON row pairs ns/step with the kernel's deterministic path
+# counters (incremental/bulk/fallback fractions, rescan candidate
+# volumes, grid cells touched, edge events) — identical across machines
+# for a given grid, so only the timing columns move between captures.
 #
 # The full capture also acts as a regression gate: it fails loudly if
 # the kernel's speedup at n=4000 on the low-churn scenario drops below
@@ -20,6 +26,7 @@ ARGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) ARGS+=("--quick") ;;
+    --profile) ARGS+=("--profile") ;;
     --out) OUT="$2"; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac

@@ -107,6 +107,35 @@ fn trace_artifacts_byte_identical_across_seeds_and_threads() {
     assert_ne!(reference, artifact(20020624, 2));
 }
 
+/// The deterministic telemetry plane: the kernel counters folded into
+/// a trace summary are `u64` event counts merged commutatively across
+/// iterations, so their JSON encoding must be byte-identical across
+/// thread counts — the exact property the `--metrics` artifact's CI
+/// gate relies on — and must actually count the work (nonzero).
+#[cfg(feature = "serde")]
+#[test]
+fn kernel_counters_byte_identical_across_threads() {
+    let counters = |threads: usize| {
+        let summary = build(20020623, threads).temporal_trace(45.0).unwrap();
+        serde_json::to_string(&summary.kernel).unwrap()
+    };
+    let reference = counters(1);
+    assert_eq!(reference, counters(2));
+    assert_eq!(reference, counters(4));
+
+    let kernel = build(20020623, 2).temporal_trace(45.0).unwrap().kernel;
+    // 6 iterations x 60 views: view 0 builds the graph, the other 59
+    // advance it, and the component tracker applies all 60 diffs.
+    assert_eq!(kernel.step.steps, 6 * 59);
+    assert_eq!(
+        kernel.step.incremental_steps + kernel.step.bulk_rescan_steps + kernel.step.fallback_steps,
+        kernel.step.steps
+    );
+    assert_eq!(kernel.components.applies, 6 * 60);
+    assert!(kernel.step.moved_nodes > 0, "nothing moved?");
+    assert!(kernel.grid.relocations > 0, "grid never relocated");
+}
+
 /// Every registry model — including the zoo families added on top of
 /// the paper's two — must produce identical solutions and fixed-range
 /// reports regardless of the worker thread count, and the trace JSON
