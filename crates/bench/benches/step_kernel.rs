@@ -15,7 +15,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use manet_bench::step_kernel::{
-    churn_per_node, run_incremental, run_rebuild_diff, trajectory, RANGE, SCENARIOS, SIDE,
+    churn_per_node, run_incremental, run_incremental_threads, run_rebuild_diff, trajectory, RANGE,
+    SCENARIOS, SIDE,
 };
 use std::hint::black_box;
 
@@ -40,5 +41,24 @@ fn bench_step_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_step_kernel);
+/// Self-speedup of the sharded bulk rescan: the all-moving `mid`
+/// regime at `n = 4000`, intra-step threads 1/2/4. Checksums (hence
+/// every observable) are identical across the sweep; only wall clock
+/// moves.
+fn bench_step_kernel_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_kernel_threads");
+    let scenario = SCENARIOS
+        .iter()
+        .find(|s| s.label == "mid")
+        .expect("mid scenario");
+    let traj = trajectory(4000, scenario, 30, 31);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_function(format!("incremental_n=4000_mid_threads={threads}"), |b| {
+            b.iter(|| run_incremental_threads(black_box(&traj), SIDE, RANGE, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_kernel, bench_step_kernel_threads);
 criterion_main!(benches);

@@ -66,12 +66,32 @@ pub const SCENARIOS: [Scenario; 3] = [
     },
 ];
 
+/// Density-preserving region side for the large-n scaling rows: keeps
+/// the area-per-node of the committed `n = 4000` grid (250 units², the
+/// [`SIDE`]²`/4000` density), so per-cell occupancy — hence the
+/// per-node step cost — stays constant as `n` grows toward 10⁵.
+pub fn side_for(n: usize) -> f64 {
+    (250.0 * n as f64).sqrt()
+}
+
 /// A pinned-seed random-waypoint trajectory under `scenario`: `steps`
 /// position snapshots of `n` nodes.
 pub fn trajectory(n: usize, scenario: &Scenario, steps: usize, seed: u64) -> Vec<Vec<Point<2>>> {
-    let region: Region<2> = Region::new(SIDE).expect("positive side");
+    trajectory_in(n, SIDE, scenario, steps, seed)
+}
+
+/// [`trajectory`] over an explicit region side (the large-n scaling
+/// rows pair it with [`side_for`]; the committed grid keeps [`SIDE`]).
+pub fn trajectory_in(
+    n: usize,
+    side: f64,
+    scenario: &Scenario,
+    steps: usize,
+    seed: u64,
+) -> Vec<Vec<Point<2>>> {
+    let region: Region<2> = Region::new(side).expect("positive side");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut positions = placement(n, SIDE, seed);
+    let mut positions = placement(n, side, seed);
     let mut model = RandomWaypoint::new(
         scenario.v_min,
         scenario.v_max,
@@ -105,7 +125,19 @@ pub fn churn_per_node(traj: &[Vec<Point<2>>], side: f64, range: f64) -> f64 {
 /// trajectory, folding a checksum over the held diff. Allocation-free
 /// after the constructor.
 pub fn run_incremental(traj: &[Vec<Point<2>>], side: f64, range: f64) -> usize {
-    let mut dg = DynamicGraph::new(&traj[0], side, range);
+    run_incremental_threads(traj, side, range, 1)
+}
+
+/// [`run_incremental`] with the sharded bulk rescan pinned to
+/// `threads` intra-step workers. The checksum is identical across
+/// thread counts — only the wall clock moves.
+pub fn run_incremental_threads(
+    traj: &[Vec<Point<2>>],
+    side: f64,
+    range: f64,
+    threads: usize,
+) -> usize {
+    let mut dg = DynamicGraph::new(&traj[0], side, range).with_step_threads(threads);
     let mut acc = dg.last_diff().churn();
     for pts in &traj[1..] {
         dg.step(pts);
@@ -163,6 +195,35 @@ mod tests {
                 scenario.label
             );
         }
+    }
+
+    /// The sharded path folds the same checksum at every thread count
+    /// (byte-identity of the underlying graph stream, seen through the
+    /// bench's own lens).
+    #[test]
+    fn incremental_checksums_are_thread_invariant() {
+        for scenario in &SCENARIOS {
+            let traj = trajectory(96, scenario, 20, 5);
+            let serial = run_incremental(&traj, SIDE, RANGE);
+            for threads in [2, 4, 7] {
+                assert_eq!(
+                    serial,
+                    run_incremental_threads(&traj, SIDE, RANGE, threads),
+                    "scenario {} threads {threads}",
+                    scenario.label
+                );
+            }
+        }
+    }
+
+    /// `side_for` preserves the committed grid's density and anchors
+    /// at the n = 4000 cell.
+    #[test]
+    fn side_for_preserves_density() {
+        assert!((side_for(4000) - SIDE).abs() < 1e-9);
+        let d = |n: usize| side_for(n) * side_for(n) / n as f64;
+        assert!((d(20_000) - 250.0).abs() < 1e-9);
+        assert!((d(100_000) - 250.0).abs() < 1e-9);
     }
 
     /// The counter capture is deterministic and accounts for every

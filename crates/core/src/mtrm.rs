@@ -181,6 +181,7 @@ pub struct MtrmProblemBuilder<const D: usize> {
     steps: usize,
     seed: u64,
     threads: Option<usize>,
+    step_threads: Option<usize>,
     profile_stride: Option<usize>,
     profile_bins: Option<usize>,
     model: Option<AnyModel<D>>,
@@ -223,6 +224,14 @@ impl<const D: usize> MtrmProblemBuilder<D> {
         self
     }
 
+    /// Pins the intra-step worker-thread count of the step kernel's
+    /// sharded bulk rescan (default serial; results are byte-identical
+    /// across values).
+    pub fn step_threads(&mut self, threads: usize) -> &mut Self {
+        self.step_threads = Some(threads);
+        self
+    }
+
     /// Collect component profiles every `stride` steps.
     pub fn profile_stride(&mut self, stride: usize) -> &mut Self {
         self.profile_stride = Some(stride);
@@ -261,6 +270,9 @@ impl<const D: usize> MtrmProblemBuilder<D> {
             .seed(self.seed);
         if let Some(t) = self.threads {
             b.threads(t);
+        }
+        if let Some(t) = self.step_threads {
+            b.step_threads(t);
         }
         if let Some(s) = self.profile_stride {
             b.profile_stride(s);

@@ -32,14 +32,19 @@ pub struct RunOptions {
     pub seed: u64,
     /// Pinned thread count (None = auto).
     pub threads: Option<usize>,
+    /// `--step-threads N`: intra-step worker threads for the sharded
+    /// step kernel's bulk rescan (None = serial). A performance knob:
+    /// every artifact is byte-identical across values, which CI pins.
+    pub step_threads: Option<usize>,
     /// CSV output directory.
     pub out_dir: PathBuf,
     /// Mobility models to sweep (`--models a,b,c`); `None` keeps each
     /// experiment's default list.
     pub models: Option<Vec<String>>,
-    /// Node-count override (`--nodes N`) for the trace experiment —
-    /// the large-`n` lever for exercising the incremental step kernel
-    /// at scale; `None` keeps the experiment's paper-tied default.
+    /// Node-count override (`--nodes N`) for the `trace`, `fixed`,
+    /// `uptime` and `quantity` experiments — the large-`n` lever for
+    /// exercising the sharded step kernel at scale from every
+    /// pipeline; `None` keeps each experiment's paper-tied default.
     pub nodes: Option<usize>,
     /// `--metrics PATH`: write a `metrics.json` artifact (run manifest,
     /// deterministic kernel counters, spans when profiling) on success.
@@ -60,6 +65,7 @@ impl Default for RunOptions {
             placements: 1_000,
             seed: 20_020_623, // DSN 2002 conference date
             threads: None,
+            step_threads: None,
             out_dir: PathBuf::from("results"),
             models: None,
             nodes: None,
@@ -93,6 +99,7 @@ impl RunOptions {
                 "--nodes" => opts.nodes = Some(take_usize(args, &mut i)?),
                 "--seed" => opts.seed = take_usize(args, &mut i)? as u64,
                 "--threads" => opts.threads = Some(take_usize(args, &mut i)?),
+                "--step-threads" => opts.step_threads = Some(take_usize(args, &mut i)?),
                 "--out" => {
                     i += 1;
                     let v = args.get(i).ok_or("--out requires a directory")?;
@@ -142,6 +149,9 @@ impl RunOptions {
         }
         if opts.nodes == Some(0) {
             return Err("--nodes must be positive".into());
+        }
+        if opts.step_threads == Some(0) {
+            return Err("--step-threads must be positive".into());
         }
         Ok(opts)
     }
@@ -351,6 +361,17 @@ mod tests {
     fn bare_words_tolerated_for_subcommands() {
         let o = parse(&["t3", "--quick"]).unwrap();
         assert_eq!(o.iterations, 5);
+    }
+
+    #[test]
+    fn step_threads_flag_parses_and_validates() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.step_threads, None);
+        let o = parse(&["--step-threads", "4"]).unwrap();
+        assert_eq!(o.step_threads, Some(4));
+        assert!(parse(&["--step-threads"]).is_err());
+        assert!(parse(&["--step-threads", "0"]).is_err());
+        assert!(parse(&["--step-threads", "x"]).is_err());
     }
 
     #[test]

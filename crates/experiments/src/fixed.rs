@@ -11,7 +11,7 @@
 //! connectivity spine: its bytes must not change when the per-step
 //! engine swaps from rebuild-and-relabel to delta-apply.
 
-use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
+use crate::common::{banner, fmt, r_stationary_for, RunOptions, Table};
 use crate::obs::ObsSession;
 use manet_core::{CoreError, MtrmProblem};
 
@@ -27,10 +27,13 @@ const DEFAULT_MODELS: [&str; 4] = ["waypoint", "drunkard", "gauss-markov", "rpgm
 /// Runs the fixed-range sweep.
 pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     banner("X4 (extension): fixed-range simulator (connectivity, largest component)");
-    let (l, n) = (1024.0, 32usize);
+    // `--nodes` scales the cell beyond the paper's n = 32 so large-n
+    // runs are reachable from this pipeline too; `r_stationary` tracks
+    // the override so the range multiples stay meaningful.
+    let (l, n) = (1024.0, opts.nodes.unwrap_or(32));
     session.note_nodes(n);
     session.span_enter("fixed/r_stationary");
-    let rs = r_stationary(opts, l)?;
+    let rs = r_stationary_for(opts, l, n)?;
     session.span_exit();
     let models = opts.resolve_models(&DEFAULT_MODELS, l)?;
     let cells = models.len() * MULTIPLIERS.len();
@@ -59,6 +62,9 @@ pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError>
             .model(model);
         if let Some(t) = opts.threads {
             builder.threads(t);
+        }
+        if let Some(t) = opts.step_threads {
+            builder.step_threads(t);
         }
         let problem = builder.build()?;
         for mult in MULTIPLIERS {

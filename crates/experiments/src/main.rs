@@ -26,8 +26,12 @@
 //!   --out DIR        CSV output directory (default results/)
 //!   --models A,B,..  mobility models for quantity/uptime/fixed/trace
 //!                    (registry names, e.g. gauss-markov,rpgm)
-//!   --nodes N        node-count override for trace (large-n runs on
-//!                    the incremental step kernel; default n = 32)
+//!   --nodes N        node-count override for trace/fixed/uptime/
+//!                    quantity (large-n runs on the incremental step
+//!                    kernel; defaults n = 32, 32, 64, 32)
+//!   --step-threads N intra-step worker threads for the sharded step
+//!                    kernel (default 1 = serial); artifacts are
+//!                    byte-identical across values
 //!   --metrics PATH   write metrics.json (run manifest + deterministic
 //!                    kernel counters + spans) to PATH
 //!   --profile        arm wall-clock span profiling; span table goes
@@ -120,7 +124,8 @@ fn print_usage() {
         "manet-repro: reproduce Santi & Blough (DSN 2002)\n\n\
          usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|fixed|trace|all> [options]\n\
          options: --quick | --paper | --iterations N | --steps N | --placements N\n\
-         \x20        --seed N | --threads N | --out DIR | --models A,B,.. | --nodes N (trace)\n\
+         \x20        --seed N | --threads N | --step-threads N | --out DIR\n\
+         \x20        --models A,B,.. | --nodes N (trace/fixed/uptime/quantity)\n\
          \x20        --metrics PATH | --profile | --progress"
     );
 }

@@ -11,7 +11,7 @@
 //! that the connectivity cost lines up with the measured quantity, not
 //! with the model family.
 
-use crate::common::{banner, fmt, r_stationary, RunOptions, Table};
+use crate::common::{banner, fmt, r_stationary_for, RunOptions, Table};
 use crate::obs::ObsSession;
 use manet_core::mobility::{Drunkard, RandomWaypoint};
 use manet_core::sim::quantity::{mean_quantity, measure_mobility_quantity};
@@ -26,10 +26,13 @@ use manet_core::{AnyModel, CoreError, MtrmProblem};
 /// exactly the requested registry names.
 pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
     banner("X1 (extension): quantity of mobility vs r100 across models");
-    let (l, n) = (1024.0, 32usize);
+    // `--nodes` scales the cell beyond the paper's n = 32 so large-n
+    // runs are reachable from this pipeline too; `r_stationary` tracks
+    // the override so the r100/rs ratios stay meaningful.
+    let (l, n) = (1024.0, opts.nodes.unwrap_or(32));
     session.note_nodes(n);
     session.span_enter("quantity/r_stationary");
-    let rs = r_stationary(opts, l)?;
+    let rs = r_stationary_for(opts, l, n)?;
     session.span_exit();
     let step = 0.01 * l;
     let pause = opts.scale_steps(2000);
@@ -73,14 +76,21 @@ pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError>
         session.note_model(&name);
         session.progress(&format!("quantity: {name} ({}/{total})", i + 1));
         session.span_enter("quantity/case");
-        let problem = MtrmProblem::<2>::builder()
+        let mut builder = MtrmProblem::<2>::builder();
+        builder
             .nodes(n)
             .side(l)
             .iterations(opts.iterations)
             .steps(opts.steps)
             .seed(opts.seed)
-            .model(model)
-            .build()?;
+            .model(model);
+        if let Some(t) = opts.threads {
+            builder.threads(t);
+        }
+        if let Some(t) = opts.step_threads {
+            builder.step_threads(t);
+        }
+        let problem = builder.build()?;
         let quantity = mean_quantity(&measure_mobility_quantity(
             problem.config(),
             problem.model(),

@@ -85,6 +85,9 @@ pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError>
         if let Some(t) = opts.threads {
             builder.threads(t);
         }
+        if let Some(t) = opts.step_threads {
+            builder.step_threads(t);
+        }
         let problem = builder.build()?;
         for (r_idx, mult) in MULTIPLIERS.into_iter().enumerate() {
             let r = rs * mult;

@@ -363,6 +363,94 @@ fn metrics_artifact_matches_golden_across_thread_counts() {
     }
 }
 
+/// The sharded step kernel is a performance knob, not a semantics one:
+/// `--step-threads` must not move a byte of the trace artifacts. This
+/// is the end-to-end gate on intra-step parallelism (the unit layers
+/// pin graph/diff/metrics equality; this pins the shipped files).
+#[test]
+fn trace_artifacts_byte_identical_across_step_thread_counts() {
+    let mut outputs = Vec::new();
+    for step_threads in ["1", "4"] {
+        let dir = temp_out(&format!("trace_st{step_threads}"));
+        let out = repro()
+            .args([
+                "trace",
+                "--iterations",
+                "2",
+                "--steps",
+                "30",
+                "--placements",
+                "30",
+                "--models",
+                "waypoint,drunkard",
+                "--step-threads",
+                step_threads,
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let csv = std::fs::read_to_string(dir.join("trace.csv")).unwrap();
+        outputs.push((json, csv));
+        std::fs::remove_dir_all(dir).ok();
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "trace artifacts must not depend on --step-threads"
+    );
+}
+
+/// `--nodes` reaches every pipeline (PR 5 wired it into `trace` only):
+/// `fixed`, `uptime`, and `quantity` all honor the override, so large-n
+/// runs on the sharded step kernel are reachable from each.
+#[test]
+fn nodes_override_reaches_every_pipeline() {
+    for (cmd, artifact) in [
+        ("fixed", "fixed.csv"),
+        ("uptime", "uptime_x2.csv"),
+        ("quantity", "quantity_x1.csv"),
+    ] {
+        let dir = temp_out(&format!("nodes_{cmd}"));
+        let out = repro()
+            .args([
+                cmd,
+                "--iterations",
+                "2",
+                "--steps",
+                "20",
+                "--placements",
+                "30",
+                "--models",
+                "waypoint",
+                "--nodes",
+                "12",
+                "--step-threads",
+                "2",
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{cmd} --nodes 12 failed; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let csv = std::fs::read_to_string(dir.join(artifact)).unwrap();
+        assert!(
+            csv.lines().count() > 1,
+            "{artifact} should have at least one data row"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
 /// `--progress` is a stderr-only affordance: it must not move a byte
 /// of stdout or of any artifact.
 #[test]

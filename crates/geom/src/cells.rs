@@ -99,6 +99,48 @@ impl CellLayout {
             f(self.linear_index(&coords));
         }
     }
+
+    /// Calls `f` with the linear index of every in-bounds cell at a
+    /// *forward* offset of `base`: the `(3^D - 1) / 2` members of
+    /// `{-1,0,1}^D \ {0}` whose first nonzero component (in axis
+    /// order) is `+1`. Negating a nonzero offset flips that component,
+    /// so every unordered pair of adjacent cells has exactly one
+    /// forward representation — the half-neighborhood scan that visits
+    /// each cell pair once instead of twice.
+    pub fn for_each_forward_neighbor_cell<const D: usize, F: FnMut(usize)>(
+        &self,
+        base: &[usize; D],
+        mut f: F,
+    ) {
+        let n_offsets = 3usize.pow(D as u32);
+        'outer: for code in 0..n_offsets {
+            let mut offs = [0isize; D];
+            let mut c = code;
+            for o in offs.iter_mut() {
+                *o = (c % 3) as isize - 1;
+                c /= 3;
+            }
+            let mut forward = false;
+            for &o in &offs {
+                if o != 0 {
+                    forward = o == 1;
+                    break;
+                }
+            }
+            if !forward {
+                continue;
+            }
+            let mut coords = [0usize; D];
+            for k in 0..D {
+                let v = base[k] as isize + offs[k];
+                if v < 0 || v >= self.cells_per_side as isize {
+                    continue 'outer;
+                }
+                coords[k] = v as usize;
+            }
+            f(self.linear_index(&coords));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +181,39 @@ mod tests {
         let mut interior = Vec::new();
         l.for_each_neighbor_cell(&[5usize, 5], |c| interior.push(c));
         assert_eq!(interior.len(), 9);
+    }
+
+    /// Forward offsets cover each unordered pair of adjacent cells
+    /// exactly once: unioning `{base} x forward(base)` over every base
+    /// cell must equal the set of unordered adjacent pairs from the
+    /// full neighborhood enumeration.
+    #[test]
+    fn forward_neighbors_halve_the_neighborhood_exactly() {
+        let l = CellLayout::new(10.0, 2.0).unwrap(); // 5x5 lattice
+        let mut forward_pairs = std::collections::BTreeSet::new();
+        let mut full_pairs = std::collections::BTreeSet::new();
+        for x in 0..l.cells_per_side {
+            for y in 0..l.cells_per_side {
+                let base = [x, y];
+                let b = l.linear_index(&base);
+                l.for_each_forward_neighbor_cell(&base, |c| {
+                    assert_ne!(c, b, "forward offsets exclude the zero offset");
+                    assert!(
+                        forward_pairs.insert((b.min(c), b.max(c))),
+                        "cell pair ({b}, {c}) visited twice"
+                    );
+                });
+                l.for_each_neighbor_cell(&base, |c| {
+                    if c != b {
+                        full_pairs.insert((b.min(c), b.max(c)));
+                    }
+                });
+            }
+        }
+        assert_eq!(forward_pairs, full_pairs);
+        // An interior cell sees (3^2 - 1) / 2 = 4 forward neighbors.
+        let mut interior = Vec::new();
+        l.for_each_forward_neighbor_cell(&[2usize, 2], |c| interior.push(c));
+        assert_eq!(interior.len(), 4);
     }
 }

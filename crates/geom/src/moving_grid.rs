@@ -48,8 +48,18 @@ pub struct MovingCellGrid<const D: usize> {
     layout: CellLayout,
     /// Occupant node ids per cell, in stable (insertion) order.
     buckets: Vec<Vec<u32>>,
+    /// Struct-of-arrays mirror of `buckets`: per cell, one coordinate
+    /// column per axis, in bucket (slot) order — the hot distance
+    /// loops read contiguous `f64` runs instead of chasing `Point`s
+    /// through `points`, so the per-candidate `d² ≤ r²` checks
+    /// vectorize.
+    coords: Vec<[Vec<f64>; D]>,
     /// Current cell of each node.
     node_cell: Vec<u32>,
+    /// Index of each node within its cell's bucket (and coordinate
+    /// columns) — O(1) in-cell coordinate updates and O(shifted)
+    /// order-preserving removals, no bucket scans.
+    node_slot: Vec<u32>,
     /// Current positions (the *new* positions after an `update`).
     points: Vec<Point<D>>,
     /// Deterministic commit counters (see [`GridMetrics`]); the build
@@ -69,16 +79,25 @@ impl<const D: usize> MovingCellGrid<D> {
     /// either is NaN/infinite.
     pub fn build(points: &[Point<D>], side: f64, cell_size: f64) -> Result<Self, GeomError> {
         let layout = CellLayout::new(side, cell_size)?;
+        let n_cells = layout.n_cells::<D>();
         let mut grid = MovingCellGrid {
             layout,
-            buckets: vec![Vec::new(); layout.n_cells::<D>()],
+            buckets: vec![Vec::new(); n_cells],
+            coords: (0..n_cells)
+                .map(|_| std::array::from_fn(|_| Vec::new()))
+                .collect(),
             node_cell: Vec::with_capacity(points.len()),
+            node_slot: Vec::with_capacity(points.len()),
             points: points.to_vec(),
             metrics: GridMetrics::default(),
         };
         for (i, p) in points.iter().enumerate() {
             let c = layout.cell_of(p);
+            grid.node_slot.push(grid.buckets[c].len() as u32);
             grid.buckets[c].push(i as u32);
+            for (k, col) in grid.coords[c].iter_mut().enumerate() {
+                col.push(p.coord(k));
+            }
             grid.node_cell.push(c as u32);
         }
         #[cfg(feature = "strict-invariants")]
@@ -180,19 +199,33 @@ impl<const D: usize> MovingCellGrid<D> {
             let new_p = new_points[i];
             let c = self.layout.cell_of(&new_p);
             let old_c = self.node_cell[i] as usize;
+            let slot = self.node_slot[i] as usize;
             if c != old_c {
                 self.metrics.boundary_crossings += 1;
                 self.metrics.cells_touched += 2; // source and destination buckets
+                                                 // Order-preserving removal at the recorded slot keeps
+                                                 // bucket iteration stable (see module docs); every
+                                                 // occupant behind the gap shifts one slot down.
                 let bucket = &mut self.buckets[old_c];
-                // Order-preserving removal keeps bucket iteration
-                // stable (see module docs).
-                let pos = bucket
-                    .iter()
-                    .position(|&x| x == iu)
-                    .expect("node listed in its cell bucket"); // lint:allow(R3): bucket membership is the grid's own invariant (strict-invariants checks it)
-                bucket.remove(pos);
+                debug_assert_eq!(bucket[slot], iu, "node slot desynced from its bucket");
+                bucket.remove(slot);
+                for &shifted in &bucket[slot..] {
+                    self.node_slot[shifted as usize] -= 1;
+                }
+                for col in &mut self.coords[old_c] {
+                    col.remove(slot);
+                }
+                self.node_slot[i] = self.buckets[c].len() as u32;
                 self.buckets[c].push(iu);
+                for (k, col) in self.coords[c].iter_mut().enumerate() {
+                    col.push(new_p.coord(k));
+                }
                 self.node_cell[i] = c as u32;
+            } else {
+                // In-cell move: O(1) coordinate-column update.
+                for (k, col) in self.coords[c].iter_mut().enumerate() {
+                    col[slot] = new_p.coord(k);
+                }
             }
             self.points[i] = new_p;
         }
@@ -235,11 +268,18 @@ impl<const D: usize> MovingCellGrid<D> {
             if !self.buckets[c as usize].is_empty() {
                 self.metrics.cells_touched += 1;
                 self.buckets[c as usize].clear();
+                for col in &mut self.coords[c as usize] {
+                    col.clear();
+                }
             }
         }
         for (i, p) in new_points.iter().enumerate() {
             let c = self.layout.cell_of(p);
+            self.node_slot[i] = self.buckets[c].len() as u32;
             self.buckets[c].push(i as u32);
+            for (k, col) in self.coords[c].iter_mut().enumerate() {
+                col.push(p.coord(k));
+            }
             self.node_cell[i] = c as u32;
             self.points[i] = *p;
         }
@@ -248,9 +288,11 @@ impl<const D: usize> MovingCellGrid<D> {
     }
 
     /// Occupancy-vs-position consistency: the buckets partition the
-    /// node set, every node's recorded cell matches its position, and
-    /// every node is listed in (exactly) its own bucket. `O(n)` — run
-    /// after every commit under `strict-invariants`.
+    /// node set, every node's recorded cell matches its position,
+    /// every node is listed in (exactly) its own bucket at its
+    /// recorded slot, and the coordinate columns mirror the buckets
+    /// bitwise. `O(n)` — run after every commit under
+    /// `strict-invariants`.
     #[cfg(feature = "strict-invariants")]
     fn debug_validate(&self) {
         let occupancy: usize = self.buckets.iter().map(Vec::len).sum();
@@ -260,6 +302,16 @@ impl<const D: usize> MovingCellGrid<D> {
             "strict-invariants: bucket occupancy lost or duplicated nodes"
         );
         debug_assert_eq!(self.node_cell.len(), self.points.len());
+        debug_assert_eq!(self.node_slot.len(), self.points.len());
+        for (c, (bucket, cols)) in self.buckets.iter().zip(&self.coords).enumerate() {
+            for col in cols {
+                debug_assert_eq!(
+                    col.len(),
+                    bucket.len(),
+                    "strict-invariants: coordinate column of cell {c} desynced from its bucket"
+                );
+            }
+        }
         for (i, p) in self.points.iter().enumerate() {
             let c = self.layout.cell_of(p);
             debug_assert_eq!(
@@ -270,6 +322,17 @@ impl<const D: usize> MovingCellGrid<D> {
                 self.buckets[c].iter().filter(|&&x| x == i as u32).count() == 1,
                 "strict-invariants: node {i} not listed exactly once in its bucket"
             );
+            let slot = self.node_slot[i] as usize;
+            debug_assert!(
+                self.buckets[c].get(slot) == Some(&(i as u32)),
+                "strict-invariants: node {i} slot record points at the wrong occupant"
+            );
+            for (k, col) in self.coords[c].iter().enumerate() {
+                debug_assert!(
+                    col[slot].to_bits() == p.coord(k).to_bits(),
+                    "strict-invariants: coordinate column of node {i} axis {k} desynced"
+                );
+            }
         }
     }
 
@@ -284,6 +347,119 @@ impl<const D: usize> MovingCellGrid<D> {
                 f(j);
             }
         });
+    }
+
+    /// [`MovingCellGrid::for_each_candidate`] fused with the distance
+    /// computation: visits every candidate id together with its exact
+    /// squared distance from `p`, read from the contiguous
+    /// struct-of-arrays coordinate columns. The accumulation runs in
+    /// ascending axis order — bitwise the same result as
+    /// [`Point::distance_sq`] against the stored position.
+    pub fn for_each_candidate_dist2<F: FnMut(u32, f64)>(&self, p: &Point<D>, mut f: F) {
+        let base = self.layout.cell_coords(p);
+        self.layout.for_each_neighbor_cell(&base, |cell| {
+            let bucket = &self.buckets[cell];
+            let cols = &self.coords[cell];
+            for (slot, &j) in bucket.iter().enumerate() {
+                let mut acc = 0.0f64;
+                for (k, col) in cols.iter().enumerate() {
+                    let d = p.coord(k) - col[slot];
+                    acc += d * d;
+                }
+                f(j, acc);
+            }
+        });
+    }
+
+    /// Forward half-neighborhood scan over an axis-0 strip of cells:
+    /// emits every unordered node pair `(min, max)` with squared
+    /// distance `<= r2` whose *lower-indexed cell edge* lives in a base
+    /// cell with axis-0 coordinate in `[x_lo, x_hi)` — intra-cell pairs
+    /// once (`slot_a < slot_b`), cross-cell pairs once via the forward
+    /// cell offsets (`CellLayout::for_each_forward_neighbor_cell`:
+    /// first nonzero component `+1`) — and returns the number of
+    /// candidate pairs *examined* (in range or not).
+    ///
+    /// Because axis 0 is the most significant digit of the row-major
+    /// linear index, the strip's base cells form one contiguous linear
+    /// range, and disjoint strips examine disjoint pair sets: summed
+    /// over a partition of `[0, cells_per_side)`, the emitted pairs and
+    /// the examined count are exactly those of the full scan,
+    /// independent of how the strip boundaries fall. Distances
+    /// accumulate per axis in ascending order over the
+    /// struct-of-arrays columns — bitwise equal to
+    /// [`Point::distance_sq`] on the stored positions.
+    pub fn scan_forward_pairs<F: FnMut(u32, u32)>(
+        &self,
+        x_lo: usize,
+        x_hi: usize,
+        r2: f64,
+        mut emit: F,
+    ) -> u64 {
+        debug_assert!(x_lo <= x_hi && x_hi <= self.layout.cells_per_side);
+        let col_cells = if D > 1 {
+            self.layout.cells_per_side.pow(D as u32 - 1)
+        } else {
+            1
+        };
+        let mut examined = 0u64;
+        // Odometer over the strip's per-axis coordinates, kept in sync
+        // with the contiguous linear range the strip occupies.
+        let mut base = [0usize; D];
+        base[0] = x_lo;
+        for lin in (x_lo * col_cells)..(x_hi * col_cells) {
+            let bucket = &self.buckets[lin];
+            let cols = &self.coords[lin];
+            if !bucket.is_empty() {
+                // Intra-cell pairs, each once (ascending slot order).
+                for (sa, &a) in bucket.iter().enumerate() {
+                    for (sb, &b) in bucket.iter().enumerate().skip(sa + 1) {
+                        examined += 1;
+                        let mut acc = 0.0f64;
+                        for col in cols {
+                            let d = col[sa] - col[sb];
+                            acc += d * d;
+                        }
+                        if acc <= r2 {
+                            emit(a.min(b), a.max(b));
+                        }
+                    }
+                }
+                // Cross pairs against each forward-adjacent cell.
+                self.layout.for_each_forward_neighbor_cell(&base, |other| {
+                    let obucket = &self.buckets[other];
+                    let ocols = &self.coords[other];
+                    for (sa, &a) in bucket.iter().enumerate() {
+                        for (sb, &b) in obucket.iter().enumerate() {
+                            examined += 1;
+                            let mut acc = 0.0f64;
+                            for (col, ocol) in cols.iter().zip(ocols) {
+                                let d = col[sa] - ocol[sb];
+                                acc += d * d;
+                            }
+                            if acc <= r2 {
+                                emit(a.min(b), a.max(b));
+                            }
+                        }
+                    }
+                });
+            }
+            // Advance the odometer (least-significant axis is D-1).
+            for k in (1..D).rev() {
+                base[k] += 1;
+                if base[k] < self.layout.cells_per_side {
+                    break;
+                }
+                base[k] = 0;
+                if k == 1 {
+                    base[0] += 1;
+                }
+            }
+            if D == 1 {
+                base[0] += 1;
+            }
+        }
+        examined
     }
 }
 
@@ -469,5 +645,145 @@ mod tests {
         let pts = [Point::new([1.0, 1.0])];
         let mut grid = MovingCellGrid::build(&pts, 10.0, 1.0).unwrap();
         grid.update(&[], &mut Vec::new());
+    }
+
+    fn random_walk_grid(
+        seed: u64,
+        n: usize,
+        side: f64,
+        r: f64,
+    ) -> (MovingCellGrid<2>, Vec<Point<2>>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)]))
+            .collect();
+        let mut grid = MovingCellGrid::build(&pts, side, r).unwrap();
+        let mut moved = Vec::new();
+        for _ in 0..12 {
+            for p in &mut pts {
+                let q = *p + Point::new([rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)]);
+                *p = Point::new([q.coord(0).clamp(0.0, side), q.coord(1).clamp(0.0, side)]);
+            }
+            grid.update(&pts, &mut moved);
+        }
+        (grid, pts)
+    }
+
+    /// The fused candidate+distance scan visits the same id multiset
+    /// as `for_each_candidate`, with squared distances bitwise equal
+    /// to `Point::distance_sq` on the stored positions.
+    #[test]
+    fn candidate_dist2_matches_point_distance_sq_bitwise() {
+        let (grid, pts) = random_walk_grid(11, 50, 40.0, 3.0);
+        for p in &pts {
+            let mut plain = Vec::new();
+            grid.for_each_candidate(p, |j| plain.push(j));
+            let mut fused = Vec::new();
+            grid.for_each_candidate_dist2(p, |j, d2| {
+                assert_eq!(
+                    d2.to_bits(),
+                    p.distance_sq(&pts[j as usize]).to_bits(),
+                    "fused distance differs bitwise for candidate {j}"
+                );
+                fused.push(j);
+            });
+            assert_eq!(plain, fused, "fused scan changed the visit order");
+        }
+    }
+
+    /// The forward scan over the full strip range finds exactly the
+    /// brute-force in-range pairs, each once, and examines exactly the
+    /// unordered same-or-adjacent-cell pairs.
+    #[test]
+    fn forward_scan_matches_brute_force_pairs() {
+        let side = 40.0;
+        let r = 3.0;
+        let (grid, pts) = random_walk_grid(23, 60, side, r);
+        let mut scanned = Vec::new();
+        let examined = grid.scan_forward_pairs(0, grid.cells_per_side(), r * r, |a, b| {
+            scanned.push((a, b));
+        });
+        scanned.sort_unstable();
+        let mut brute = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i].distance_sq(&pts[j]) <= r * r {
+                    brute.push((i as u32, j as u32));
+                }
+            }
+        }
+        assert_eq!(scanned, brute, "forward scan missed or duplicated a pair");
+        // Examined = unordered pairs sharing a same-or-adjacent cell:
+        // cross-check against the full-neighborhood candidate scan,
+        // which visits each such pair twice plus every node once.
+        let mut visits = 0u64;
+        for p in &pts {
+            grid.for_each_candidate(p, |_| visits += 1);
+        }
+        assert_eq!(2 * examined + pts.len() as u64, visits);
+    }
+
+    /// Splitting the strip range over any shard partition yields the
+    /// same pair set and the same examined total as one full scan —
+    /// the determinism contract of the sharded bulk step.
+    #[test]
+    fn forward_scan_is_invariant_under_strip_sharding() {
+        let side = 40.0;
+        let r = 3.0;
+        let (grid, _) = random_walk_grid(31, 60, side, r);
+        let cols = grid.cells_per_side();
+        let mut full = Vec::new();
+        let full_examined = grid.scan_forward_pairs(0, cols, r * r, |a, b| full.push((a, b)));
+        for n_shards in [2usize, 3, 4, 7] {
+            let n_shards = n_shards.min(cols);
+            let (base, rem) = (cols / n_shards, cols % n_shards);
+            let mut sharded = Vec::new();
+            let mut examined = 0u64;
+            let mut lo = 0usize;
+            for w in 0..n_shards {
+                let hi = lo + base + usize::from(w < rem);
+                examined += grid.scan_forward_pairs(lo, hi, r * r, |a, b| sharded.push((a, b)));
+                lo = hi;
+            }
+            assert_eq!(lo, cols);
+            // Shard-order concatenation, then canonical sort: the
+            // sharded and full scans agree as sets *and* totals.
+            let mut full_sorted = full.clone();
+            full_sorted.sort_unstable();
+            sharded.sort_unstable();
+            assert_eq!(
+                sharded, full_sorted,
+                "shard split {n_shards} changed the pair set"
+            );
+            assert_eq!(
+                examined, full_examined,
+                "shard split {n_shards} changed examined"
+            );
+        }
+    }
+
+    /// A desynced coordinate column (SoA mirror out of step with the
+    /// authoritative `points`) must be caught on the next commit.
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    #[should_panic(expected = "strict-invariants")]
+    fn strict_invariants_detects_corrupt_coordinate_column() {
+        let pts = [Point::new([0.5, 0.5]), Point::new([9.5, 9.5])];
+        let mut grid = MovingCellGrid::build(&pts, 10.0, 1.0).unwrap();
+        let c = grid.node_cell[0] as usize;
+        grid.coords[c][0][0] += 0.25; // silent SoA drift
+        grid.relocate(&pts, &[]);
+    }
+
+    /// A stale slot record (node claims the wrong bucket position)
+    /// must be caught on the next commit.
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    #[should_panic(expected = "strict-invariants")]
+    fn strict_invariants_detects_stale_slot_record() {
+        let pts = [Point::new([0.5, 0.5]), Point::new([0.6, 0.6])];
+        let mut grid = MovingCellGrid::build(&pts, 10.0, 1.0).unwrap();
+        grid.node_slot.swap(0, 1); // both nodes share a bucket; slots lie
+        grid.relocate(&pts, &[]);
     }
 }

@@ -39,11 +39,17 @@
 //! sorted neighbor lists — bit-identical to
 //! [`AdjacencyList::from_points`] followed by [`AdjacencyList::diff`],
 //! which property tests enforce for every mobility model in the
-//! registry.
+//! registry. The bulk-rescan path may additionally fan a single step
+//! out over scoped worker threads
+//! ([`DynamicGraph::set_step_threads`]): the grid splits into axis-0
+//! cell strips that examine disjoint pair sets, and fragments merge in
+//! shard order, so the result is also bit-identical across thread
+//! counts — the same invariance, one level deeper.
 
 use crate::adjacency::AdjacencyList;
+use crate::parallel;
 use manet_geom::{MovingCellGrid, Point};
-use manet_obs::{GridMetrics, StepKernelMetrics};
+use manet_obs::{GridMetrics, ShardScan, StepKernelMetrics};
 
 /// The symmetric difference between two graph snapshots on the same
 /// node set.
@@ -225,6 +231,14 @@ pub struct DynamicGraph<const D: usize> {
     /// swapped wholesale with the live rows so both row sets' capacity
     /// is reused on alternating rescans.
     next_rows: Vec<Vec<u32>>,
+    /// Worker threads for the sharded bulk rescan (`>= 1`); the output
+    /// is invariant across this setting by construction (see
+    /// [`DynamicGraph::set_step_threads`]).
+    step_threads: usize,
+    /// Scratch: per-shard in-range pair fragments for the sharded bulk
+    /// rescan, persisted so worker buffers keep their capacity across
+    /// steps.
+    shard_pairs: Vec<Vec<(u32, u32)>>,
     /// Deterministic per-path counters (see [`StepKernelMetrics`]):
     /// which path served each step, rescan candidate volumes, and
     /// edge-event magnitudes. The initial build is not counted.
@@ -286,8 +300,46 @@ impl<const D: usize> DynamicGraph<D> {
             matched_stamp: vec![0; points.len()],
             scan_id: 0,
             next_rows: Vec::new(),
+            step_threads: 1,
+            shard_pairs: Vec::new(),
             metrics: StepKernelMetrics::default(),
         }
+    }
+
+    /// Sets the worker-thread count for the sharded bulk rescan
+    /// (chainable); see [`DynamicGraph::set_step_threads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    pub fn with_step_threads(mut self, threads: usize) -> Self {
+        self.set_step_threads(threads);
+        self
+    }
+
+    /// Sets how many scoped worker threads the bulk-rescan path may
+    /// fan a single step out over (default 1: fully serial).
+    ///
+    /// This is a *performance* knob, never a semantic one: the bulk
+    /// rescan splits the grid into axis-0 cell strips, each worker
+    /// emits its strip's in-range pairs into a private buffer, and the
+    /// merge consumes the buffers in shard order. The discovered pair
+    /// set — and therefore the snapshot, the diff, and every counter —
+    /// is a function of the positions alone, so results are
+    /// bit-identical across thread counts (pinned by the registry-wide
+    /// thread-invariance proptests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    pub fn set_step_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "step_threads must be at least 1");
+        self.step_threads = threads;
+    }
+
+    /// The configured bulk-rescan worker-thread count.
+    pub fn step_threads(&self) -> usize {
+        self.step_threads
     }
 
     /// Declares the mobility model's per-step displacement bound
@@ -569,13 +621,16 @@ impl<const D: usize> DynamicGraph<D> {
             }
             // Candidate pass: every in-range partner is either a
             // surviving old neighbor (mark it matched) or a new edge.
-            grid.for_each_candidate(&pa, |b_u| {
+            // The fused scan reads distances off the grid's SoA
+            // coordinate columns — bitwise equal to `distance_sq`
+            // against `pts`.
+            grid.for_each_candidate_dist2(&pa, |b_u, d2| {
                 candidates += 1;
                 let b = b_u as usize;
                 if b_u == a_u || (moved_stamp[b] == epoch && b_u < a_u) {
                     return;
                 }
-                if pa.distance_sq(&pts[b]) <= r2 {
+                if d2 <= r2 {
                     if old_stamp[b] == sid {
                         matched_stamp[b] = sid;
                     } else {
@@ -615,10 +670,22 @@ impl<const D: usize> DynamicGraph<D> {
     /// scratch rows, diff row-by-row against the old snapshot, and
     /// swap the rows in — the allocation-free equivalent of
     /// `from_points` + `diff`.
+    ///
+    /// The rescan is a forward half-neighborhood sweep (each unordered
+    /// same-or-adjacent-cell pair examined exactly once, distances off
+    /// the grid's SoA columns), sharded into axis-0 cell strips when
+    /// [`DynamicGraph::set_step_threads`] asks for more than one
+    /// worker. Disjoint strips examine disjoint pair sets, every
+    /// worker fills a private fragment buffer, and the merge consumes
+    /// fragments in shard order before one global row sort — so the
+    /// discovered pair set, the rows, the diff, and all counters are
+    /// bit-identical to the serial sweep at any thread count.
     fn step_bulk(&mut self) {
+        // Detach the fragment buffers before borrowing the grid: the
+        // workers fill them while the grid is shared immutably.
+        let mut frags = std::mem::take(&mut self.shard_pairs);
         let grid = self.grid.as_ref().expect("caller checked the grid"); // lint:allow(R3): step() dispatches here only when the grid exists
-        let pts = grid.points();
-        let n = pts.len();
+        let n = grid.len();
         let r2 = self.range * self.range;
         self.diff.clear();
 
@@ -629,22 +696,51 @@ impl<const D: usize> DynamicGraph<D> {
             row.clear();
         }
         let next = &mut self.next_rows;
+        let cols = grid.cells_per_side();
+        let n_shards = self.step_threads.min(cols).max(1);
         let mut pairs = 0usize;
-        let mut candidates: u64 = 0;
-        for a in 0..n {
-            let pa = pts[a];
-            grid.for_each_candidate(&pa, |b_u| {
-                candidates += 1;
-                let b = b_u as usize;
-                if b <= a {
-                    return;
-                }
-                if pa.distance_sq(&pts[b]) <= r2 {
-                    next[a].push(b_u);
-                    next[b].push(a as u32);
-                    pairs += 1;
-                }
+        let mut shard_scan = ShardScan::default();
+        if n_shards == 1 {
+            // Serial sweep: emit straight into the rows, no fragments.
+            let examined = grid.scan_forward_pairs(0, cols, r2, |a, b| {
+                next[a as usize].push(b);
+                next[b as usize].push(a);
+                pairs += 1;
             });
+            shard_scan.absorb(examined, pairs as u64);
+        } else {
+            // Balanced axis-0 strips: base-width strips, the first
+            // `rem` one cell wider — every cell covered exactly once.
+            frags.resize_with(n_shards, Vec::new);
+            let (base, rem) = (cols / n_shards, cols % n_shards);
+            let mut lo = 0usize;
+            let jobs: Vec<_> = frags
+                .drain(..)
+                .enumerate()
+                .map(|(w, mut buf)| {
+                    buf.clear();
+                    let (x_lo, x_hi) = (lo, lo + base + usize::from(w < rem));
+                    lo = x_hi;
+                    move || {
+                        let examined =
+                            grid.scan_forward_pairs(x_lo, x_hi, r2, |a, b| buf.push((a, b)));
+                        (buf, examined)
+                    }
+                })
+                .collect();
+            debug_assert_eq!(lo, cols, "strips must partition the lattice");
+            // Fragments come back and are folded in shard order, so
+            // the row contents (and the ShardScan totals) match the
+            // serial sweep exactly.
+            for (buf, examined) in parallel::run_jobs(jobs) {
+                shard_scan.absorb(examined, buf.len() as u64);
+                for &(a, b) in &buf {
+                    next[a as usize].push(b);
+                    next[b as usize].push(a);
+                }
+                pairs += buf.len();
+                frags.push(buf);
+            }
         }
         for row in next.iter_mut() {
             row.sort_unstable();
@@ -655,8 +751,13 @@ impl<const D: usize> DynamicGraph<D> {
             merge_row_diff(self.graph.neighbors(a), row, a as u32, &mut self.diff);
         }
         self.graph.swap_neighbor_rows(&mut self.next_rows, pairs);
-        self.metrics.bulk_rescan_candidates += candidates;
+        // Counter compatibility: the historical bulk counter tallied
+        // every occupant visit of every node's 3^D-cell neighborhood,
+        // which is one self-visit per node plus both directions of
+        // each examined unordered pair: `2·examined + n`.
+        self.metrics.bulk_rescan_candidates += 2 * shard_scan.pairs_examined + n as u64;
         self.metrics.bulk_rescan_steps += 1;
+        self.shard_pairs = frags;
     }
 }
 
@@ -949,5 +1050,99 @@ mod tests {
         let pts = pts1(&[0.0, 1.0]);
         let mut dg = DynamicGraph::new(&pts, 10.0, 1.0);
         dg.advance(&pts1(&[0.0]));
+    }
+
+    /// The sharded bulk rescan must be bit-identical to the serial
+    /// kernel — snapshots, diffs, and every counter — at any thread
+    /// count, including counts above the strip count and an odd count
+    /// that misaligns with the lattice.
+    #[test]
+    fn step_threads_do_not_change_any_observable() {
+        let side = 60.0;
+        let r = 6.0;
+        let n = 80;
+        let trajectory: Vec<Vec<Point<2>>> = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(909);
+            let mut pts: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)]))
+                .collect();
+            (0..30)
+                .map(|step| {
+                    for p in &mut pts {
+                        // Mostly all-moving (bulk path), every 6th step
+                        // mostly paused (incremental path).
+                        if step % 6 == 5 && rng.random_range(0.0..1.0) < 0.8 {
+                            continue;
+                        }
+                        let q = *p
+                            + Point::new([
+                                rng.random_range(-2.0..2.0),
+                                rng.random_range(-2.0..2.0),
+                            ]);
+                        *p = Point::new([q.coord(0).clamp(0.0, side), q.coord(1).clamp(0.0, side)]);
+                    }
+                    pts.clone()
+                })
+                .collect()
+        };
+        let mut serial = DynamicGraph::new(&trajectory[0], side, r);
+        assert_eq!(serial.step_threads(), 1);
+        let mut replicas: Vec<_> = [2usize, 4, 7, 64]
+            .into_iter()
+            .map(|t| DynamicGraph::new(&trajectory[0], side, r).with_step_threads(t))
+            .collect();
+        for pts in &trajectory[1..] {
+            serial.step(pts);
+            for dg in &mut replicas {
+                dg.step(pts);
+                assert_eq!(
+                    dg.graph(),
+                    serial.graph(),
+                    "{}-thread snapshot diverged",
+                    dg.step_threads()
+                );
+                assert_eq!(dg.last_diff(), serial.last_diff());
+                assert_eq!(
+                    dg.metrics(),
+                    serial.metrics(),
+                    "{}-thread counters diverged",
+                    dg.step_threads()
+                );
+                assert_eq!(dg.grid_metrics(), serial.grid_metrics());
+            }
+        }
+        assert!(serial.bulk_rescan_steps() > 0, "bulk path never exercised");
+        assert!(
+            serial.incremental_steps() > 0,
+            "incremental path never exercised"
+        );
+    }
+
+    /// The shard-merge path feeds `merge_row_diff`, whose sortedness
+    /// check is the runtime guard against a corrupted merge: a row
+    /// that arrives unsorted (here injected directly into the
+    /// snapshot) must be caught on the next sharded bulk step.
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    #[should_panic(expected = "unsorted neighbors")]
+    fn strict_invariants_detects_corrupt_shard_merge_input() {
+        let side = 30.0;
+        let r = 4.0;
+        let pts: Vec<Point<2>> = (0..12)
+            .map(|i| Point::new([2.5 * i as f64, 15.0]))
+            .collect();
+        let mut dg = DynamicGraph::new(&pts, side, r).with_step_threads(3);
+        // Corrupt one snapshot row out of sorted order behind the
+        // kernel's back.
+        let mut rows: Vec<Vec<u32>> = (0..pts.len())
+            .map(|a| dg.graph().neighbors(a).to_vec())
+            .collect();
+        rows[5].reverse();
+        let edge_count = dg.graph().edge_count();
+        dg.graph.swap_neighbor_rows(&mut rows, edge_count);
+        // All nodes move: the sharded bulk rescan must notice the
+        // unsorted old row while merging shard fragments against it.
+        let moved: Vec<Point<2>> = pts.iter().map(|p| *p + Point::new([0.3, 0.3])).collect();
+        dg.step(&moved);
     }
 }

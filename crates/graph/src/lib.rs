@@ -60,6 +60,7 @@ pub mod dynamic_components;
 pub mod kconn;
 pub mod merge;
 pub mod mst;
+mod parallel;
 
 pub use adjacency::AdjacencyList;
 pub use components::ComponentSummary;

@@ -6,7 +6,7 @@
 //! a hazard is introduced. `manet-lint` enforces it statically: it
 //! audits every `.rs` file in the workspace (`crates/`, `src/`;
 //! `vendor/` and fixture trees excluded) against the determinism and
-//! safety rules `R1`–`R5` (see [`rules`] for the table), making the
+//! safety rules `R1`–`R6` (see [`rules`] for the table), making the
 //! classic hazards — a hash-ordered iteration reaching an artifact, a
 //! wall-clock read in a kernel, an unchecked panic in library code —
 //! un-mergeable once the CI gate is on.

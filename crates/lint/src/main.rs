@@ -43,6 +43,11 @@ fn main() -> ExitCode {
                 for (path, reason) in manet_lint::walk::R2_EXEMPT_MODULES {
                     println!("  {path}\n    {reason}");
                 }
+                println!();
+                println!("R6-exempt library modules (sanctioned fan-out sites):");
+                for (path, reason) in manet_lint::walk::R6_EXEMPT_MODULES {
+                    println!("  {path}\n    {reason}");
+                }
                 return ExitCode::SUCCESS;
             }
             "-h" | "--help" => {

@@ -10,6 +10,7 @@
 //! | `R3` | no `unwrap()`/`expect()`/`panic!` in non-test library code paths (`assert!`-family macros are the sanctioned panic: they state invariants) |
 //! | `R4` | every library crate root carries `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` |
 //! | `R5` | no float reductions (`.sum::<f64>()`, `.fold`) over hash-backed containers in the geom/graph/stats kernels |
+//! | `R6` | no ad-hoc threading (`thread::spawn`, `thread::scope`) in library code — fan-out goes through the sanctioned sites in `R6_EXEMPT_MODULES`, whose merge order is documented and byte-identity-tested |
 //!
 //! Rules run against the scanner's *code* view of each line (comments,
 //! strings and char literals removed) and respect its `#[cfg(test)]`
@@ -20,7 +21,7 @@ use crate::scan::ScannedLine;
 use crate::walk::FileContext;
 
 /// All rule identifiers, in report order.
-pub const RULE_IDS: [&str; 5] = ["R1", "R2", "R3", "R4", "R5"];
+pub const RULE_IDS: [&str; 6] = ["R1", "R2", "R3", "R4", "R5", "R6"];
 
 /// One finding: a rule violated at a file location.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -29,7 +30,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`R1`…`R5`).
+    /// Rule identifier (`R1`…`R6`).
     pub rule: String,
     /// Human-readable description of the violation.
     pub message: String,
@@ -45,6 +46,7 @@ pub fn rule_description(rule: &str) -> &'static str {
         "R3" => "unwrap()/expect()/panic! in non-test library code",
         "R4" => "crate root missing #![forbid(unsafe_code)] / #![deny(missing_docs)]",
         "R5" => "unordered float reduction over a hash-backed container",
+        "R6" => "ad-hoc threading outside the sanctioned fan-out modules",
         _ => "unknown rule",
     }
 }
@@ -53,6 +55,8 @@ pub fn rule_description(rule: &str) -> &'static str {
 const R1_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
 /// Identifier tokens that trigger `R2`.
 const R2_TOKENS: [&str; 4] = ["Instant::now", "SystemTime", "thread_rng", "from_entropy"];
+/// Identifier tokens that trigger `R6`.
+const R6_TOKENS: [&str; 2] = ["thread::spawn", "thread::scope"];
 
 /// Runs every applicable line rule over one scanned file, appending
 /// findings (waivers not yet applied).
@@ -126,6 +130,25 @@ pub fn check_file(ctx: &FileContext, lines: &[ScannedLine], findings: &mut Vec<F
                         format!(
                             "`{what}` in library code: return a Result, or waive with \
                              the invariant that makes the panic unreachable"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // R6 — ad-hoc threading in library code. Spawning threads
+        // anywhere but the modules in `R6_EXEMPT_MODULES` risks a
+        // merge order nobody documented or tested; route fan-out
+        // through the sanctioned sites instead.
+        if !ctx.tool_crate && !ctx.bin_target && !ctx.r6_exempt {
+            for tok in R6_TOKENS {
+                if has_token(&line.code, tok) {
+                    push(
+                        "R6",
+                        format!(
+                            "`{tok}` outside the sanctioned fan-out modules: route \
+                             parallelism through a documented site whose merge order \
+                             is deterministic (see R6_EXEMPT_MODULES)"
                         ),
                     );
                 }
@@ -220,6 +243,7 @@ mod tests {
             lib_root: true,
             kernel_crate: false,
             r2_exempt: false,
+            r6_exempt: false,
         }
     }
 
@@ -305,6 +329,39 @@ mod tests {
         let mut ctx = lib_ctx();
         ctx.lib_root = false;
         assert!(check(&ctx, "//! a module without the attributes\n").is_empty());
+    }
+
+    #[test]
+    fn r6_flags_thread_spawn_and_scope_in_lib_but_not_tool_crates() {
+        let src =
+            format!("{ROOT_ATTRS}fn f() {{ std::thread::scope(|s| {{ s.spawn(|| 1); }}); }}\n");
+        let f = check(&lib_ctx(), &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "R6");
+        let spawn = format!("{ROOT_ATTRS}fn f() {{ std::thread::spawn(|| 1); }}\n");
+        assert_eq!(check(&lib_ctx(), &spawn).len(), 1);
+        let mut tool = lib_ctx();
+        tool.tool_crate = true;
+        assert!(check(&tool, &src).is_empty());
+    }
+
+    #[test]
+    fn r6_exempt_modules_skip_r6_but_keep_other_rules() {
+        let src = format!(
+            "{ROOT_ATTRS}use std::collections::HashMap;\nfn f() {{ std::thread::scope(|s| {{ let _ = s; }}); }}\n"
+        );
+        let mut ctx = lib_ctx();
+        ctx.r6_exempt = true;
+        let f = check(&ctx, &src);
+        assert!(f.iter().all(|x| x.rule != "R6"), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "R1"), "{f:?}");
+    }
+
+    #[test]
+    fn r6_ignores_lookalike_identifiers() {
+        let src =
+            format!("{ROOT_ATTRS}fn f() {{ my_thread::spawner(); within_thread::scoped(); }}\n");
+        assert!(check(&lib_ctx(), &src).is_empty());
     }
 
     #[test]

@@ -32,6 +32,27 @@ pub const R2_EXEMPT_MODULES: [(&str, &str); 1] = [(
      span reports go to stderr/metrics.json spans, never into deterministic outputs",
 )];
 
+/// Library modules exempt from `R6` by design: the two sanctioned
+/// `std::thread` fan-out sites. Everywhere else, library code must stay
+/// single-threaded so determinism never depends on a merge order that
+/// is not spelled out and tested. Mirrored by `disallowed-methods` in
+/// the root `clippy.toml`.
+pub const R6_EXEMPT_MODULES: [(&str, &str); 2] = [
+    (
+        "crates/graph/src/parallel.rs",
+        "the step kernel's scoped fan-out helper: workers run on disjoint spatial \
+         shards and results are folded serially in shard order, so every artifact \
+         is byte-identical across thread counts (pinned by unit, property, and \
+         CLI byte-identity tests)",
+    ),
+    (
+        "crates/sim/src/engine.rs",
+        "the per-iteration trajectory runner: each iteration derives its RNG seed \
+         from the master seed and its index, and outputs are collected by \
+         iteration index, so results are bit-identical across thread counts",
+    ),
+];
+
 /// Where a file sits in the workspace, from the rules' point of view.
 #[derive(Debug, Clone)]
 pub struct FileContext {
@@ -54,6 +75,9 @@ pub struct FileContext {
     /// Library module listed in [`R2_EXEMPT_MODULES`]: `R2` does not
     /// apply (all other rules still do).
     pub r2_exempt: bool,
+    /// Library module listed in [`R6_EXEMPT_MODULES`]: `R6` does not
+    /// apply (all other rules still do).
+    pub r6_exempt: bool,
 }
 
 /// Classifies one workspace-relative path.
@@ -85,6 +109,7 @@ pub fn classify(rel: &str) -> FileContext {
         lib_root,
         kernel_crate: KERNEL_CRATES.contains(&crate_name),
         r2_exempt: R2_EXEMPT_MODULES.iter().any(|(path, _)| *path == rel),
+        r6_exempt: R6_EXEMPT_MODULES.iter().any(|(path, _)| *path == rel),
     }
 }
 
@@ -157,5 +182,15 @@ mod tests {
         // The rest of the obs crate stays under the full contract.
         assert!(!classify("crates/obs/src/lib.rs").r2_exempt);
         assert!(!classify("crates/obs/src/metrics.rs").r2_exempt);
+    }
+
+    #[test]
+    fn r6_exemption_covers_only_the_sanctioned_fanout_sites() {
+        let par = classify("crates/graph/src/parallel.rs");
+        assert!(par.r6_exempt && !par.tool_crate && !par.exempt);
+        assert!(classify("crates/sim/src/engine.rs").r6_exempt);
+        // The rest of both crates stays under R6.
+        assert!(!classify("crates/graph/src/dynamic.rs").r6_exempt);
+        assert!(!classify("crates/sim/src/stream.rs").r6_exempt);
     }
 }

@@ -1,0 +1,13 @@
+//! Fixture: ad-hoc threading in library code (R6) — one unwaived
+//! `thread::scope` hit and one waived `thread::spawn`.
+
+/// Unwaived R6: a scoped fan-out outside the sanctioned modules.
+pub fn fan_out(xs: &[u32]) -> u32 {
+    std::thread::scope(|s| s.spawn(|| xs.iter().sum()).join().unwrap_or(0))
+}
+
+/// Waived R6: the join order is documented at the call.
+pub fn detach() {
+    let h = std::thread::spawn(|| 1); // lint:allow(R6): single worker joined immediately; no merge order exists
+    let _ = h.join();
+}

@@ -1,0 +1,8 @@
+//! Fixture: a sanctioned fan-out site — this path is listed in
+//! `R6_EXEMPT_MODULES`, so its `thread::scope` produces no finding
+//! (all other rules still apply).
+
+/// Exempt from R6 by module path.
+pub fn run_jobs(n: u32) -> u32 {
+    std::thread::scope(|s| s.spawn(move || n + 1).join().unwrap_or(0))
+}

@@ -24,7 +24,7 @@ fn workspace_root() -> PathBuf {
 #[test]
 fn fixture_workspace_findings() {
     let report = run_lint(&fixture_root()).expect("fixture tree readable");
-    assert_eq!(report.files_scanned, 7);
+    assert_eq!(report.files_scanned, 9);
 
     let got: Vec<(&str, usize, &str)> = report
         .findings
@@ -45,6 +45,8 @@ fn fixture_workspace_findings() {
             ("crates/demo/src/lib.rs", 18, "R3"),
             // A waiver without a reason is ignored: the finding stands.
             ("crates/demo/src/lib.rs", 25, "R3"),
+            // Ad-hoc threading outside the sanctioned fan-out modules.
+            ("crates/demo/src/par.rs", 6, "R6"),
             // Hash type in a kernel-crate signature.
             ("crates/stats/src/kernel.rs", 8, "R1"),
             // Unordered float reduction over the hash map.
@@ -80,6 +82,12 @@ fn fixture_workspace_findings() {
                 "caller validates non-empty",
             ),
             (
+                "crates/demo/src/par.rs",
+                11,
+                "R6",
+                "single worker joined immediately; no merge order exists",
+            ),
+            (
                 "crates/stats/src/kernel.rs",
                 5,
                 "R1",
@@ -91,13 +99,15 @@ fn fixture_workspace_findings() {
 
 /// Exemptions the fixture exercises by *absence* of findings: the
 /// bench tool crate's `Instant::now`, the bin target's clock/unwrap,
-/// the `tests/` tree, and `#[cfg(test)]` code.
+/// the `tests/` tree, `#[cfg(test)]` code, and the R6-exempt
+/// sanctioned fan-out module's `thread::scope`.
 #[test]
 fn fixture_exemptions_produce_no_findings() {
     let report = run_lint(&fixture_root()).expect("fixture tree readable");
     for file in [
         "crates/bench/src/lib.rs",
         "crates/demo/src/main.rs",
+        "crates/graph/src/parallel.rs",
         "tests/integration.rs",
         "src/lib.rs",
     ] {

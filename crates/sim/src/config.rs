@@ -18,6 +18,9 @@ pub struct SimConfig<const D: usize> {
     steps: usize,
     seed: u64,
     threads: Option<usize>,
+    /// Intra-step worker threads for the sharded step kernel
+    /// (`None` = serial).
+    step_threads: Option<usize>,
     profile_stride: usize,
     profile_bins: usize,
     profile_max_range: Option<f64>,
@@ -66,6 +69,13 @@ impl<const D: usize> SimConfig<D> {
         self.threads
     }
 
+    /// Intra-step worker threads for the step kernel's sharded bulk
+    /// rescan (`None` = serial). A performance knob only: every
+    /// artifact is byte-identical across values.
+    pub fn step_threads(&self) -> Option<usize> {
+        self.step_threads
+    }
+
     /// Merge profiles are collected every `profile_stride`-th step.
     pub fn profile_stride(&self) -> usize {
         self.profile_stride
@@ -99,6 +109,7 @@ pub struct SimConfigBuilder<const D: usize> {
     steps: usize,
     seed: u64,
     threads: Option<usize>,
+    step_threads: Option<usize>,
     profile_stride: usize,
     profile_bins: usize,
     profile_max_range: Option<f64>,
@@ -113,6 +124,7 @@ impl<const D: usize> Default for SimConfigBuilder<D> {
             steps: 1,
             seed: 0,
             threads: None,
+            step_threads: None,
             profile_stride: 1,
             profile_bins: 1024,
             profile_max_range: None,
@@ -154,6 +166,13 @@ impl<const D: usize> SimConfigBuilder<D> {
     /// Pins the worker thread count (default: available parallelism).
     pub fn threads(&mut self, threads: usize) -> &mut Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Pins the intra-step worker-thread count of the step kernel's
+    /// sharded bulk rescan (default: serial).
+    pub fn step_threads(&mut self, threads: usize) -> &mut Self {
+        self.step_threads = Some(threads);
         self
     }
 
@@ -213,6 +232,11 @@ impl<const D: usize> SimConfigBuilder<D> {
                 reason: "threads must be at least 1 when set".into(),
             });
         }
+        if self.step_threads == Some(0) {
+            return Err(SimError::InvalidConfig {
+                reason: "step_threads must be at least 1 when set".into(),
+            });
+        }
         if self.profile_stride == 0 {
             return Err(SimError::InvalidConfig {
                 reason: "profile_stride must be at least 1".into(),
@@ -237,6 +261,7 @@ impl<const D: usize> SimConfigBuilder<D> {
             steps: self.steps,
             seed: self.seed,
             threads: self.threads,
+            step_threads: self.step_threads,
             profile_stride: self.profile_stride,
             profile_bins: self.profile_bins,
             profile_max_range: self.profile_max_range,
@@ -263,6 +288,7 @@ mod tests {
         assert_eq!(c.steps(), 1);
         assert_eq!(c.seed(), 0);
         assert_eq!(c.threads(), None);
+        assert_eq!(c.step_threads(), None);
         assert_eq!(c.profile_stride(), 1);
         assert_eq!(c.profile_bins(), 1024);
         assert_eq!(c.profile_max_range(), 50.0);
@@ -275,6 +301,7 @@ mod tests {
         assert!(base().iterations(0).build().is_err());
         assert!(base().steps(0).build().is_err());
         assert!(base().threads(0).build().is_err());
+        assert!(base().step_threads(0).build().is_err());
         assert!(base().profile_stride(0).build().is_err());
         assert!(base().profile_bins(1).build().is_err());
         assert!(base().profile_max_range(-1.0).build().is_err());
@@ -286,13 +313,18 @@ mod tests {
     #[test]
     fn builder_is_chainable_and_reusable() {
         let mut b = base();
-        b.iterations(5).steps(100).seed(9).threads(2);
+        b.iterations(5)
+            .steps(100)
+            .seed(9)
+            .threads(2)
+            .step_threads(4);
         let c1 = b.build().unwrap();
         let c2 = b.build().unwrap();
         assert_eq!(c1, c2);
         assert_eq!(c1.iterations(), 5);
         assert_eq!(c1.steps(), 100);
         assert_eq!(c1.threads(), Some(2));
+        assert_eq!(c1.step_threads(), Some(4));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub trait StepObserver<const D: usize> {
 /// Iteration `i` draws all randomness from
 /// `StdRng::seed_from_u64(SeedSequence::new(config.seed()).seed_for(i))`,
 /// independent of which worker thread executes it.
+#[allow(clippy::disallowed_methods)] // thread::scope/spawn: the sanctioned iteration fan-out site (see clippy.toml)
 pub fn run_simulation<const D: usize, M, O, F>(
     config: &SimConfig<D>,
     model: &M,

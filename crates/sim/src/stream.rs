@@ -182,6 +182,9 @@ pub struct ConnectivityStream<O, const D: usize> {
     /// The mobility model's declared per-step displacement bound,
     /// handed to the kernel's contract check.
     displacement_bound: Option<f64>,
+    /// Intra-step worker threads handed to the kernel's sharded bulk
+    /// rescan (`>= 1`; a performance knob, never a semantic one).
+    step_threads: usize,
     state: Option<(DynamicGraph<D>, DynamicComponents)>,
     inner: O,
 }
@@ -232,9 +235,25 @@ impl<O, const D: usize> ConnectivityStream<O, D> {
             side,
             range,
             displacement_bound,
+            step_threads: 1,
             state: None,
             inner,
         }
+    }
+
+    /// Sets the intra-step worker-thread count for the kernel's
+    /// sharded bulk rescan (chainable; default 1 = serial). Every
+    /// observable — snapshots, diffs, counters, artifacts — is
+    /// bit-identical across values (see
+    /// [`DynamicGraph::set_step_threads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    pub fn with_step_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "step_threads must be at least 1");
+        self.step_threads = threads;
+        self
     }
 }
 
@@ -253,7 +272,8 @@ impl<const D: usize, O: ConnectivityObserver<D>> StepObserver<D> for Connectivit
         match self.state.as_mut() {
             None => {
                 let dg = DynamicGraph::new(positions, self.side, range)
-                    .with_displacement_bound(self.displacement_bound);
+                    .with_displacement_bound(self.displacement_bound)
+                    .with_step_threads(self.step_threads);
                 self.state = Some((dg, DynamicComponents::new(positions.len())));
             }
             Some((dg, _)) => dg.step(positions),
@@ -336,8 +356,10 @@ where
     // The model's declared per-step displacement bound arms the step
     // kernel's contract check in every iteration's stream.
     let bound = model.max_step_displacement();
+    let step_threads = config.step_threads().unwrap_or(1);
     run_simulation(config, model, move |iteration| {
         ConnectivityStream::with_displacement_bound(side, range, bound, make_observer(iteration))
+            .with_step_threads(step_threads)
     })
 }
 
@@ -454,6 +476,38 @@ mod tests {
         })
         .unwrap();
         assert_eq!(single, multi);
+    }
+
+    /// The intra-step knob must be as invisible as the iteration-level
+    /// one: identical connectivity fingerprints at any `step_threads`.
+    #[test]
+    fn outputs_identical_across_step_thread_counts() {
+        struct Fingerprint(Vec<(usize, usize, usize)>);
+        impl<const D: usize> ConnectivityObserver<D> for Fingerprint {
+            type Output = Vec<(usize, usize, usize)>;
+            fn observe(&mut self, view: &StepView<'_, D>) {
+                let c = view.components();
+                let churn = view.diff().churn();
+                self.0.push((c.count(), c.largest_size(), churn));
+            }
+            fn finish(self) -> Self::Output {
+                self.0
+            }
+        }
+        let model = RandomWaypoint::new(0.5, 5.0, 1, 0.25).unwrap();
+        let run = |step_threads: Option<usize>| {
+            let mut b = SimConfig::<2>::builder();
+            b.nodes(24).side(120.0).iterations(3).steps(25).seed(808);
+            if let Some(t) = step_threads {
+                b.step_threads(t);
+            }
+            let cfg = b.build().unwrap();
+            run_connectivity_stream(&cfg, &model, Some(35.0), |_| Fingerprint(Vec::new())).unwrap()
+        };
+        let serial = run(None);
+        for t in [2usize, 4, 7] {
+            assert_eq!(run(Some(t)), serial, "step_threads={t} changed the stream");
+        }
     }
 
     #[test]

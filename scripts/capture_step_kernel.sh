@@ -2,13 +2,16 @@
 # Captures step-kernel benchmark numbers to BENCH_step_kernel.json at
 # the repository root — the machine-readable perf trajectory for the
 # zero-rebuild step kernel (incremental vs rebuild-and-diff, n in
-# {256, 1000, 4000} x {low, mid, high} mobility).
+# {256, 1000, 4000} x {low, mid, high} mobility, plus the sharded
+# thread sweep at n=4000 and the density-preserving n=20000/n=100000
+# scaling rows).
 #
 # Usage:
-#   scripts/capture_step_kernel.sh            # full capture (committed numbers)
-#   scripts/capture_step_kernel.sh --quick    # reduced grid, 1 repeat (CI smoke)
-#   scripts/capture_step_kernel.sh --out PATH # write elsewhere
-#   scripts/capture_step_kernel.sh --profile  # span-timer breakdown on stderr
+#   scripts/capture_step_kernel.sh               # full capture (committed numbers)
+#   scripts/capture_step_kernel.sh --quick       # reduced grid, 1 repeat (CI smoke)
+#   scripts/capture_step_kernel.sh --large-smoke # one n=20000 pair at 1/4 threads (CI)
+#   scripts/capture_step_kernel.sh --out PATH    # write elsewhere
+#   scripts/capture_step_kernel.sh --profile     # span-timer breakdown on stderr
 #
 # Each JSON row pairs ns/step with the kernel's deterministic path
 # counters (incremental/bulk/fallback fractions, rescan candidate
@@ -26,6 +29,7 @@ ARGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) ARGS+=("--quick") ;;
+    --large-smoke) ARGS+=("--large-smoke") ;;
     --profile) ARGS+=("--profile") ;;
     --out) OUT="$2"; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;

@@ -63,6 +63,50 @@ fn thread_count_is_invisible() {
     }
 }
 
+/// The second, orthogonal thread knob: `step_threads` pins the
+/// intra-step worker count of the sharded bulk rescan inside
+/// `DynamicGraph::step`, independently of the per-iteration `threads`
+/// fan-out. Both knobs, alone and combined, must be invisible in every
+/// artifact — the fixed-range report and (when serde is on) the
+/// temporal-trace JSON, byte for byte.
+#[test]
+fn step_thread_count_is_invisible() {
+    let run = |threads: usize, step_threads: usize| {
+        MtrmProblem::<2>::builder()
+            .nodes(14)
+            .side(200.0)
+            .iterations(6)
+            .steps(60)
+            .seed(20020623)
+            .threads(threads)
+            .step_threads(step_threads)
+            .model(AnyModel::from(
+                RandomWaypoint::<2>::new(0.1, 4.0, 10, 0.25).unwrap(),
+            ))
+            .build()
+            .unwrap()
+    };
+    let reference = run(1, 1).fixed_range_report(45.0).unwrap();
+    for (threads, step_threads) in [(1, 2), (1, 7), (3, 4)] {
+        assert_eq!(
+            reference,
+            run(threads, step_threads).fixed_range_report(45.0).unwrap(),
+            "report depends on (threads={threads}, step_threads={step_threads})"
+        );
+    }
+
+    #[cfg(feature = "serde")]
+    {
+        let trace = |threads: usize, step_threads: usize| {
+            let summary = run(threads, step_threads).temporal_trace(45.0).unwrap();
+            serde_json::to_string(&summary).unwrap()
+        };
+        let reference = trace(1, 1);
+        assert_eq!(reference, trace(1, 4), "step_threads leaked into trace");
+        assert_eq!(reference, trace(2, 7), "combined knobs leaked into trace");
+    }
+}
+
 #[test]
 fn profiles_and_component_ranges_deterministic() {
     let p1 = build(9, 1);
