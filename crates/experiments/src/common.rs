@@ -55,6 +55,22 @@ pub struct RunOptions {
     /// `--progress`: coarse stderr progress lines (sweep point i/N),
     /// kept strictly off stdout and artifacts.
     pub progress: bool,
+    /// `--target F`: connectivity level in `(0, 1]` the critical-range
+    /// bisection thresholds (critical-scaling; default 0.99).
+    pub target: f64,
+    /// `--k-target K`: threshold on `k`-vertex-connectivity instead of
+    /// the giant-component fraction (critical-scaling).
+    pub k_target: Option<usize>,
+    /// `--n-sweep a,b,c`: node counts of the finite-size scaling sweep
+    /// (critical-scaling); `None` keeps the default sweep.
+    pub n_sweep: Option<Vec<usize>>,
+    /// `--checkpoint PATH`: persist completed sweep cells to `PATH` and
+    /// resume from it when present (critical-scaling).
+    pub checkpoint: Option<PathBuf>,
+    /// `--max-cells N`: execute at most `N` pending sweep cells this
+    /// invocation, then checkpoint and exit without final artifacts —
+    /// the budget knob the resume test interrupts a grid with.
+    pub max_cells: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -72,6 +88,11 @@ impl Default for RunOptions {
             metrics: None,
             profile: false,
             progress: false,
+            target: 0.99,
+            k_target: None,
+            n_sweep: None,
+            checkpoint: None,
+            max_cells: None,
         }
     }
 }
@@ -112,6 +133,33 @@ impl RunOptions {
                 }
                 "--profile" => opts.profile = true,
                 "--progress" => opts.progress = true,
+                "--target" => opts.target = take_f64(args, &mut i)?,
+                "--k-target" => opts.k_target = Some(take_usize(args, &mut i)?),
+                "--max-cells" => opts.max_cells = Some(take_usize(args, &mut i)?),
+                "--checkpoint" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--checkpoint requires a file path")?;
+                    opts.checkpoint = Some(PathBuf::from(v));
+                }
+                "--n-sweep" => {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .ok_or("--n-sweep requires a comma-separated list")?;
+                    let ns: Vec<usize> = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| format!("invalid node count `{s}` in --n-sweep"))
+                        })
+                        .collect::<Result<_, String>>()?;
+                    if ns.is_empty() {
+                        return Err("--n-sweep requires at least one node count".into());
+                    }
+                    opts.n_sweep = Some(ns);
+                }
                 "--models" => {
                     i += 1;
                     let v = args
@@ -152,6 +200,17 @@ impl RunOptions {
         }
         if opts.step_threads == Some(0) {
             return Err("--step-threads must be positive".into());
+        }
+        if !(opts.target.is_finite() && opts.target > 0.0 && opts.target <= 1.0) {
+            return Err(format!("--target must be in (0, 1], got {}", opts.target));
+        }
+        if opts.k_target == Some(0) {
+            return Err("--k-target must be at least 1".into());
+        }
+        if let Some(ns) = &opts.n_sweep {
+            if ns.iter().any(|&n| n < 2) {
+                return Err("--n-sweep node counts must be at least 2".into());
+            }
         }
         Ok(opts)
     }
@@ -225,6 +284,22 @@ fn take_usize(args: &[String], i: &mut usize) -> Result<usize, String> {
         .ok_or_else(|| format!("{} requires a value", args[*i - 1]))?;
     v.parse()
         .map_err(|_| format!("invalid value `{v}` for {}", args[*i - 1]))
+}
+
+fn take_f64(args: &[String], i: &mut usize) -> Result<f64, String> {
+    *i += 1;
+    let v = args
+        .get(*i)
+        .ok_or_else(|| format!("{} requires a value", args[*i - 1]))?;
+    v.parse()
+        .map_err(|_| format!("invalid value `{v}` for {}", args[*i - 1]))
+}
+
+/// Density-preserving region side for `n` nodes: anchored so the
+/// paper's smallest system (`n = 16`, `l = 256`) keeps its node
+/// density at every sweep size (`l ∝ √n`, i.e. `n / l²` constant).
+pub fn side_for(n: usize) -> f64 {
+    64.0 * (n as f64).sqrt()
 }
 
 /// Computes `r_stationary` for `(n, l)` at the standard quantile.
@@ -385,6 +460,57 @@ mod tests {
         assert!(o.profile);
         assert!(o.progress);
         assert!(parse(&["--metrics"]).is_err());
+    }
+
+    #[test]
+    fn critical_scaling_flags_parse_and_validate() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.target, 0.99);
+        assert_eq!(o.k_target, None);
+        assert_eq!(o.n_sweep, None);
+        assert_eq!(o.checkpoint, None);
+        assert_eq!(o.max_cells, None);
+
+        let o = parse(&[
+            "--target",
+            "0.9",
+            "--k-target",
+            "2",
+            "--n-sweep",
+            " 16, 32 ,64 ",
+            "--checkpoint",
+            "out/ck.json",
+            "--max-cells",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(o.target, 0.9);
+        assert_eq!(o.k_target, Some(2));
+        assert_eq!(o.n_sweep.as_deref().unwrap(), [16, 32, 64]);
+        assert_eq!(o.checkpoint, Some(PathBuf::from("out/ck.json")));
+        assert_eq!(o.max_cells, Some(3));
+
+        assert!(parse(&["--target"]).is_err());
+        assert!(parse(&["--target", "0"]).is_err());
+        assert!(parse(&["--target", "1.5"]).is_err());
+        assert!(parse(&["--target", "nope"]).is_err());
+        assert!(parse(&["--k-target", "0"]).is_err());
+        assert!(parse(&["--n-sweep"]).is_err());
+        assert!(parse(&["--n-sweep", ""]).is_err());
+        assert!(parse(&["--n-sweep", "16,x"]).is_err());
+        assert!(parse(&["--n-sweep", "16,1"]).is_err());
+        assert!(parse(&["--checkpoint"]).is_err());
+        assert!(parse(&["--max-cells"]).is_err());
+    }
+
+    #[test]
+    fn side_for_preserves_the_paper_base_density() {
+        assert_eq!(side_for(16), 256.0);
+        // n / l² is constant across the sweep.
+        let d16 = 16.0 / (side_for(16) * side_for(16));
+        let d64 = 64.0 / (side_for(64) * side_for(64));
+        assert!((d16 - d64).abs() < 1e-15);
+        assert!(side_for(64) > side_for(16));
     }
 
     #[test]

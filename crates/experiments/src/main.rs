@@ -13,6 +13,7 @@
 //!   uptime           X2: outage structure (MTBF/MTTR) at the tiers (extension)
 //!   trace            X3: temporal connectivity traces (extension)
 //!   fixed            X4: fixed-range simulator sweep (extension)
+//!   critical-scaling X5: critical-range finite-size scaling (extension)
 //!   all              everything above
 //!
 //! options:
@@ -38,6 +39,17 @@
 //!                    to stderr (and into --metrics when given)
 //!   --progress       coarse progress lines on stderr (sweep point
 //!                    i/N); stdout and artifacts stay byte-identical
+//!   --target F       connectivity level the critical-scaling
+//!                    bisection thresholds (default 0.99)
+//!   --k-target K     critical-scaling: threshold k-vertex-
+//!                    connectivity instead of giant-component fraction
+//!   --n-sweep A,B,.. critical-scaling node counts (default 16,32,64);
+//!                    the region side scales as side_for(n) so node
+//!                    density stays at the paper's base density
+//!   --checkpoint P   critical-scaling: persist completed sweep cells
+//!                    to P and resume from it when present
+//!   --max-cells N    critical-scaling: run at most N pending cells,
+//!                    checkpoint, and exit without final artifacts
 //! ```
 //!
 //! Without `--paper`, pause times and sweep axes that the paper ties to
@@ -49,6 +61,7 @@ mod figures;
 mod fixed;
 mod obs;
 mod quantity;
+mod scaling;
 mod stationary;
 mod theory;
 mod trace;
@@ -90,6 +103,7 @@ fn main() {
         "uptime" => uptime::run(&opts, s),
         "fixed" => fixed::run(&opts, s),
         "trace" => trace::run(&opts, s),
+        "critical-scaling" => scaling::run(&opts, s),
         "theory" => {
             let which = args[1..]
                 .iter()
@@ -104,7 +118,8 @@ fn main() {
             .and_then(|_| quantity::run(&opts, s))
             .and_then(|_| uptime::run(&opts, s))
             .and_then(|_| fixed::run(&opts, s))
-            .and_then(|_| trace::run(&opts, s)),
+            .and_then(|_| trace::run(&opts, s))
+            .and_then(|_| scaling::run(&opts, s)),
         other => {
             eprintln!("error: unknown command `{other}`");
             print_usage();
@@ -122,10 +137,12 @@ fn main() {
 fn print_usage() {
     println!(
         "manet-repro: reproduce Santi & Blough (DSN 2002)\n\n\
-         usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|fixed|trace|all> [options]\n\
+         usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|fixed|trace|critical-scaling|all> [options]\n\
          options: --quick | --paper | --iterations N | --steps N | --placements N\n\
          \x20        --seed N | --threads N | --step-threads N | --out DIR\n\
          \x20        --models A,B,.. | --nodes N (trace/fixed/uptime/quantity)\n\
-         \x20        --metrics PATH | --profile | --progress"
+         \x20        --metrics PATH | --profile | --progress\n\
+         \x20        --target F | --k-target K | --n-sweep A,B,.. | --checkpoint P\n\
+         \x20        --max-cells N (critical-scaling)"
     );
 }

@@ -1,0 +1,318 @@
+//! X5 — critical-range finite-size scaling (extension experiment).
+//!
+//! Wang et al. (PAPERS.md, arXiv:0806.2351) predict the critical
+//! transmitting range of a mobile network scales as a power law in the
+//! node count. This experiment locates the transition for each
+//! (mobility model × `n`) cell of a density-preserving sweep
+//! (`side_for(n)` keeps `n / l²` at the paper's base density) via
+//! deterministic stochastic bisection, then fits
+//! `log rho_c = a - beta · log n` per model and reports `beta` with a
+//! Student-t confidence interval. Cells run on the batched sweep
+//! scheduler (`manet_sim::sweep`): `--threads` drives the worker pool,
+//! `--checkpoint` persists completed cells for resume, and
+//! `--max-cells` bounds one invocation's work — an interrupted grid
+//! resumes to byte-identical artifacts.
+
+use crate::common::{banner, fmt, side_for, RunOptions, Table};
+use crate::obs::ObsSession;
+use manet_core::obs::KernelMetrics;
+use manet_core::sim::{
+    find_critical_range, fit_scaling_exponent, ConnectivityMetric, CriticalRangeSearch,
+    ScalingExponent, SimConfig, SweepCheckpoint, SweepScheduler,
+};
+use manet_core::{AnyModel, CoreError};
+
+/// Models swept when `--models` is not given: the paper's two plus the
+/// zoo's correlated-velocity and group families (matching `trace`).
+const DEFAULT_MODELS: [&str; 4] = ["waypoint", "drunkard", "gauss-markov", "rpgm"];
+
+/// Node counts swept when `--n-sweep` is not given.
+const DEFAULT_N_SWEEP: [usize; 3] = [16, 32, 64];
+
+/// Confidence level of the reported beta interval.
+const CONFIDENCE_LEVEL: f64 = 0.95;
+
+/// One (model, n) cell of the sweep grid.
+struct CellJob {
+    model_name: String,
+    model: AnyModel<2>,
+    n: usize,
+    side: f64,
+}
+
+/// One located critical point, as checkpointed and serialized to
+/// `critical_scaling.json`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct CellResult {
+    model: String,
+    n: usize,
+    side: f64,
+    r_c: f64,
+    rho_c: f64,
+    probes: usize,
+    kernel: KernelMetrics,
+}
+
+/// Per-model scaling fit, as serialized to `critical_scaling.json`.
+#[derive(serde::Serialize)]
+struct ModelFit {
+    model: String,
+    /// `None` when the model has fewer than three sweep points.
+    fit: Option<ScalingExponent>,
+}
+
+/// The `critical_scaling.json` artifact: configuration, every sweep
+/// cell, and the per-model exponent fits.
+#[derive(serde::Serialize)]
+struct ScalingArtifact {
+    metric: String,
+    target: f64,
+    iterations: usize,
+    steps: usize,
+    seed: u64,
+    n_sweep: Vec<usize>,
+    confidence_level: f64,
+    cells: Vec<CellResult>,
+    fits: Vec<ModelFit>,
+}
+
+/// Runs the critical-scaling sweep.
+pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError> {
+    banner("X5 (extension): critical-range finite-size scaling");
+    let ns: Vec<usize> = opts
+        .n_sweep
+        .clone()
+        .unwrap_or_else(|| DEFAULT_N_SWEEP.to_vec());
+    let metric = match opts.k_target {
+        Some(k) => ConnectivityMetric::KConnectivity(k),
+        None => ConnectivityMetric::GiantFraction,
+    };
+    let metric_name = match opts.k_target {
+        Some(k) => format!("{k}-connectivity"),
+        None => "giant-fraction".to_string(),
+    };
+    let search = CriticalRangeSearch::new()
+        .with_metric(metric)
+        .with_target(opts.target);
+
+    let mut jobs: Vec<CellJob> = Vec::new();
+    for &n in &ns {
+        let l = side_for(n);
+        for (model_name, model) in opts.resolve_models(&DEFAULT_MODELS, l)? {
+            jobs.push(CellJob {
+                model_name,
+                model,
+                n,
+                side: l,
+            });
+        }
+    }
+
+    // Everything that shapes a cell's result goes into the fingerprint,
+    // so a checkpoint refuses to resume against a different grid.
+    let fingerprint = format!(
+        "critical-scaling-v1 seed={} iterations={} steps={} target={} metric={} cells=[{}]",
+        opts.seed,
+        opts.iterations,
+        opts.steps,
+        opts.target,
+        metric_name,
+        jobs.iter()
+            .map(|j| format!("{}:{}", j.model_name, j.n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+
+    let mut checkpoint = match &opts.checkpoint {
+        Some(path) if path.exists() => {
+            let text = std::fs::read_to_string(path).map_err(|e| CoreError::Invalid {
+                reason: format!("cannot read checkpoint {}: {e}", path.display()),
+            })?;
+            let ck: SweepCheckpoint<CellResult> =
+                serde_json::from_str(&text).map_err(|e| CoreError::Invalid {
+                    reason: format!("cannot parse checkpoint {}: {e}", path.display()),
+                })?;
+            ck.validate(&fingerprint, jobs.len())?;
+            println!(
+                "resuming from {} ({} of {} cells done)",
+                path.display(),
+                ck.completed(),
+                jobs.len()
+            );
+            ck
+        }
+        _ => SweepCheckpoint::new(fingerprint.clone(), jobs.len()),
+    };
+
+    let threads = opts.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    });
+    let mut scheduler = SweepScheduler::new(threads);
+    if let Some(budget) = opts.max_cells {
+        scheduler = scheduler.with_budget(budget);
+    }
+    session.progress(&format!(
+        "critical-scaling: {} pending of {} cells on {threads} threads",
+        jobs.len() - checkpoint.completed(),
+        jobs.len()
+    ));
+
+    // Each cell runs the bisection single-threaded (the scheduler is
+    // the fan-out; nesting engine threads would only oversubscribe).
+    session.span_enter("critical-scaling/sweep");
+    let run = scheduler.run(&jobs, checkpoint.clone().into_results(), |_, job| {
+        let mut builder = SimConfig::<2>::builder();
+        builder
+            .nodes(job.n)
+            .side(job.side)
+            .iterations(opts.iterations)
+            .steps(opts.steps)
+            .seed(opts.seed)
+            .threads(1);
+        if let Some(t) = opts.step_threads {
+            builder.step_threads(t);
+        }
+        let config = builder.build()?;
+        let point = find_critical_range(&config, &job.model, &search)?;
+        Ok(CellResult {
+            model: job.model_name.clone(),
+            n: job.n,
+            side: job.side,
+            r_c: point.range,
+            rho_c: point.normalized,
+            probes: point.probes,
+            kernel: point.kernel,
+        })
+    })?;
+    session.span_exit();
+
+    let executed = run.executed();
+    checkpoint.absorb(run);
+    if let Some(path) = &opts.checkpoint {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| CoreError::Invalid {
+                reason: format!("cannot create checkpoint directory: {e}"),
+            })?;
+        }
+        let json = serde_json::to_string(&checkpoint).map_err(|e| CoreError::Invalid {
+            reason: format!("cannot serialize checkpoint: {e}"),
+        })?;
+        std::fs::write(path, json).map_err(|e| CoreError::Invalid {
+            reason: format!("cannot write checkpoint: {e}"),
+        })?;
+        println!("wrote {}", path.display());
+    }
+    if !checkpoint.is_complete() {
+        println!(
+            "sweep paused: {} of {} cells done ({executed} executed this run); \
+             rerun with the same flags{} to finish",
+            checkpoint.completed(),
+            jobs.len(),
+            if opts.checkpoint.is_some() {
+                " and --checkpoint"
+            } else {
+                " (pass --checkpoint to persist progress)"
+            }
+        );
+        return Ok(());
+    }
+
+    let cells: Vec<CellResult> = checkpoint.into_results().into_iter().flatten().collect();
+    let mut table = Table::new(&["model", "n", "side", "r_c", "rho_c", "probes"]);
+    for cell in &cells {
+        session.note_model(&cell.model);
+        session.note_nodes(cell.n);
+        session.note_range(cell.r_c);
+        session.record_counters(&format!("{}@n={}", cell.model, cell.n), &cell.kernel);
+        table.row(vec![
+            cell.model.clone(),
+            cell.n.to_string(),
+            fmt(cell.side),
+            fmt(cell.r_c),
+            fmt(cell.rho_c),
+            cell.probes.to_string(),
+        ]);
+    }
+    table.print();
+
+    // One fit per model, in first-appearance order.
+    let mut model_names: Vec<String> = Vec::new();
+    for cell in &cells {
+        if !model_names.contains(&cell.model) {
+            model_names.push(cell.model.clone());
+        }
+    }
+    let mut fit_table = Table::new(&["model", "beta", "ci_lo", "ci_hi", "r2", "points"]);
+    let mut fits = Vec::new();
+    for name in &model_names {
+        let points: Vec<(usize, f64)> = cells
+            .iter()
+            .filter(|c| &c.model == name)
+            .map(|c| (c.n, c.rho_c))
+            .collect();
+        let fit = if points.len() >= 3 {
+            Some(fit_scaling_exponent(&points, CONFIDENCE_LEVEL)?)
+        } else {
+            None
+        };
+        match &fit {
+            Some(f) => fit_table.row(vec![
+                name.clone(),
+                fmt(f.beta),
+                fmt(f.ci.lo),
+                fmt(f.ci.hi),
+                fmt(f.line.r_squared),
+                f.points.to_string(),
+            ]),
+            None => fit_table.row(vec![
+                name.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                points.len().to_string(),
+            ]),
+        }
+        fits.push(ModelFit {
+            model: name.clone(),
+            fit,
+        });
+    }
+    println!();
+    println!(
+        "finite-size scaling fit rho_c ~ n^(-beta) ({metric_name} target {}, {:.0}% CI):",
+        opts.target,
+        CONFIDENCE_LEVEL * 100.0
+    );
+    fit_table.print();
+
+    let csv_path = table
+        .write_csv(&opts.out_dir, "critical_scaling")
+        .map_err(|e| CoreError::Invalid {
+            reason: format!("cannot write CSV: {e}"),
+        })?;
+    println!("wrote {}", csv_path.display());
+
+    let artifact = ScalingArtifact {
+        metric: metric_name,
+        target: opts.target,
+        iterations: opts.iterations,
+        steps: opts.steps,
+        seed: opts.seed,
+        n_sweep: ns,
+        confidence_level: CONFIDENCE_LEVEL,
+        cells,
+        fits,
+    };
+    let json = serde_json::to_string(&artifact).map_err(|e| CoreError::Invalid {
+        reason: format!("cannot serialize scaling artifact: {e}"),
+    })?;
+    let json_path = opts.out_dir.join("critical_scaling.json");
+    std::fs::write(&json_path, json).map_err(|e| CoreError::Invalid {
+        reason: format!("cannot write JSON: {e}"),
+    })?;
+    println!("wrote {}", json_path.display());
+    Ok(())
+}

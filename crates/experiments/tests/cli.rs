@@ -553,3 +553,198 @@ fn trace_zoo_matches_golden_across_thread_counts() {
         std::fs::remove_dir_all(dir).ok();
     }
 }
+
+#[test]
+fn critical_scaling_matches_golden_across_thread_counts() {
+    let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens");
+    let want_csv = std::fs::read_to_string(golden_dir.join("critical_scaling.csv")).unwrap();
+    let mut reference_json: Option<String> = None;
+    // The acceptance bar: byte-identical artifacts at --threads 1/2/4.
+    for threads in ["1", "2", "4"] {
+        let dir = temp_out(&format!("critical_t{threads}"));
+        let out = repro()
+            .args([
+                "critical-scaling",
+                "--iterations",
+                "3",
+                "--steps",
+                "120",
+                "--n-sweep",
+                "16,32,64",
+                "--seed",
+                "20020623",
+                "--threads",
+                threads,
+                "--models",
+                "waypoint,drunkard",
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("beta"), "missing fit table: {stdout}");
+        let got = std::fs::read_to_string(dir.join("critical_scaling.csv")).unwrap();
+        assert_eq!(
+            got, want_csv,
+            "critical_scaling.csv diverged from tests/goldens at --threads {threads}"
+        );
+        let json = std::fs::read_to_string(dir.join("critical_scaling.json")).unwrap();
+        assert!(json.contains("\"fits\""));
+        match &reference_json {
+            Some(want) => assert_eq!(
+                &json, want,
+                "critical_scaling.json diverged at --threads {threads}"
+            ),
+            None => reference_json = Some(json),
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn critical_scaling_checkpoint_resume_is_byte_identical() {
+    let base = [
+        "critical-scaling",
+        "--iterations",
+        "2",
+        "--steps",
+        "40",
+        "--n-sweep",
+        "12,16,24",
+        "--models",
+        "waypoint,drunkard",
+    ];
+    let full_dir = temp_out("critical_full");
+    let out = repro()
+        .args(base)
+        .args(["--threads", "2", "--out"])
+        .arg(&full_dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Interrupt the grid after 2 of 6 cells: a checkpoint is written,
+    // final artifacts are not.
+    let resume_dir = temp_out("critical_resume");
+    let ckpt = resume_dir.join("sweep.ckpt.json");
+    let out = repro()
+        .args(base)
+        .args(["--threads", "3", "--max-cells", "2", "--checkpoint"])
+        .arg(&ckpt)
+        .arg("--out")
+        .arg(&resume_dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sweep paused"), "stdout: {stdout}");
+    assert!(ckpt.exists(), "checkpoint file missing");
+    assert!(
+        !resume_dir.join("critical_scaling.csv").exists(),
+        "interrupted run must not emit final artifacts"
+    );
+
+    // Resume from the checkpoint on yet another thread count.
+    let out = repro()
+        .args(base)
+        .args(["--threads", "1", "--checkpoint"])
+        .arg(&ckpt)
+        .arg("--out")
+        .arg(&resume_dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("resuming from"));
+
+    for artifact in ["critical_scaling.csv", "critical_scaling.json"] {
+        let full = std::fs::read_to_string(full_dir.join(artifact)).unwrap();
+        let resumed = std::fs::read_to_string(resume_dir.join(artifact)).unwrap();
+        assert_eq!(
+            full, resumed,
+            "{artifact} differs between resumed and uninterrupted runs"
+        );
+    }
+    std::fs::remove_dir_all(full_dir).ok();
+    std::fs::remove_dir_all(resume_dir).ok();
+}
+
+#[test]
+fn k_target_thresholds_k_connectivity() {
+    let run = |extra: &[&str], tag: &str| {
+        let dir = temp_out(tag);
+        let out = repro()
+            .args([
+                "critical-scaling",
+                "--iterations",
+                "2",
+                "--steps",
+                "30",
+                "--n-sweep",
+                "8,12,16",
+                "--models",
+                "waypoint",
+                "--target",
+                "1.0",
+            ])
+            .args(extra)
+            .args(["--out"])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let csv = std::fs::read_to_string(dir.join("critical_scaling.csv")).unwrap();
+        let r_c: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(3).unwrap().parse().unwrap())
+            .collect();
+        std::fs::remove_dir_all(dir).ok();
+        r_c
+    };
+    // Oracle: biconnectivity needs at least the range plain
+    // connectivity needs, cell by cell.
+    let k1 = run(&["--k-target", "1"], "ktarget_k1");
+    let k2 = run(&["--k-target", "2"], "ktarget_k2");
+    assert_eq!(k1.len(), 3);
+    for (a, b) in k1.iter().zip(&k2) {
+        assert!(b >= a, "k=2 range {b} below k=1 range {a}");
+    }
+    assert!(
+        k2.iter().zip(&k1).any(|(b, a)| b > a),
+        "k=2 should strictly exceed k=1 somewhere on sparse placements"
+    );
+
+    // Infeasible k (>= n) is rejected with a clear message.
+    let out = repro()
+        .args([
+            "critical-scaling",
+            "--iterations",
+            "1",
+            "--steps",
+            "5",
+            "--n-sweep",
+            "8",
+            "--models",
+            "waypoint",
+            "--k-target",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("k-connectivity"));
+}

@@ -76,9 +76,11 @@ pub mod engine;
 pub mod fixed;
 pub mod profile;
 pub mod quantity;
+pub mod scaling;
 pub mod search;
 pub mod stationary;
 pub mod stream;
+pub mod sweep;
 pub mod trace;
 pub mod uptime;
 
@@ -91,10 +93,15 @@ pub use engine::{run_simulation, StepObserver};
 pub use fixed::{simulate_fixed_range, FixedRangeReport, IterationStats};
 pub use profile::{simulate_profiles, ProfileResults, RangeSizeProfile};
 pub use quantity::{measure_mobility_quantity, MobilityQuantity};
+pub use scaling::{
+    find_critical_range, fit_scaling_exponent, ConnectivityMetric, CriticalPoint,
+    CriticalRangeSearch, ScalingExponent,
+};
 pub use stationary::StationaryAnalysis;
 pub use stream::{
     run_connectivity_stream, ConnectivityObserver, ConnectivityStream, LinkView, StepView,
 };
+pub use sweep::{SweepCheckpoint, SweepRun, SweepScheduler};
 pub use trace::{simulate_trace, TraceObserver};
 pub use uptime::{simulate_uptime, UptimeReport, UptimeSummary};
 

@@ -1,0 +1,474 @@
+//! Critical-range finder and finite-size scaling fits.
+//!
+//! Wang et al. (PAPERS.md, arXiv:0806.2351) show the critical
+//! transmitting range of a mobile network scales as a power law
+//! `r_c(n) ~ n^(-beta)`. This module locates the transition for one
+//! `(model, n)` cell — the smallest range whose mean connectivity
+//! metric reaches a target — and fits the exponent across a
+//! density-preserving `n` sweep.
+//!
+//! # Monotone stochastic bisection
+//!
+//! The engine's trajectories depend only on `(config, model)`, never
+//! on the probed range, so one seed fixes every placement and step.
+//! Over those fixed trajectories both supported metrics are monotone
+//! non-decreasing in `r` (adding edges can only grow the largest
+//! component, and can only raise vertex connectivity), which makes the
+//! threshold question exactly the shape [`bisect_monotone`] answers:
+//! each probe is a fresh seeded multi-iteration campaign through
+//! [`run_connectivity_stream`], and the bisection converges to the
+//! true threshold of the *fixed* trajectory ensemble within
+//! tolerance. Determinism is inherited, so critical points are
+//! bit-identical across thread counts.
+//!
+//! # Normalization
+//!
+//! Under the density-preserving scaling the CLI uses (`side ∝ √n`),
+//! the *raw* critical range grows slowly with `n` while the
+//! *normalized* range `rho_c = r_c / side` falls as a clean power law
+//! (for random geometric graphs `rho_c ~ √(log n / n)`, an effective
+//! exponent around 0.4–0.5 over practical `n`). [`CriticalPoint`]
+//! reports both; [`fit_scaling_exponent`] fits `log rho_c` against
+//! `log n` and reports `beta = -slope` with a Student-t confidence
+//! interval from [`LinearFit::fit_with_slope_ci`].
+
+use crate::{
+    config::SimConfig,
+    search::bisect_monotone,
+    stream::{run_connectivity_stream, ConnectivityObserver, StepView},
+    SimError,
+};
+use manet_graph::kconn::is_k_connected;
+use manet_mobility::Mobility;
+use manet_obs::KernelMetrics;
+use manet_stats::{ConfidenceInterval, LinearFit};
+
+/// The per-step connectivity metric a critical-range search thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ConnectivityMetric {
+    /// Largest-component size as a fraction of `n` (the giant
+    /// component), averaged over steps and iterations.
+    GiantFraction,
+    /// Fraction of steps whose graph is `k`-vertex-connected
+    /// ([`is_k_connected`]); `k = 1` is plain connectivity.
+    KConnectivity(usize),
+}
+
+/// Configuration of one critical-range search (chainable, defaults:
+/// giant-component fraction, target 0.99, relative tolerance 1e-3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalRangeSearch {
+    metric: ConnectivityMetric,
+    target: f64,
+    rel_tol: f64,
+}
+
+impl Default for CriticalRangeSearch {
+    fn default() -> Self {
+        CriticalRangeSearch {
+            metric: ConnectivityMetric::GiantFraction,
+            target: 0.99,
+            rel_tol: 1e-3,
+        }
+    }
+}
+
+impl CriticalRangeSearch {
+    /// The default search: giant-fraction metric at target 0.99.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the metric (chainable).
+    pub fn with_metric(mut self, metric: ConnectivityMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the target level in `(0, 1]` (chainable).
+    pub fn with_target(mut self, target: f64) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Sets the bisection tolerance as a fraction of the region side
+    /// (chainable).
+    pub fn with_rel_tol(mut self, rel_tol: f64) -> Self {
+        self.rel_tol = rel_tol;
+        self
+    }
+
+    /// The configured metric.
+    pub fn metric(&self) -> ConnectivityMetric {
+        self.metric
+    }
+
+    /// The configured target level.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// The configured side-relative tolerance.
+    pub fn rel_tol(&self) -> f64 {
+        self.rel_tol
+    }
+
+    fn validate<const D: usize>(&self, config: &SimConfig<D>) -> Result<(), SimError> {
+        if !(self.target.is_finite() && self.target > 0.0 && self.target <= 1.0) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("target must be in (0, 1], got {}", self.target),
+            });
+        }
+        if !(self.rel_tol.is_finite() && self.rel_tol > 0.0) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("rel_tol must be positive and finite, got {}", self.rel_tol),
+            });
+        }
+        if let ConnectivityMetric::KConnectivity(k) = self.metric {
+            if k == 0 || k >= config.nodes() {
+                return Err(SimError::InvalidConfig {
+                    reason: format!(
+                        "k-connectivity target k={k} must satisfy 1 <= k < n (n = {})",
+                        config.nodes()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One located critical point: the threshold range, its normalization
+/// by the region side, and the probe work that found it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CriticalPoint {
+    /// The smallest range (within tolerance) whose mean metric reaches
+    /// the target.
+    pub range: f64,
+    /// `range / side` — the scale-free quantity the power law fits.
+    pub normalized: f64,
+    /// Bisection probes run (each one full seeded campaign).
+    pub probes: usize,
+    /// Deterministic kernel counters merged over every probe's
+    /// iterations — the telemetry the CLI forwards to `ObsSession`.
+    pub kernel: KernelMetrics,
+}
+
+/// Observer computing one iteration's mean metric off the stream's
+/// incremental components, carrying the final step's cumulative kernel
+/// counters out of the iteration.
+struct MetricObserver {
+    metric: ConnectivityMetric,
+    sum: f64,
+    steps: usize,
+    kernel: KernelMetrics,
+}
+
+impl<const D: usize> ConnectivityObserver<D> for MetricObserver {
+    type Output = (f64, KernelMetrics);
+
+    fn observe(&mut self, view: &StepView<'_, D>) {
+        let value = match self.metric {
+            ConnectivityMetric::GiantFraction => {
+                view.components().largest_size() as f64 / view.positions().len() as f64
+            }
+            ConnectivityMetric::KConnectivity(k) => {
+                if is_k_connected(view.graph(), k) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        };
+        self.sum += value;
+        self.steps += 1;
+        // Cumulative since step 0: the last view holds the iteration
+        // total (see `LinkView::kernel_metrics`).
+        self.kernel = *view.kernel_metrics();
+    }
+
+    fn finish(self) -> (f64, KernelMetrics) {
+        (self.sum / self.steps as f64, self.kernel)
+    }
+}
+
+/// The mean metric at range `r`, pooled over iterations, plus the
+/// merged kernel counters of the campaign.
+fn evaluate_metric<const D: usize, M>(
+    config: &SimConfig<D>,
+    model: &M,
+    metric: ConnectivityMetric,
+    r: f64,
+) -> Result<(f64, KernelMetrics), SimError>
+where
+    M: Mobility<D> + Clone + Send + Sync,
+{
+    let outputs = run_connectivity_stream(config, model, Some(r), |_| MetricObserver {
+        metric,
+        sum: 0.0,
+        steps: 0,
+        kernel: KernelMetrics::default(),
+    })?;
+    let mut kernel = KernelMetrics::default();
+    let mut sum = 0.0;
+    for (mean, k) in &outputs {
+        sum += mean;
+        kernel.merge(k);
+    }
+    // Iterations share one step count, so the mean of per-iteration
+    // means is the pooled per-step mean.
+    Ok((sum / outputs.len() as f64, kernel))
+}
+
+/// Locates the critical range of one `(config, model)` cell by
+/// deterministic stochastic bisection over `[0, diameter]`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an invalid search
+/// (target outside `(0, 1]`, non-positive tolerance, infeasible `k`)
+/// and propagates engine errors from the probes.
+pub fn find_critical_range<const D: usize, M>(
+    config: &SimConfig<D>,
+    model: &M,
+    search: &CriticalRangeSearch,
+) -> Result<CriticalPoint, SimError>
+where
+    M: Mobility<D> + Clone + Send + Sync,
+{
+    search.validate(config)?;
+    let hi = config.region().diameter();
+    let tol = search.rel_tol * config.side();
+    let mut probes = 0usize;
+    let mut kernel = KernelMetrics::default();
+    let mut error = None;
+    let range = bisect_monotone(1e-9, hi, tol, |r| {
+        match evaluate_metric(config, model, search.metric, r) {
+            Ok((mean, k)) => {
+                probes += 1;
+                kernel.merge(&k);
+                mean >= search.target
+            }
+            Err(e) => {
+                error = Some(e);
+                true // terminate quickly; error reported below
+            }
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    Ok(CriticalPoint {
+        range,
+        normalized: range / config.side(),
+        probes,
+        kernel,
+    })
+}
+
+/// A fitted finite-size scaling exponent `rho_c ~ n^(-beta)` with its
+/// confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScalingExponent {
+    /// The exponent `beta = -slope` of the `log rho_c` vs `log n` fit.
+    pub beta: f64,
+    /// Student-t confidence interval on `beta` (`n - 2` degrees of
+    /// freedom).
+    pub ci: ConfidenceInterval,
+    /// The underlying log-log line (`slope = -beta`; `r_squared`
+    /// measures how well the power law holds).
+    pub line: LinearFit,
+    /// Number of `(n, rho_c)` points fitted.
+    pub points: usize,
+}
+
+/// Fits `log rho_c = intercept - beta * log n` over `(n, rho_c)`
+/// points and reports `beta` with a `level` confidence interval.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] with fewer than three points or
+/// any non-positive `rho_c` (the log is undefined), and propagates
+/// [`SimError::Stats`] from the regression (e.g. identical `n`).
+pub fn fit_scaling_exponent(
+    points: &[(usize, f64)],
+    level: f64,
+) -> Result<ScalingExponent, SimError> {
+    if points.len() < 3 {
+        return Err(SimError::InvalidConfig {
+            reason: format!(
+                "scaling fit needs at least 3 (n, rho_c) points for a slope CI, got {}",
+                points.len()
+            ),
+        });
+    }
+    if let Some((n, rho)) = points
+        .iter()
+        .find(|(n, rho)| *n == 0 || !(rho.is_finite() && *rho > 0.0))
+    {
+        return Err(SimError::InvalidConfig {
+            reason: format!("scaling fit needs n >= 1 and rho_c > 0, got ({n}, {rho})"),
+        });
+    }
+    let xs: Vec<f64> = points.iter().map(|(n, _)| (*n as f64).ln()).collect();
+    let ys: Vec<f64> = points.iter().map(|(_, rho)| rho.ln()).collect();
+    let inference = LinearFit::fit_with_slope_ci(&xs, &ys, level)?;
+    let slope_ci = inference.slope_ci;
+    Ok(ScalingExponent {
+        beta: -inference.fit.slope,
+        // Negating the slope flips the interval's endpoints.
+        ci: ConfidenceInterval {
+            estimate: -slope_ci.estimate,
+            lo: -slope_ci.hi,
+            hi: -slope_ci.lo,
+            level: slope_ci.level,
+        },
+        line: inference.fit,
+        points: points.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::simulate_fixed_range;
+    use crate::search::find_range_for_connectivity_fraction;
+    use manet_mobility::{RandomWaypoint, StationaryModel};
+
+    fn config(nodes: usize, side: f64, iterations: usize, steps: usize) -> SimConfig<2> {
+        let mut b = SimConfig::<2>::builder();
+        b.nodes(nodes)
+            .side(side)
+            .iterations(iterations)
+            .steps(steps)
+            .seed(42);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn search_validation_rejects_bad_parameters() {
+        let cfg = config(8, 100.0, 1, 1);
+        let m = StationaryModel::new();
+        for bad in [
+            CriticalRangeSearch::new().with_target(0.0),
+            CriticalRangeSearch::new().with_target(1.5),
+            CriticalRangeSearch::new().with_target(f64::NAN),
+            CriticalRangeSearch::new().with_rel_tol(0.0),
+            CriticalRangeSearch::new().with_rel_tol(-1e-3),
+            CriticalRangeSearch::new().with_metric(ConnectivityMetric::KConnectivity(0)),
+            CriticalRangeSearch::new().with_metric(ConnectivityMetric::KConnectivity(8)),
+        ] {
+            assert!(
+                find_critical_range(&cfg, &m, &bad).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn giant_fraction_threshold_brackets_the_target() {
+        let cfg = config(12, 120.0, 3, 20);
+        let model = RandomWaypoint::new(0.5, 2.0, 1, 0.0).unwrap();
+        let search = CriticalRangeSearch::new()
+            .with_target(0.95)
+            .with_rel_tol(1e-4);
+        let point = find_critical_range(&cfg, &model, &search).unwrap();
+        assert!(point.range > 0.0 && point.range < cfg.region().diameter());
+        assert!((point.normalized - point.range / 120.0).abs() < 1e-15);
+        assert!(point.probes > 5, "bisection should take several probes");
+        assert!(point.kernel.components.applies > 0, "kernel counters empty");
+        // Oracle: the independent fixed-range path confirms the metric
+        // crosses the target at the found range and not below it.
+        let at = simulate_fixed_range(&cfg, &model, point.range).unwrap();
+        assert!(at.avg_largest_fraction() >= 0.95);
+        let below = simulate_fixed_range(&cfg, &model, point.range - 2.0 * 1e-4 * 120.0).unwrap();
+        assert!(below.avg_largest_fraction() < 0.95);
+    }
+
+    #[test]
+    fn k1_connectivity_metric_matches_the_search_module() {
+        // k = 1 thresholds the fraction of connected steps — the same
+        // question `find_range_for_connectivity_fraction` answers.
+        let cfg = config(10, 100.0, 3, 15);
+        let model = RandomWaypoint::new(0.5, 2.0, 1, 0.0).unwrap();
+        let tol = 1e-4 * 100.0;
+        let search = CriticalRangeSearch::new()
+            .with_metric(ConnectivityMetric::KConnectivity(1))
+            .with_target(0.9)
+            .with_rel_tol(1e-4);
+        let point = find_critical_range(&cfg, &model, &search).unwrap();
+        let reference = find_range_for_connectivity_fraction(&cfg, &model, 0.9, tol).unwrap();
+        assert!(
+            (point.range - reference).abs() <= 2.0 * tol,
+            "k=1 finder {} vs connectivity-fraction bisection {reference}",
+            point.range
+        );
+    }
+
+    #[test]
+    fn higher_k_costs_more_range() {
+        let cfg = config(10, 80.0, 2, 10);
+        let model = RandomWaypoint::new(0.5, 2.0, 1, 0.0).unwrap();
+        let find = |k: usize| {
+            let search = CriticalRangeSearch::new()
+                .with_metric(ConnectivityMetric::KConnectivity(k))
+                .with_target(1.0)
+                .with_rel_tol(1e-4);
+            find_critical_range(&cfg, &model, &search).unwrap().range
+        };
+        let (r1, r2, r3) = (find(1), find(2), find(3));
+        assert!(
+            r1 <= r2 && r2 <= r3,
+            "k-connectivity ranges not monotone: {r1} {r2} {r3}"
+        );
+        assert!(
+            r3 > r1,
+            "k=3 should strictly exceed k=1 on sparse placements"
+        );
+    }
+
+    #[test]
+    fn fit_recovers_a_known_exponent() {
+        let points: Vec<(usize, f64)> = [16usize, 32, 64, 128, 256]
+            .iter()
+            .map(|&n| (n, 2.0 * (n as f64).powf(-0.5)))
+            .collect();
+        let fit = fit_scaling_exponent(&points, 0.95).unwrap();
+        assert!((fit.beta - 0.5).abs() < 1e-12);
+        assert!((fit.line.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(fit.points, 5);
+        // Perfect data: the CI collapses onto the estimate.
+        assert!(fit.ci.contains(0.5));
+        assert!(fit.ci.width() < 1e-9);
+        assert_eq!(fit.ci.level, 0.95);
+    }
+
+    #[test]
+    fn fit_ci_brackets_noisy_data() {
+        // rho = n^-0.4 with +-5% alternating noise.
+        let points: Vec<(usize, f64)> = [16usize, 32, 64, 128, 256, 512]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let noise = if i % 2 == 0 { 1.05 } else { 0.95 };
+                (n, noise * (n as f64).powf(-0.4))
+            })
+            .collect();
+        let fit = fit_scaling_exponent(&points, 0.95).unwrap();
+        assert!(fit.ci.lo < fit.beta && fit.beta < fit.ci.hi);
+        assert!(fit.ci.contains(0.4), "CI {:?} should cover 0.4", fit.ci);
+        assert!(fit.ci.width() > 0.0);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(fit_scaling_exponent(&[(16, 0.5), (32, 0.4)], 0.95).is_err());
+        assert!(fit_scaling_exponent(&[(16, 0.5), (32, 0.4), (64, 0.0)], 0.95).is_err());
+        assert!(fit_scaling_exponent(&[(16, 0.5), (32, 0.4), (0, 0.3)], 0.95).is_err());
+        assert!(fit_scaling_exponent(&[(16, 0.5), (16, 0.4), (16, 0.3)], 0.95).is_err());
+        assert!(fit_scaling_exponent(&[(16, 0.5), (32, 0.4), (64, 0.3)], 1.5).is_err());
+    }
+}

@@ -58,7 +58,7 @@ pub use distributions::{Normal, Poisson, StudentT};
 pub use histogram::Histogram;
 pub use moments::RunningMoments;
 pub use quantiles::{quantile, FrozenSeries};
-pub use regression::LinearFit;
+pub use regression::{LinearFit, SlopeInference};
 pub use seeds::SeedSequence;
 pub use summary::Summary;
 

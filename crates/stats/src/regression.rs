@@ -5,6 +5,8 @@
 //! against `l ln l` with [`LinearFit::through_origin`] and reports the
 //! coefficient of determination as evidence for the scaling law.
 
+use crate::ci::ConfidenceInterval;
+use crate::distributions::StudentT;
 use crate::StatsError;
 
 /// Result of a least-squares line fit `y ≈ intercept + slope · x`.
@@ -86,6 +88,72 @@ impl LinearFit {
     pub fn predict(&self, x: f64) -> f64 {
         self.intercept + self.slope * x
     }
+
+    /// Fits `y = intercept + slope·x` and quantifies the slope's
+    /// uncertainty: standard error `s / sqrt(Sxx)` (with
+    /// `s² = SS_res / (n - 2)`) and a Student-t confidence interval at
+    /// `level` with `n - 2` degrees of freedom. This is what turns a
+    /// finite-size scaling fit into `beta ± CI` rather than a bare
+    /// point estimate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearFit::fit`]; additionally returns
+    /// [`StatsError::EmptySample`] with fewer than three points (no
+    /// residual degrees of freedom) and
+    /// [`StatsError::InvalidProbability`] unless `0 < level < 1`.
+    pub fn fit_with_slope_ci(
+        xs: &[f64],
+        ys: &[f64],
+        level: f64,
+    ) -> Result<SlopeInference, StatsError> {
+        if xs.len() != ys.len() || xs.len() < 3 {
+            return Err(StatsError::EmptySample);
+        }
+        if !(level > 0.0 && level < 1.0) {
+            return Err(StatsError::InvalidProbability(level));
+        }
+        let fit = Self::fit(xs, ys)?;
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|&x| (x - mean_x) * (x - mean_x)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let e = y - fit.predict(x);
+                e * e
+            })
+            .sum();
+        let slope_se = (ss_res / (n - 2.0) / sxx).sqrt();
+        let t = StudentT::new(n - 2.0)?;
+        let crit = t.quantile(0.5 + level / 2.0)?;
+        let half = crit * slope_se;
+        Ok(SlopeInference {
+            fit,
+            slope_se,
+            slope_ci: ConfidenceInterval {
+                estimate: fit.slope,
+                lo: fit.slope - half,
+                hi: fit.slope + half,
+                level,
+            },
+        })
+    }
+}
+
+/// A least-squares line together with inference on its slope — the
+/// output of [`LinearFit::fit_with_slope_ci`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SlopeInference {
+    /// The fitted line.
+    pub fit: LinearFit,
+    /// Standard error of the slope estimate.
+    pub slope_se: f64,
+    /// Student-t confidence interval on the slope (`n - 2` degrees of
+    /// freedom).
+    pub slope_ci: ConfidenceInterval,
 }
 
 fn r_squared(xs: &[f64], ys: &[f64], slope: f64, intercept: f64) -> f64 {
@@ -160,6 +228,71 @@ mod tests {
             r_squared: 1.0,
         };
         assert_eq!(fit.predict(3.0), 7.0);
+    }
+
+    #[test]
+    fn slope_ci_collapses_on_exact_data() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let inf = LinearFit::fit_with_slope_ci(&xs, &ys, 0.95).unwrap();
+        assert!((inf.fit.slope - 3.0).abs() < 1e-12);
+        assert!(inf.slope_se < 1e-12);
+        assert!(inf.slope_ci.contains(3.0));
+        assert!(inf.slope_ci.width() < 1e-9);
+        assert_eq!(inf.slope_ci.level, 0.95);
+    }
+
+    #[test]
+    fn slope_ci_matches_hand_computation() {
+        // xs = 1..5, ys with residuals: slope 2, known algebra.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let inf = LinearFit::fit_with_slope_ci(&xs, &ys, 0.95).unwrap();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert_eq!(inf.fit, fit);
+        let ss_res: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| (y - fit.predict(x)).powi(2))
+            .sum();
+        let sxx = 10.0; // sum (x - 3)^2
+        let expect_se = (ss_res / 3.0 / sxx).sqrt();
+        assert!((inf.slope_se - expect_se).abs() < 1e-12);
+        // t crit at 3 dof, 95% is ~3.1824.
+        let half = inf.slope_ci.hi - inf.slope_ci.estimate;
+        assert!((half / inf.slope_se - 3.1824).abs() < 1e-3);
+        // Interval is symmetric about the slope.
+        assert!((inf.slope_ci.estimate - fit.slope).abs() < 1e-15);
+        assert!(
+            ((inf.slope_ci.estimate - inf.slope_ci.lo) - (inf.slope_ci.hi - inf.slope_ci.estimate))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn slope_ci_narrows_with_more_points() {
+        let make = |count: usize| {
+            let xs: Vec<f64> = (0..count).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs
+                .iter()
+                .enumerate()
+                .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+                .collect();
+            LinearFit::fit_with_slope_ci(&xs, &ys, 0.95).unwrap()
+        };
+        assert!(make(40).slope_ci.width() < make(6).slope_ci.width());
+    }
+
+    #[test]
+    fn slope_ci_validates_inputs() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert!(LinearFit::fit_with_slope_ci(&xs[..2], &ys[..2], 0.95).is_err());
+        assert!(LinearFit::fit_with_slope_ci(&xs, &ys[..2], 0.95).is_err());
+        assert!(LinearFit::fit_with_slope_ci(&xs, &ys, 0.0).is_err());
+        assert!(LinearFit::fit_with_slope_ci(&xs, &ys, 1.0).is_err());
+        assert!(LinearFit::fit_with_slope_ci(&[2.0, 2.0, 2.0], &ys, 0.95).is_err());
     }
 
     #[test]

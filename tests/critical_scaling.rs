@@ -1,0 +1,164 @@
+//! Registry-wide pins for the critical-range finder and the batched
+//! sweep scheduler: the stochastic bisection must agree with a
+//! brute-force dense grid scan (an independent oracle through the
+//! fixed-range simulator), and sweep results must be byte-identical
+//! across scheduler thread counts {1, 2, 4, 7} and across
+//! budget/resume splits.
+
+use manet::sim::{
+    find_critical_range, simulate_fixed_range, CriticalRangeSearch, SimConfig, SweepScheduler,
+};
+use manet::{AnyModel, ModelRegistry, PaperScale};
+use proptest::prelude::*;
+
+const SIDE: f64 = 100.0;
+
+fn config(seed: u64) -> SimConfig<2> {
+    let mut b = SimConfig::<2>::builder();
+    b.nodes(10).side(SIDE).iterations(2).steps(12).seed(seed);
+    b.build().unwrap()
+}
+
+/// Every builtin model, resolved at the test scale.
+fn registry_models() -> Vec<(String, AnyModel<2>)> {
+    let registry = ModelRegistry::<2>::with_builtins();
+    let scale = PaperScale::new(SIDE).with_pause(3);
+    registry
+        .names()
+        .into_iter()
+        .map(|name| (name.to_string(), registry.build(name, &scale).unwrap()))
+        .collect()
+}
+
+/// Independent oracle: the smallest range on a dense grid whose mean
+/// giant-component fraction (via the literal fixed-range simulator)
+/// reaches `target`.
+fn grid_scan(cfg: &SimConfig<2>, model: &AnyModel<2>, target: f64, points: usize) -> f64 {
+    let hi = cfg.region().diameter();
+    for i in 1..=points {
+        let r = hi * i as f64 / points as f64;
+        let report = simulate_fixed_range(cfg, model, r).unwrap();
+        if report.avg_largest_fraction() >= target {
+            return r;
+        }
+    }
+    hi
+}
+
+/// Critical ranges (as exact bit patterns) for every registry model,
+/// computed through the sweep scheduler at `threads` workers.
+fn sweep_bits(
+    models: &[(String, AnyModel<2>)],
+    seed: u64,
+    target: f64,
+    threads: usize,
+) -> Vec<u64> {
+    let search = CriticalRangeSearch::new().with_target(target);
+    let cached = models.iter().map(|_| None).collect();
+    SweepScheduler::new(threads)
+        .run(models, cached, |_, (_, model)| {
+            find_critical_range(&config(seed), model, &search).map(|p| p.range.to_bits())
+        })
+        .unwrap()
+        .into_complete()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn bisection_agrees_with_dense_grid_scan_for_every_model(
+        seed in any::<u64>(),
+        target in 0.7..1.0f64,
+    ) {
+        let cfg = config(seed);
+        let search = CriticalRangeSearch::new().with_target(target);
+        let tol = 1e-3 * SIDE;
+        let points = 160;
+        let spacing = cfg.region().diameter() / points as f64;
+        for (name, model) in registry_models() {
+            let found = find_critical_range(&cfg, &model, &search).unwrap().range;
+            let oracle = grid_scan(&cfg, &model, target, points);
+            // Bisection lands in [true, true + tol]; the grid in
+            // [true, true + spacing].
+            prop_assert!(
+                (found - oracle).abs() <= tol + spacing,
+                "{name}: bisection {found} vs grid oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_results_are_byte_identical_across_thread_counts(
+        seed in any::<u64>(),
+        target in 0.7..1.0f64,
+    ) {
+        let models = registry_models();
+        let reference = sweep_bits(&models, seed, target, 1);
+        for threads in [2, 4, 7] {
+            prop_assert_eq!(
+                &sweep_bits(&models, seed, target, threads),
+                &reference,
+                "thread count {} changed sweep bits",
+                threads
+            );
+        }
+    }
+}
+
+#[test]
+fn budgeted_resume_matches_uninterrupted_sweep_bit_for_bit() {
+    let models = registry_models();
+    let search = CriticalRangeSearch::new().with_target(0.9);
+    let job = |_: usize, cell: &(String, AnyModel<2>)| {
+        find_critical_range(&config(11), &cell.1, &search).map(|p| p.range.to_bits())
+    };
+    let uninterrupted = SweepScheduler::new(2)
+        .run(&models, models.iter().map(|_| None).collect(), job)
+        .unwrap()
+        .into_complete()
+        .unwrap();
+
+    // Interrupt after 3 jobs, resume on a different thread count.
+    let partial = SweepScheduler::new(4)
+        .with_budget(3)
+        .run(&models, models.iter().map(|_| None).collect(), job)
+        .unwrap();
+    assert_eq!(partial.executed(), 3);
+    assert!(!partial.is_complete());
+    let resumed = SweepScheduler::new(7)
+        .run(&models, partial.into_results(), job)
+        .unwrap()
+        .into_complete()
+        .unwrap();
+    assert_eq!(resumed, uninterrupted);
+}
+
+#[test]
+fn finder_is_engine_and_step_thread_invariant() {
+    let model = registry_models()
+        .into_iter()
+        .find(|(name, _)| name == "waypoint")
+        .unwrap()
+        .1;
+    let search = CriticalRangeSearch::new();
+    let run = |threads: usize, step_threads: usize| {
+        let mut b = SimConfig::<2>::builder();
+        b.nodes(10)
+            .side(SIDE)
+            .iterations(3)
+            .steps(15)
+            .seed(5)
+            .threads(threads)
+            .step_threads(step_threads);
+        find_critical_range(&b.build().unwrap(), &model, &search)
+            .unwrap()
+            .range
+            .to_bits()
+    };
+    let reference = run(1, 1);
+    assert_eq!(run(4, 1), reference);
+    assert_eq!(run(1, 3), reference);
+    assert_eq!(run(2, 2), reference);
+}

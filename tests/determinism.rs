@@ -250,3 +250,49 @@ fn workspace_smoke_identical_seeds_identical_artifacts() {
     let (sol_c, _) = run(20020624);
     assert_ne!(sol_a.ranges.r100.mean(), sol_c.ranges.r100.mean());
 }
+
+/// The batched sweep scheduler is a pure function of (jobs, cached
+/// slots, job function): full simulation campaigns scheduled across
+/// {1, 2, 4, 7} workers — and across a budget/resume split — produce
+/// bit-identical results.
+#[test]
+fn sweep_scheduler_thread_count_and_budget_are_invisible() {
+    use manet::sim::SweepScheduler;
+
+    let seeds: Vec<u64> = vec![3, 7, 20020623];
+    let job = |_: usize, seed: &u64| {
+        let sol = build(*seed, 1)
+            .solve()
+            .map_err(|e| manet::sim::SimError::InvalidConfig {
+                reason: e.to_string(),
+            })?;
+        Ok(sol.ranges.r100.mean().to_bits())
+    };
+    let fresh = || seeds.iter().map(|_| None).collect::<Vec<_>>();
+
+    let reference = SweepScheduler::new(1)
+        .run(&seeds, fresh(), job)
+        .unwrap()
+        .into_complete()
+        .unwrap();
+    for threads in [2, 4, 7] {
+        let bits = SweepScheduler::new(threads)
+            .run(&seeds, fresh(), job)
+            .unwrap()
+            .into_complete()
+            .unwrap();
+        assert_eq!(bits, reference, "sweep bits changed at {threads} threads");
+    }
+
+    let partial = SweepScheduler::new(2)
+        .with_budget(1)
+        .run(&seeds, fresh(), job)
+        .unwrap();
+    assert!(!partial.is_complete());
+    let resumed = SweepScheduler::new(4)
+        .run(&seeds, partial.into_results(), job)
+        .unwrap()
+        .into_complete()
+        .unwrap();
+    assert_eq!(resumed, reference, "resume changed sweep bits");
+}

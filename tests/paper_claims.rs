@@ -178,3 +178,47 @@ fn r100_insensitive_to_vmax() {
         "r100 moved by {ratio}x between vmax = 0.1l and 0.5l"
     );
 }
+
+/// Finite-size scaling (PAPERS.md, arXiv:0806.2351): under
+/// density-preserving growth the normalized critical range falls as
+/// `rho_c ~ n^(-beta)` with an exponent in the physically sane band
+/// `0 < beta < 1` (random geometric graphs give an effective
+/// `beta ≈ 0.4-0.5` over practical sizes). Held on the committed
+/// golden sweep (`tests/goldens/critical_scaling.csv`) through the
+/// library fit path, so a regression in either the finder or the fit
+/// fails tier-1 rather than only changing artifacts.
+#[test]
+fn scaling_exponent_on_golden_sweep_is_physically_sane() {
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/critical_scaling.csv");
+    let text = std::fs::read_to_string(&golden).unwrap();
+    let mut per_model: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
+    for line in text.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        let (model, n, rho) = (
+            cols[0].to_string(),
+            cols[1].parse::<usize>().unwrap(),
+            cols[4].parse::<f64>().unwrap(),
+        );
+        match per_model.iter_mut().find(|(m, _)| *m == model) {
+            Some((_, points)) => points.push((n, rho)),
+            None => per_model.push((model, vec![(n, rho)])),
+        }
+    }
+    assert!(per_model.len() >= 2, "golden sweep should cover 2+ models");
+    for (model, points) in per_model {
+        assert!(points.len() >= 3, "{model}: need 3+ sweep points");
+        let fit = manet::sim::fit_scaling_exponent(&points, 0.95).unwrap();
+        assert!(
+            fit.beta > 0.0 && fit.beta < 1.0,
+            "{model}: beta = {} outside the physically sane band (0, 1)",
+            fit.beta
+        );
+        assert!(fit.ci.contains(fit.beta));
+        assert!(
+            fit.line.r_squared > 0.8,
+            "{model}: power law fits poorly (r2 = {})",
+            fit.line.r_squared
+        );
+    }
+}
