@@ -15,9 +15,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use manet_bench::step_kernel::{
-    churn_per_node, run_incremental, run_incremental_threads, run_rebuild_diff, trajectory, RANGE,
-    SCENARIOS, SIDE,
+    churn_per_node, run_cached_threads, run_incremental, run_incremental_threads, run_rebuild_diff,
+    trajectory, RANGE, SCENARIOS, SIDE,
 };
+use manet_core::graph::Skin;
 use std::hint::black_box;
 
 fn bench_step_kernel(c: &mut Criterion) {
@@ -60,5 +61,39 @@ fn bench_step_kernel_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_step_kernel, bench_step_kernel_threads);
+/// The Verlet cache's win on its target regime: `mid` (all-moving,
+/// bounded per-step displacement) at `n ∈ {1000, 4000}`, the skin
+/// pinned off vs auto-tuned vs a fixed radius near the optimum. The
+/// checksum — hence every observable — is identical across the sweep;
+/// the committed capture gates the auto/off ratio.
+fn bench_step_kernel_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_kernel_cache");
+    let scenario = SCENARIOS
+        .iter()
+        .find(|s| s.label == "mid")
+        .expect("mid scenario");
+    for &n in &[1000usize, 4000] {
+        let steps = if n >= 4000 { 30 } else { 60 };
+        let traj = trajectory(n, scenario, steps, 31);
+        for (label, skin) in [
+            ("off", Skin::Off),
+            ("auto", Skin::Auto),
+            ("fixed12", Skin::Fixed(12.0)),
+        ] {
+            group.bench_function(format!("cached_n={n}_mid_skin={label}"), |b| {
+                b.iter(|| {
+                    run_cached_threads(black_box(&traj), SIDE, RANGE, scenario.v_max, skin, 1)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_kernel,
+    bench_step_kernel_threads,
+    bench_step_kernel_cache
+);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 
 use crate::placement;
 use manet_core::geom::{Point, Region};
-use manet_core::graph::{AdjacencyList, DynamicGraph};
+use manet_core::graph::{AdjacencyList, DynamicGraph, Skin};
 use manet_core::mobility::{Mobility, RandomWaypoint};
 use manet_core::obs::KernelMetrics;
 use rand::SeedableRng;
@@ -146,6 +146,55 @@ pub fn run_incremental_threads(
     acc
 }
 
+/// The cached path: [`run_incremental_threads`] with the scenario's
+/// per-step displacement bound declared (waypoint moves at most
+/// `v_max` per step) and a Verlet skin policy. With `Skin::Off` this
+/// is byte-identical to the legacy kernel; with `Skin::Auto`/`Fixed`
+/// the all-moving regimes commit most steps through the cache-verify
+/// path instead of bulk rescans. The checksum is invariant across
+/// every `(skin, threads)` combination — only the wall clock moves.
+pub fn run_cached_threads(
+    traj: &[Vec<Point<2>>],
+    side: f64,
+    range: f64,
+    bound: f64,
+    skin: Skin,
+    threads: usize,
+) -> usize {
+    let mut dg = DynamicGraph::new(&traj[0], side, range)
+        .with_step_threads(threads)
+        .with_displacement_bound(Some(bound))
+        .with_skin(skin);
+    let mut acc = dg.last_diff().churn();
+    for pts in &traj[1..] {
+        dg.step(pts);
+        acc ^= dg.last_diff().churn() ^ dg.graph().edge_count();
+    }
+    acc
+}
+
+/// [`measure_kernel_counters`] for the cached path: bound declared,
+/// skin policy applied. Deterministic like its legacy sibling.
+pub fn measure_cached_kernel_counters(
+    traj: &[Vec<Point<2>>],
+    side: f64,
+    range: f64,
+    bound: f64,
+    skin: Skin,
+) -> KernelMetrics {
+    let mut dg = DynamicGraph::new(&traj[0], side, range)
+        .with_displacement_bound(Some(bound))
+        .with_skin(skin);
+    for pts in &traj[1..] {
+        dg.step(pts);
+    }
+    KernelMetrics {
+        grid: dg.grid_metrics().copied().unwrap_or_default(),
+        step: *dg.metrics(),
+        components: Default::default(),
+    }
+}
+
 /// The incremental path run once for its deterministic counters
 /// (grid + step-kernel planes; the component plane stays zero — this
 /// workload drives no `DynamicComponents`). A pure function of the
@@ -214,6 +263,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The cached path folds the same checksum as the rebuild oracle
+    /// at every skin policy and thread count, and `mid` (all-moving,
+    /// bounded steps) actually arms under `Skin::Auto` — the workload
+    /// the capture's cache gates time.
+    #[test]
+    fn cached_checksums_match_rebuild_across_skins_and_threads() {
+        for scenario in &SCENARIOS {
+            let traj = trajectory(96, scenario, 20, 5);
+            let want = run_rebuild_diff(&traj, SIDE, RANGE);
+            for skin in [Skin::Off, Skin::Auto, Skin::Fixed(12.0)] {
+                for threads in [1usize, 4] {
+                    assert_eq!(
+                        want,
+                        run_cached_threads(&traj, SIDE, RANGE, scenario.v_max, skin, threads),
+                        "scenario {} skin {skin:?} threads {threads}",
+                        scenario.label
+                    );
+                }
+            }
+        }
+        let mid = SCENARIOS.iter().find(|s| s.label == "mid").unwrap();
+        let traj = trajectory(96, mid, 20, 5);
+        let k = measure_cached_kernel_counters(&traj, SIDE, RANGE, mid.v_max, Skin::Auto);
+        assert!(
+            k.step.cache_verify_steps > 0,
+            "mid should verify through the Verlet cache under auto skin: {:?}",
+            k.step
+        );
+        let off = measure_cached_kernel_counters(&traj, SIDE, RANGE, mid.v_max, Skin::Off);
+        assert_eq!(
+            off.step.cache_verify_steps + off.step.cache_rebuilds,
+            0,
+            "skin off must keep the cache out of the loop"
+        );
     }
 
     /// `side_for` preserves the committed grid's density and anchors

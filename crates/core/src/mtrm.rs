@@ -182,6 +182,7 @@ pub struct MtrmProblemBuilder<const D: usize> {
     seed: u64,
     threads: Option<usize>,
     step_threads: Option<usize>,
+    skin: Option<manet_sim::Skin>,
     profile_stride: Option<usize>,
     profile_bins: Option<usize>,
     model: Option<AnyModel<D>>,
@@ -232,6 +233,14 @@ impl<const D: usize> MtrmProblemBuilder<D> {
         self
     }
 
+    /// Sets the step kernel's Verlet skin policy (default
+    /// [`Skin::Auto`](manet_sim::Skin::Auto); results are
+    /// byte-identical across settings).
+    pub fn skin(&mut self, skin: manet_sim::Skin) -> &mut Self {
+        self.skin = Some(skin);
+        self
+    }
+
     /// Collect component profiles every `stride` steps.
     pub fn profile_stride(&mut self, stride: usize) -> &mut Self {
         self.profile_stride = Some(stride);
@@ -273,6 +282,9 @@ impl<const D: usize> MtrmProblemBuilder<D> {
         }
         if let Some(t) = self.step_threads {
             b.step_threads(t);
+        }
+        if let Some(s) = self.skin {
+            b.skin(s);
         }
         if let Some(s) = self.profile_stride {
             b.profile_stride(s);

@@ -36,6 +36,11 @@ pub struct RunOptions {
     /// step kernel's bulk rescan (None = serial). A performance knob:
     /// every artifact is byte-identical across values, which CI pins.
     pub step_threads: Option<usize>,
+    /// `--skin auto|off|RADIUS`: the step kernel's Verlet-cache skin
+    /// policy (None = the kernel default, auto). Like `--step-threads`
+    /// a performance knob only: artifacts are byte-identical across
+    /// settings, which CI pins.
+    pub skin: Option<manet_core::graph::Skin>,
     /// CSV output directory.
     pub out_dir: PathBuf,
     /// Mobility models to sweep (`--models a,b,c`); `None` keeps each
@@ -82,6 +87,7 @@ impl Default for RunOptions {
             seed: 20_020_623, // DSN 2002 conference date
             threads: None,
             step_threads: None,
+            skin: None,
             out_dir: PathBuf::from("results"),
             models: None,
             nodes: None,
@@ -121,6 +127,11 @@ impl RunOptions {
                 "--seed" => opts.seed = take_usize(args, &mut i)? as u64,
                 "--threads" => opts.threads = Some(take_usize(args, &mut i)?),
                 "--step-threads" => opts.step_threads = Some(take_usize(args, &mut i)?),
+                "--skin" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--skin requires auto, off or a radius")?;
+                    opts.skin = Some(v.parse().map_err(|e| format!("--skin: {e}"))?);
+                }
                 "--out" => {
                     i += 1;
                     let v = args.get(i).ok_or("--out requires a directory")?;
@@ -447,6 +458,24 @@ mod tests {
         assert!(parse(&["--step-threads"]).is_err());
         assert!(parse(&["--step-threads", "0"]).is_err());
         assert!(parse(&["--step-threads", "x"]).is_err());
+    }
+
+    #[test]
+    fn skin_flag_parses_and_validates() {
+        use manet_core::graph::Skin;
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.skin, None);
+        assert_eq!(parse(&["--skin", "auto"]).unwrap().skin, Some(Skin::Auto));
+        assert_eq!(parse(&["--skin", "off"]).unwrap().skin, Some(Skin::Off));
+        assert_eq!(parse(&["--skin", "0"]).unwrap().skin, Some(Skin::Off));
+        assert_eq!(
+            parse(&["--skin", "12.5"]).unwrap().skin,
+            Some(Skin::Fixed(12.5))
+        );
+        assert!(parse(&["--skin"]).is_err());
+        assert!(parse(&["--skin", "-3"]).is_err());
+        assert!(parse(&["--skin", "nan"]).is_err());
+        assert!(parse(&["--skin", "warm"]).is_err());
     }
 
     #[test]

@@ -66,6 +66,9 @@ pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError>
         if let Some(t) = opts.step_threads {
             builder.step_threads(t);
         }
+        if let Some(s) = opts.skin {
+            builder.skin(s);
+        }
         let problem = builder.build()?;
         for mult in MULTIPLIERS {
             let r = rs * mult;

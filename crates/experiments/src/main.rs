@@ -33,6 +33,9 @@
 //!   --step-threads N intra-step worker threads for the sharded step
 //!                    kernel (default 1 = serial); artifacts are
 //!                    byte-identical across values
+//!   --skin S         Verlet-cache skin policy for the step kernel:
+//!                    auto (default), off, or a fixed radius;
+//!                    artifacts are byte-identical across settings
 //!   --metrics PATH   write metrics.json (run manifest + deterministic
 //!                    kernel counters + spans) to PATH
 //!   --profile        arm wall-clock span profiling; span table goes
@@ -139,7 +142,7 @@ fn print_usage() {
         "manet-repro: reproduce Santi & Blough (DSN 2002)\n\n\
          usage: manet-repro <fig2|...|fig9|figs|stationary|theory [tN]|quantity|uptime|fixed|trace|critical-scaling|all> [options]\n\
          options: --quick | --paper | --iterations N | --steps N | --placements N\n\
-         \x20        --seed N | --threads N | --step-threads N | --out DIR\n\
+         \x20        --seed N | --threads N | --step-threads N | --skin S | --out DIR\n\
          \x20        --models A,B,.. | --nodes N (trace/fixed/uptime/quantity)\n\
          \x20        --metrics PATH | --profile | --progress\n\
          \x20        --target F | --k-target K | --n-sweep A,B,.. | --checkpoint P\n\

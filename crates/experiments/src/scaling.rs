@@ -174,6 +174,9 @@ pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError>
         if let Some(t) = opts.step_threads {
             builder.step_threads(t);
         }
+        if let Some(s) = opts.skin {
+            builder.skin(s);
+        }
         let config = builder.build()?;
         let point = find_critical_range(&config, &job.model, &search)?;
         Ok(CellResult {

@@ -88,6 +88,9 @@ pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError>
         if let Some(t) = opts.step_threads {
             builder.step_threads(t);
         }
+        if let Some(s) = opts.skin {
+            builder.skin(s);
+        }
         let problem = builder.build()?;
         for (r_idx, mult) in MULTIPLIERS.into_iter().enumerate() {
             let r = rs * mult;

@@ -60,6 +60,9 @@ pub fn run(opts: &RunOptions, session: &mut ObsSession) -> Result<(), CoreError>
         if let Some(t) = opts.step_threads {
             builder.step_threads(t);
         }
+        if let Some(s) = opts.skin {
+            builder.skin(s);
+        }
         let problem = builder.build()?;
         let sol = problem.solve()?;
         let pooled = sol.critical.pooled().map_err(CoreError::Sim)?;

@@ -406,6 +406,146 @@ fn trace_artifacts_byte_identical_across_step_thread_counts() {
     );
 }
 
+/// Strips every embedded `kernel` counter block from an artifact:
+/// the path counters (bulk vs verify vs rebuild) are *supposed* to
+/// differ across skin settings — they record which kernel path ran —
+/// while everything observable must not.
+fn strip_kernel_counters(json: &str) -> String {
+    let mut s = json.to_string();
+    while let Some(start) = s.find("\"kernel\":{") {
+        // The counter block holds only numeric fields (no strings), so
+        // brace counting finds its end without a full JSON parse.
+        let open = start + "\"kernel\":".len();
+        let mut depth = 0usize;
+        let mut end = s.len();
+        for (j, c) in s[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Swallow one adjacent comma so the remainder stays valid JSON.
+        if s[end..].starts_with(',') {
+            s.replace_range(start..end + 1, "");
+        } else if s[..start].ends_with(',') {
+            s.replace_range(start - 1..end, "");
+        } else {
+            s.replace_range(start..end, "");
+        }
+    }
+    s
+}
+
+/// The Verlet cache is a performance knob, not a semantics one: the
+/// cached verify/rebuild path (`--skin auto`, the default) must
+/// produce the same observables as the legacy kernel with the cache
+/// off (`--skin 0`), crossed with the shard count. The CSV is
+/// compared byte-for-byte; trace.json embeds kernel path counters
+/// (which record *how* each step committed and so legitimately vary),
+/// so those blocks are stripped first. This is the end-to-end
+/// cache-path identity gate the CI smoke mirrors at larger n.
+#[test]
+fn trace_artifacts_byte_identical_across_skin_settings() {
+    let mut outputs = Vec::new();
+    for (skin, step_threads) in [("0", "1"), ("auto", "1"), ("0", "4"), ("auto", "4")] {
+        let dir = temp_out(&format!("trace_skin{skin}_st{step_threads}"));
+        let out = repro()
+            .args([
+                "trace",
+                "--iterations",
+                "2",
+                "--steps",
+                "30",
+                "--placements",
+                "30",
+                "--models",
+                "waypoint,drunkard",
+                "--nodes",
+                "48",
+                "--skin",
+                skin,
+                "--step-threads",
+                step_threads,
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let csv = std::fs::read_to_string(dir.join("trace.csv")).unwrap();
+        outputs.push(((skin, step_threads), strip_kernel_counters(&json), csv));
+        std::fs::remove_dir_all(dir).ok();
+    }
+    let (_, ref want_json, ref want_csv) = outputs[0];
+    for (cfg, json, csv) in &outputs[1..] {
+        assert_eq!(
+            (json, csv),
+            (want_json, want_csv),
+            "trace observables must not depend on --skin/--step-threads (at {cfg:?})"
+        );
+    }
+}
+
+/// Satellite gate: `--skin` and `--step-threads` reach the
+/// critical-scaling probe construction, and the located thresholds
+/// (the CSV) are byte-identical across both knobs. The JSON embeds
+/// kernel counters, which legitimately differ across skin settings,
+/// so only the CSV is compared.
+#[test]
+fn critical_scaling_csv_identical_across_skin_and_step_threads() {
+    let mut outputs = Vec::new();
+    for (skin, step_threads) in [("0", "1"), ("auto", "2"), ("15", "4")] {
+        let dir = temp_out(&format!("critical_skin{skin}_st{step_threads}"));
+        let out = repro()
+            .args([
+                "critical-scaling",
+                "--iterations",
+                "2",
+                "--steps",
+                "30",
+                "--n-sweep",
+                "8,12",
+                "--models",
+                "waypoint,drunkard",
+                "--skin",
+                skin,
+                "--step-threads",
+                step_threads,
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let csv = std::fs::read_to_string(dir.join("critical_scaling.csv")).unwrap();
+        outputs.push(((skin, step_threads), csv));
+        std::fs::remove_dir_all(dir).ok();
+    }
+    let (_, ref want) = outputs[0];
+    for (cfg, csv) in &outputs[1..] {
+        assert_eq!(
+            csv, want,
+            "critical_scaling.csv must not depend on --skin/--step-threads (at {cfg:?})"
+        );
+    }
+}
+
 /// `--nodes` reaches every pipeline (PR 5 wired it into `trace` only):
 /// `fixed`, `uptime`, and `quantity` all honor the override, so large-n
 /// runs on the sharded step kernel are reachable from each.

@@ -287,6 +287,68 @@ impl<const D: usize> MovingCellGrid<D> {
         self.debug_validate();
     }
 
+    /// Re-derives the cell layout at a different `cell_size` (over the
+    /// same region `side` the grid was built with) and re-buckets
+    /// every node at `new_points`, preserving the accumulated
+    /// [`GridMetrics`] — the switch is committed as one
+    /// [`MovingCellGrid::reset`]. The step kernel uses this to widen
+    /// cells to `r + skin` when it arms its Verlet candidate cache
+    /// mid-run, so one forward half-neighborhood still covers the
+    /// inflated candidate radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`GeomError`] conditions as
+    /// [`MovingCellGrid::build`]; on error the grid is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `new_points.len()` differs from the indexed node
+    /// count.
+    pub fn rebuild_with_cell_size(
+        &mut self,
+        new_points: &[Point<D>],
+        side: f64,
+        cell_size: f64,
+    ) -> Result<(), GeomError> {
+        assert_eq!(
+            new_points.len(),
+            self.points.len(),
+            "node count changed between updates"
+        );
+        let layout = CellLayout::new(side, cell_size)?;
+        let n_cells = layout.n_cells::<D>();
+        self.metrics.resets += 1;
+        // Drop the old occupancy while the old layout's cell indices
+        // are still valid; any bucket truncated below is empty.
+        for &c in &self.node_cell {
+            if !self.buckets[c as usize].is_empty() {
+                self.metrics.cells_touched += 1;
+                self.buckets[c as usize].clear();
+                for col in &mut self.coords[c as usize] {
+                    col.clear();
+                }
+            }
+        }
+        self.layout = layout;
+        self.buckets.resize_with(n_cells, Vec::new);
+        self.coords
+            .resize_with(n_cells, || std::array::from_fn(|_| Vec::new()));
+        for (i, p) in new_points.iter().enumerate() {
+            let c = self.layout.cell_of(p);
+            self.node_slot[i] = self.buckets[c].len() as u32;
+            self.buckets[c].push(i as u32);
+            for (k, col) in self.coords[c].iter_mut().enumerate() {
+                col.push(p.coord(k));
+            }
+            self.node_cell[i] = c as u32;
+            self.points[i] = *p;
+        }
+        #[cfg(feature = "strict-invariants")]
+        self.debug_validate();
+        Ok(())
+    }
+
     /// Occupancy-vs-position consistency: the buckets partition the
     /// node set, every node's recorded cell matches its position,
     /// every node is listed in (exactly) its own bucket at its
@@ -593,6 +655,37 @@ mod tests {
             assert_eq!(candidates(&grid, p), candidates(&fresh, p));
         }
         assert_eq!(grid.points(), fresh.points());
+    }
+
+    /// Widening (or narrowing) the cells mid-run re-buckets every node
+    /// into the new layout — equivalent to a fresh build at the new
+    /// cell size — while the commit metrics keep accumulating (the
+    /// switch counts as one reset).
+    #[test]
+    fn rebuild_with_cell_size_matches_fresh_build_and_keeps_metrics() {
+        let side = 40.0;
+        let (mut grid, pts) = random_walk_grid(17, 50, side, 3.0);
+        let before = *grid.metrics();
+        assert!(before.relocations > 0);
+
+        for cell in [9.0, 2.0] {
+            grid.rebuild_with_cell_size(&pts, side, cell).unwrap();
+            let fresh = MovingCellGrid::build(&pts, side, cell).unwrap();
+            assert_eq!(grid.cells_per_side(), fresh.cells_per_side());
+            assert_eq!(grid.cell_width(), fresh.cell_width());
+            assert_eq!(grid.points(), fresh.points());
+            for p in &pts {
+                assert_eq!(candidates(&grid, p), candidates(&fresh, p));
+            }
+        }
+        let after = *grid.metrics();
+        assert_eq!(after.relocations, before.relocations, "history kept");
+        assert_eq!(after.resets, before.resets + 2, "each switch is a reset");
+
+        // Invalid layouts leave the grid untouched.
+        assert!(grid.rebuild_with_cell_size(&pts, side, 0.0).is_err());
+        assert!(grid.rebuild_with_cell_size(&pts, side, f64::NAN).is_err());
+        assert_eq!(*grid.metrics(), after);
     }
 
     /// The strict-invariants checker must actually fire: a grid whose

@@ -45,6 +45,26 @@
 //! cell strips that examine disjoint pair sets, and fragments merge in
 //! shard order, so the result is also bit-identical across thread
 //! counts — the same invariance, one level deeper.
+//!
+//! # The Verlet candidate cache
+//!
+//! In all-moving regimes even the bulk rescan is wasteful: every step
+//! re-enumerates the same cell neighborhoods to rediscover a pair set
+//! that changed only marginally. Under a *declared* displacement bound
+//! the kernel can do better with a classic Verlet (skin-radius) list:
+//! cache every pair within `r + skin` once, then serve steps by
+//! streaming only the cached candidates against the current positions
+//! — no cell traversal at all. Soundness is the displacement argument
+//! again: a pair outside `r + skin` at build time needs accumulated
+//! motion `> skin` (i.e. `> skin/2` per endpoint) to close within `r`,
+//! so as long as every node has drifted at most `skin/2` since the
+//! build, the cached arena covers every pair that could possibly be an
+//! edge. The kernel tracks the running maximum drift (an `O(moved)`
+//! byproduct of the per-step measure pass) and rebuilds the arena the
+//! moment the budget is exceeded; steps that violate the declared
+//! bound route through the rebuild oracle and mark the arena stale —
+//! exactly the fallback contract of the legacy paths. See
+//! [`DynamicGraph::set_skin`] for how `skin` is chosen.
 
 use crate::adjacency::AdjacencyList;
 use crate::parallel;
@@ -173,6 +193,137 @@ fn merge_row_diff(old: &[u32], new: &[u32], a: u32, diff: &mut EdgeDiff) {
 /// few ULPs without the model being wrong about its dynamics.
 const BOUND_SLACK: f64 = 1.0 + 1e-9;
 
+/// How the step kernel chooses the Verlet-cache skin radius (the
+/// margin added to the transmitting range when building the candidate
+/// arena); see [`DynamicGraph::set_skin`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Skin {
+    /// Never arm the cache: the kernel runs exactly its classic
+    /// incremental/bulk/fallback paths.
+    Off,
+    /// Derive the skin from the observed per-step displacement via the
+    /// rebuild-amortization cost model, declining to arm when the
+    /// model predicts no win over per-step bulk rescans. The default.
+    #[default]
+    Auto,
+    /// Arm with this skin radius (finite, strictly positive) on the
+    /// first eligible step, bypassing the cost model.
+    Fixed(f64),
+}
+
+impl std::str::FromStr for Skin {
+    type Err = String;
+
+    /// Parses the `--skin` flag grammar: `auto`, `off`, or a finite
+    /// non-negative radius (`0` means `off`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Skin::Auto),
+            "off" => Ok(Skin::Off),
+            _ => {
+                let v: f64 = s.parse().map_err(|_| {
+                    format!("invalid skin {s:?}: expected \"auto\", \"off\" or a radius")
+                })?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("skin must be finite and non-negative, got {v}"));
+                }
+                Ok(if v == 0.0 { Skin::Off } else { Skin::Fixed(v) })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Skin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Skin::Off => write!(f, "off"),
+            Skin::Auto => write!(f, "auto"),
+            Skin::Fixed(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Cost-model ratio between one candidate's share of an arena rebuild
+/// (cell scan at `r + skin`, global pair sort, arena fill) and one
+/// candidate's share of a verify pass (a single streamed distance
+/// check). Measured on the `step_kernel` bench host; only the arming
+/// decision and the auto skin depend on it, never correctness.
+const SKIN_REBUILD_COST_RATIO: f64 = 3.0;
+
+/// Minimum worthwhile drift budget, in units of the observed per-step
+/// displacement: below this many steps per rebuild the cache would
+/// thrash (rebuild almost every step) and auto-tuning declines to arm.
+const SKIN_MIN_REBUILD_STEPS: f64 = 3.0;
+
+/// Verify passes shorter than this stay serial: sharding a tiny arena
+/// over scoped threads costs more than streaming it. Deterministic —
+/// a pure function of the arena length, never of thread timing.
+const VERIFY_SHARD_MIN_PAIRS: usize = 4096;
+
+/// Packs a canonical pair (`a < b`) into one `u64` whose natural order
+/// is the lexicographic `(a, b)` order — the bulk/verify paths sort
+/// and merge flat `u64` lists instead of per-row neighbor merges.
+#[inline]
+fn pack_pair(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Inverse of [`pack_pair`].
+#[inline]
+fn unpack_pair(p: u64) -> (u32, u32) {
+    ((p >> 32) as u32, p as u32)
+}
+
+/// Single linear merge of two lex-sorted packed edge lists into the
+/// diff. Packed order is lexicographic pair order, so `added` and
+/// `removed` come out exactly as the per-row oracle emits them.
+fn merge_packed_diff(old: &[u64], new: &[u64], diff: &mut EdgeDiff) {
+    debug_assert!(
+        old.windows(2).all(|w| w[0] < w[1]),
+        "unsorted packed edge list"
+    );
+    debug_assert!(
+        new.windows(2).all(|w| w[0] < w[1]),
+        "unsorted packed edge list"
+    );
+    diff.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() && j < new.len() {
+        let (o, n) = (old[i], new[j]);
+        if o == n {
+            i += 1;
+            j += 1;
+        } else if o < n {
+            diff.removed.push(unpack_pair(o));
+            i += 1;
+        } else {
+            diff.added.push(unpack_pair(n));
+            j += 1;
+        }
+    }
+    diff.removed
+        .extend(old[i..].iter().map(|&p| unpack_pair(p)));
+    diff.added.extend(new[j..].iter().map(|&p| unpack_pair(p)));
+}
+
+/// The displacement-tracked Verlet candidate arena: every pair within
+/// `r + skin` at the last build, packed (`a < b`) and lex-sorted in
+/// one contiguous buffer, with a CSR offset table over the lower
+/// endpoint so the serial verify pass can hoist that node's position
+/// out of its inner loop. Rebuilt in stable node order; both buffers
+/// keep their capacity across rebuilds.
+#[derive(Debug, Clone, Default)]
+struct VerletCache {
+    /// Lex-sorted packed candidate pairs.
+    pairs: Vec<u64>,
+    /// CSR row offsets into `pairs` by lower endpoint (`n + 1` entries).
+    offsets: Vec<usize>,
+    /// The arena no longer covers the trajectory (a fallback step
+    /// rebuilt the snapshot behind it); forces a rebuild next step.
+    stale: bool,
+}
+
 /// A communication graph maintained across mobility steps by an
 /// incremental, allocation-free step kernel.
 ///
@@ -235,10 +386,36 @@ pub struct DynamicGraph<const D: usize> {
     /// is invariant across this setting by construction (see
     /// [`DynamicGraph::set_step_threads`]).
     step_threads: usize,
-    /// Scratch: per-shard in-range pair fragments for the sharded bulk
-    /// rescan, persisted so worker buffers keep their capacity across
-    /// steps.
-    shard_pairs: Vec<Vec<(u32, u32)>>,
+    /// Scratch: per-shard packed-pair fragments for the sharded bulk
+    /// rescan, cache rebuild and verify paths, persisted so worker
+    /// buffers keep their capacity across steps.
+    shard_pairs: Vec<Vec<u64>>,
+    /// The snapshot's edge set as a lex-sorted packed list — the "old"
+    /// side of the single-merge diff on the bulk/verify paths. Lazily
+    /// re-derived from the snapshot after incremental/fallback steps
+    /// (`edge_pairs_valid`).
+    edge_pairs: Vec<u64>,
+    edge_pairs_valid: bool,
+    /// Scratch: the next snapshot's packed edge list.
+    new_pairs: Vec<u64>,
+    /// How the Verlet-cache skin is chosen (see
+    /// [`DynamicGraph::set_skin`]).
+    skin_cfg: Skin,
+    /// Resolved skin radius once the cache armed; `0.0` while unarmed.
+    skin: f64,
+    /// `(skin/2)²`: the accumulated-displacement budget between arena
+    /// rebuilds.
+    drift_limit_sq: f64,
+    /// The candidate arena (armed mode).
+    cache: VerletCache,
+    /// Armed mode: the previous step's positions. The legacy paths
+    /// read these off the grid, but armed mode freezes the grid at the
+    /// last arena build (its points *are* the drift reference), so the
+    /// per-step measure needs its own copy.
+    prev: Vec<Point<D>>,
+    /// Armed mode: running max squared drift of any node from its
+    /// position at the last arena build.
+    max_drift_sq: f64,
     /// Deterministic per-path counters (see [`StepKernelMetrics`]):
     /// which path served each step, rescan candidate volumes, and
     /// edge-event magnitudes. The initial build is not counted.
@@ -302,6 +479,15 @@ impl<const D: usize> DynamicGraph<D> {
             next_rows: Vec::new(),
             step_threads: 1,
             shard_pairs: Vec::new(),
+            edge_pairs: Vec::new(),
+            edge_pairs_valid: false,
+            new_pairs: Vec::new(),
+            skin_cfg: Skin::default(),
+            skin: 0.0,
+            drift_limit_sq: 0.0,
+            cache: VerletCache::default(),
+            prev: Vec::new(),
+            max_drift_sq: 0.0,
             metrics: StepKernelMetrics::default(),
         }
     }
@@ -370,6 +556,66 @@ impl<const D: usize> DynamicGraph<D> {
         });
     }
 
+    /// Sets the Verlet-cache skin policy (chainable); see
+    /// [`DynamicGraph::set_skin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a NaN, infinite or non-positive fixed skin.
+    pub fn with_skin(mut self, skin: Skin) -> Self {
+        self.set_skin(skin);
+        self
+    }
+
+    /// Configures the Verlet candidate cache's skin radius.
+    ///
+    /// The cache arms lazily, on the first step where (a) a
+    /// displacement bound is declared
+    /// ([`DynamicGraph::set_displacement_bound`]) — the drift tracking
+    /// that keeps the arena sound is only meaningful under the
+    /// `max_step_displacement` contract — (b) the step is in bound,
+    /// (c) at least [`BULK_RESCAN_FRACTION`] of the nodes moved (the
+    /// regime where the cache pays), and (d) under [`Skin::Auto`] the
+    /// cost model predicts a win: it picks `s` minimizing per-step
+    /// work `(r+s)²·(1 + 2Kd/s)` — candidate streaming plus a rebuild
+    /// amortized over the `s/(2d)` steps the drift budget buys at
+    /// observed per-step displacement `d` — and declines when the
+    /// budget is too small to amortize anything. Models that never
+    /// declare a bound (and degenerate grids) simply keep the classic
+    /// paths; [`Skin::Off`] (or `--skin 0`) pins them unconditionally,
+    /// byte-identical to a kernel without the cache.
+    ///
+    /// Reconfiguring disarms an armed cache; it re-arms (or not) under
+    /// the new policy on a later eligible step. The widened grid cells
+    /// stay — any cell width `>= range` remains correct for every
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a NaN, infinite or non-positive fixed skin (use
+    /// [`Skin::Off`] to disable).
+    pub fn set_skin(&mut self, skin: Skin) {
+        if let Skin::Fixed(s) = skin {
+            assert!(
+                s.is_finite() && s > 0.0,
+                "fixed skin must be finite and strictly positive, got {s}"
+            );
+        }
+        self.skin_cfg = skin;
+        self.skin = 0.0;
+    }
+
+    /// The configured skin policy.
+    pub fn skin(&self) -> Skin {
+        self.skin_cfg
+    }
+
+    /// The resolved skin radius, once the cache has armed (`None`
+    /// while the kernel is on its classic paths).
+    pub fn armed_skin(&self) -> Option<f64> {
+        (self.skin > 0.0).then_some(self.skin)
+    }
+
     /// The current snapshot.
     pub fn graph(&self) -> &AdjacencyList {
         &self.graph
@@ -419,6 +665,12 @@ impl<const D: usize> DynamicGraph<D> {
         self.metrics.fallback_steps
     }
 
+    /// Steps served by streaming the Verlet candidate arena instead of
+    /// scanning cell neighborhoods.
+    pub fn cache_verify_steps(&self) -> u64 {
+        self.metrics.cache_verify_steps
+    }
+
     /// The full deterministic counter set accumulated since
     /// construction: path decisions per step, moved-set and rescan
     /// candidate volumes, and edge-event magnitudes. Pure event counts
@@ -460,16 +712,26 @@ impl<const D: usize> DynamicGraph<D> {
         self.metrics.edges_added += self.diff.added.len() as u64;
         self.metrics.edges_removed += self.diff.removed.len() as u64;
         #[cfg(feature = "strict-invariants")]
-        self.debug_validate();
+        {
+            self.debug_validate();
+            if self.skin > 0.0 && !self.cache.stale {
+                self.debug_validate_cache(points);
+            }
+        }
     }
 
     /// [`DynamicGraph::step`]'s path selection, factored out so the
     /// strict-invariants checker runs once after whichever path ran.
     fn step_dispatch(&mut self, points: &[Point<D>]) {
-        let Some(grid) = self.grid.as_mut() else {
+        if self.grid.is_none() {
             self.step_rebuild(points);
             return;
-        };
+        }
+        if self.skin > 0.0 {
+            self.step_cached(points);
+            return;
+        }
+        let grid = self.grid.as_mut().expect("checked above"); // lint:allow(R3): dispatch returns early when no grid exists
         let max_disp_sq = grid.measure(points, &mut self.moved);
         self.metrics.moved_nodes += self.moved.len() as u64;
         if let Some(bound_sq) = self.bound_sq {
@@ -485,10 +747,314 @@ impl<const D: usize> DynamicGraph<D> {
         if (self.moved.len() as f64) < BULK_RESCAN_FRACTION * points.len() as f64 {
             grid.relocate(points, &self.moved);
             self.step_incremental();
+        } else if self.try_arm(points, max_disp_sq) {
+            // Armed: the arming rebuild served this step as its first
+            // bulk pass at the inflated radius.
         } else {
+            let grid = self.grid.as_mut().expect("checked above"); // lint:allow(R3): dispatch returns early when no grid exists
             grid.reset(points);
             self.step_bulk();
         }
+    }
+
+    /// Tries to switch the kernel into Verlet-cache mode on an
+    /// in-bound step where at least [`BULK_RESCAN_FRACTION`] of the
+    /// nodes moved; returns `true` when the cache armed (the arming
+    /// rebuild also serves the current step). See
+    /// [`DynamicGraph::set_skin`] for the eligibility conditions.
+    fn try_arm(&mut self, points: &[Point<D>], max_disp_sq: f64) -> bool {
+        // partial_cmp: a NaN displacement must read as "didn't move",
+        // never as an armable drift observation.
+        let moved = max_disp_sq.partial_cmp(&0.0) == Some(core::cmp::Ordering::Greater);
+        if self.bound_sq.is_none() || !moved {
+            return false;
+        }
+        let s = match self.skin_cfg {
+            Skin::Off => return false,
+            Skin::Fixed(s) => s,
+            Skin::Auto => {
+                // Per step the cache streams ~(r+s)² density-units of
+                // candidates, plus a rebuild (cell scan, global sort,
+                // arena fill — ~K·(r+s)²) amortized over the s/(2d)
+                // steps the drift budget buys at observed per-step
+                // displacement d. Minimizing (r+s)²·(1 + 2Kd/s) over s
+                // gives s* = (√(K²d² + 4Kdr) − Kd)/2.
+                let kd = SKIN_REBUILD_COST_RATIO * max_disp_sq.sqrt();
+                let s_star = 0.5 * ((kd * kd + 4.0 * kd * self.range).sqrt() - kd);
+                if s_star < SKIN_MIN_REBUILD_STEPS * max_disp_sq.sqrt() {
+                    // Budget too small to amortize rebuilds: the cache
+                    // would thrash. Stay on the bulk path.
+                    return false;
+                }
+                s_star
+            }
+        };
+        if !s.is_finite() || s <= 0.0 {
+            return false;
+        }
+        // Widen the cells so one forward half-neighborhood still
+        // covers the inflated candidate radius, with the same ~n-cell
+        // lattice floor as construction. Metrics-preserving: the
+        // switch counts as one grid reset.
+        let per_axis_cap = (points.len().max(1) as f64)
+            .powf(1.0 / D as f64)
+            .ceil()
+            .max(1.0);
+        let cell_size = (self.range + s).max(self.side / per_axis_cap);
+        let grid = self.grid.as_mut().expect("caller checked the grid"); // lint:allow(R3): step() dispatches here only when the grid exists
+        if grid
+            .rebuild_with_cell_size(points, self.side, cell_size)
+            .is_err()
+        {
+            return false;
+        }
+        self.skin = s;
+        self.drift_limit_sq = (0.5 * s) * (0.5 * s);
+        if self.prev.len() == points.len() {
+            self.prev.copy_from_slice(points);
+        } else {
+            self.prev = points.to_vec();
+        }
+        self.step_cache_rebuild(points);
+        true
+    }
+
+    /// Armed-mode dispatch. Between arena builds the grid is frozen at
+    /// the last build's positions (they *are* the drift reference), so
+    /// one fused `O(n)` pass over `prev` measures the step: per-step
+    /// moved count, declared-bound policing, and the running max drift
+    /// from the build reference. Then: bound violation → oracle (arena
+    /// marked stale); drift budget exceeded or stale arena → rebuild;
+    /// otherwise stream the arena (trivially, when nothing moved
+    /// bitwise).
+    fn step_cached(&mut self, points: &[Point<D>]) {
+        let grid = self.grid.as_ref().expect("caller checked the grid"); // lint:allow(R3): step() dispatches here only when the grid exists
+        let refs = grid.points();
+        let mut moved = 0u64;
+        let mut max_step_sq = 0.0f64;
+        let mut max_drift_sq = self.max_drift_sq;
+        for (i, p) in points.iter().enumerate() {
+            if *p == self.prev[i] {
+                continue;
+            }
+            moved += 1;
+            let d2 = p.distance_sq(&self.prev[i]);
+            if d2 > max_step_sq {
+                max_step_sq = d2;
+            }
+            let dr = p.distance_sq(&refs[i]);
+            if dr > max_drift_sq {
+                max_drift_sq = dr;
+            }
+            self.prev[i] = *p;
+        }
+        self.max_drift_sq = max_drift_sq;
+        self.metrics.moved_nodes += moved;
+        if let Some(bound_sq) = self.bound_sq {
+            if max_step_sq > bound_sq {
+                // Contract violation: the drift accounting no longer
+                // covers this trajectory. Oracle this step; the next
+                // step rebuilds the arena (and resyncs the grid).
+                self.cache.stale = true;
+                self.step_rebuild(points);
+                return;
+            }
+        }
+        if self.cache.stale || self.max_drift_sq > self.drift_limit_sq {
+            let grid = self.grid.as_mut().expect("caller checked the grid"); // lint:allow(R3): step() dispatches here only when the grid exists
+            grid.reset(points);
+            self.step_cache_rebuild(points);
+        } else if moved == 0 {
+            // Bitwise-identical positions: the snapshot is already
+            // exact — an empty verify step.
+            self.diff.clear();
+            self.metrics.cache_verify_steps += 1;
+        } else {
+            self.cache_verify_pass(points);
+            self.metrics.cache_verify_steps += 1;
+            self.metrics.verify_candidates += self.cache.pairs.len() as u64;
+        }
+    }
+
+    /// (Re)builds the candidate arena from the grid — already synced
+    /// to `points` by the caller — at radius `r + skin`, then serves
+    /// the step through a verify pass over the fresh arena. Counted as
+    /// a bulk rescan *and* a cache rebuild: it is one, at the inflated
+    /// radius. Sharded over axis-0 strips exactly like
+    /// [`DynamicGraph::step_bulk`]; packed pairs are unique, so the
+    /// one global unstable sort is a function of the pair *set* alone
+    /// — shard-count (and thread-count) invariance for free.
+    fn step_cache_rebuild(&mut self, points: &[Point<D>]) {
+        let mut frags = std::mem::take(&mut self.shard_pairs);
+        let grid = self.grid.as_ref().expect("caller checked the grid"); // lint:allow(R3): step() dispatches here only when the grid exists
+        let n = grid.len();
+        let rs = self.range + self.skin;
+        let rs2 = rs * rs;
+        self.cache.pairs.clear();
+        let cols = grid.cells_per_side();
+        let n_shards = self.step_threads.min(cols).max(1);
+        let mut shard_scan = ShardScan::default();
+        if n_shards == 1 {
+            let pairs = &mut self.cache.pairs;
+            let examined = grid.scan_forward_pairs(0, cols, rs2, |a, b| {
+                pairs.push(pack_pair(a, b));
+            });
+            shard_scan.absorb(examined, pairs.len() as u64);
+        } else {
+            frags.resize_with(n_shards, Vec::new);
+            let (base, rem) = (cols / n_shards, cols % n_shards);
+            let mut lo = 0usize;
+            let jobs: Vec<_> = frags
+                .drain(..)
+                .enumerate()
+                .map(|(w, mut buf)| {
+                    buf.clear();
+                    let (x_lo, x_hi) = (lo, lo + base + usize::from(w < rem));
+                    lo = x_hi;
+                    move || {
+                        let examined = grid
+                            .scan_forward_pairs(x_lo, x_hi, rs2, |a, b| buf.push(pack_pair(a, b)));
+                        (buf, examined)
+                    }
+                })
+                .collect();
+            debug_assert_eq!(lo, cols, "strips must partition the lattice");
+            for (buf, examined) in parallel::run_jobs(jobs) {
+                shard_scan.absorb(examined, buf.len() as u64);
+                self.cache.pairs.extend_from_slice(&buf);
+                frags.push(buf);
+            }
+        }
+        self.shard_pairs = frags;
+        self.cache.pairs.sort_unstable();
+        let offsets = &mut self.cache.offsets;
+        offsets.clear();
+        offsets.resize(n + 1, 0);
+        for &p in &self.cache.pairs {
+            offsets[(p >> 32) as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        self.cache.stale = false;
+        self.max_drift_sq = 0.0;
+        self.metrics.bulk_rescan_candidates += 2 * shard_scan.pairs_examined + n as u64;
+        self.metrics.bulk_rescan_steps += 1;
+        self.metrics.cache_rebuilds += 1;
+        self.metrics.cached_pairs += self.cache.pairs.len() as u64;
+        // The rebuild step still owes its snapshot and diff: stream
+        // the fresh arena at the true range.
+        self.cache_verify_pass(points);
+    }
+
+    /// Streams every cached candidate pair against the current
+    /// positions, refilling the snapshot rows and the packed edge list
+    /// and emitting the diff — the armed replacement for any cell
+    /// neighborhood traversal. Sharded over contiguous arena slices
+    /// when the arena is large enough: filtering a sorted list slice
+    /// by slice and concatenating survivors in slice order preserves
+    /// the lex order, so rows, edge list and diff are bit-identical at
+    /// any thread count (and to the serial hoisted-row loop).
+    fn cache_verify_pass(&mut self, points: &[Point<D>]) {
+        self.ensure_edge_pairs();
+        let n = points.len();
+        let r2 = self.range * self.range;
+        self.new_pairs.clear();
+        if self.next_rows.len() != n {
+            self.next_rows.resize_with(n, Vec::new);
+        }
+        for row in &mut self.next_rows {
+            row.clear();
+        }
+        let next = &mut self.next_rows;
+        let new_pairs = &mut self.new_pairs;
+        let cand = &self.cache.pairs;
+        let n_shards = if cand.len() >= VERIFY_SHARD_MIN_PAIRS {
+            self.step_threads.min(cand.len()).max(1)
+        } else {
+            1
+        };
+        if n_shards == 1 {
+            let offsets = &self.cache.offsets;
+            for (a, pa) in points.iter().enumerate() {
+                let (lo, hi) = (offsets[a], offsets[a + 1]);
+                if lo == hi {
+                    continue;
+                }
+                for &packed in &cand[lo..hi] {
+                    let b = packed as u32;
+                    if pa.distance_sq(&points[b as usize]) <= r2 {
+                        new_pairs.push(packed);
+                        next[a].push(b);
+                        next[b as usize].push(a as u32);
+                    }
+                }
+            }
+        } else {
+            let mut frags = std::mem::take(&mut self.shard_pairs);
+            frags.resize_with(n_shards, Vec::new);
+            let (base, rem) = (cand.len() / n_shards, cand.len() % n_shards);
+            let mut lo = 0usize;
+            let jobs: Vec<_> = frags
+                .drain(..)
+                .enumerate()
+                .map(|(w, mut buf)| {
+                    buf.clear();
+                    let (p_lo, p_hi) = (lo, lo + base + usize::from(w < rem));
+                    lo = p_hi;
+                    let slice = &cand[p_lo..p_hi];
+                    move || {
+                        for &packed in slice {
+                            let (a, b) = unpack_pair(packed);
+                            if points[a as usize].distance_sq(&points[b as usize]) <= r2 {
+                                buf.push(packed);
+                            }
+                        }
+                        buf
+                    }
+                })
+                .collect();
+            debug_assert_eq!(lo, cand.len(), "slices must partition the arena");
+            for buf in parallel::run_jobs(jobs) {
+                for &packed in &buf {
+                    let (a, b) = unpack_pair(packed);
+                    new_pairs.push(packed);
+                    next[a as usize].push(b);
+                    next[b as usize].push(a);
+                }
+                frags.push(buf);
+            }
+            self.shard_pairs = frags;
+        }
+        // Rows filled from a lex-sorted pair list are already sorted:
+        // for row x, every lower partner a (from pairs (a, x), keys
+        // a·2³² + x) is pushed before — and ascending among — every
+        // higher partner b (from pairs (x, b), keys x·2³² + b).
+        merge_packed_diff(&self.edge_pairs, &self.new_pairs, &mut self.diff);
+        let pair_count = self.new_pairs.len();
+        self.graph
+            .swap_neighbor_rows(&mut self.next_rows, pair_count);
+        std::mem::swap(&mut self.edge_pairs, &mut self.new_pairs);
+    }
+
+    /// Re-derives the packed current-edge list from the snapshot after
+    /// an incremental or fallback step patched the graph behind it.
+    /// Row-major iteration over sorted rows yields lex order directly.
+    fn ensure_edge_pairs(&mut self) {
+        if self.edge_pairs_valid {
+            return;
+        }
+        debug_assert!(
+            (0..self.graph.len()).all(|a| self.graph.neighbors(a).windows(2).all(|w| w[0] < w[1])),
+            "unsorted neighbors: snapshot rows must be sorted to derive the packed edge list"
+        );
+        self.edge_pairs.clear();
+        self.edge_pairs.extend(
+            self.graph
+                .edges()
+                .map(|(a, b)| pack_pair(a as u32, b as u32)),
+        );
+        self.edge_pairs_valid = true;
     }
 
     /// Advances and returns a fresh copy of the delta — the
@@ -557,6 +1123,43 @@ impl<const D: usize> DynamicGraph<D> {
                 "strict-invariants: grid and snapshot disagree on the node count"
             );
         }
+        if self.edge_pairs_valid {
+            debug_assert!(
+                self.graph
+                    .edges()
+                    .map(|(a, b)| pack_pair(a as u32, b as u32))
+                    .eq(self.edge_pairs.iter().copied()),
+                "strict-invariants: packed edge list desynced from the snapshot"
+            );
+        }
+    }
+
+    /// Soundness of the armed Verlet cache, checked against brute
+    /// force: every pair currently within range must appear in the
+    /// candidate arena (the invariant that lets verify steps skip cell
+    /// rescans entirely), and the tracked drift must be inside the
+    /// `skin/2` budget whenever the arena was trusted this step.
+    /// `O(n²)` — strict-invariants test builds only.
+    #[cfg(feature = "strict-invariants")]
+    fn debug_validate_cache(&self, points: &[Point<D>]) {
+        debug_assert!(
+            self.max_drift_sq <= self.drift_limit_sq,
+            "strict-invariants: accumulated displacement exceeded skin/2 on a trusted arena"
+        );
+        let r2 = self.range * self.range;
+        for a in 0..points.len() {
+            for b in (a + 1)..points.len() {
+                if points[a].distance_sq(&points[b]) <= r2 {
+                    debug_assert!(
+                        self.cache
+                            .pairs
+                            .binary_search(&pack_pair(a as u32, b as u32))
+                            .is_ok(),
+                        "strict-invariants: in-range pair ({a}, {b}) missing from the Verlet candidate arena"
+                    );
+                }
+            }
+        }
     }
 
     /// The oracle path: rebuild the snapshot from scratch and diff the
@@ -566,6 +1169,7 @@ impl<const D: usize> DynamicGraph<D> {
         let next = AdjacencyList::from_points(points, self.side, self.range);
         self.graph.diff_into(&next, &mut self.diff);
         self.graph = next;
+        self.edge_pairs_valid = false;
         self.metrics.fallback_steps += 1;
     }
 
@@ -661,53 +1265,48 @@ impl<const D: usize> DynamicGraph<D> {
             let (a, b) = self.diff.added[k];
             self.graph.insert_edge_sorted(a as usize, b as usize);
         }
+        self.edge_pairs_valid = false;
         self.metrics.moved_rescan_candidates += candidates;
         self.metrics.incremental_steps += 1;
     }
 
     /// The bulk-rescan path: most nodes moved, so re-derive the whole
-    /// snapshot through the (already reset) grid into persistent
-    /// scratch rows, diff row-by-row against the old snapshot, and
-    /// swap the rows in — the allocation-free equivalent of
-    /// `from_points` + `diff`.
+    /// snapshot through the (already reset) grid as one flat packed
+    /// pair list, diff it against the snapshot's packed edge list in a
+    /// single linear merge, and fill/swap the rows — the
+    /// allocation-free equivalent of `from_points` + `diff`, without
+    /// per-row sorts or merges.
     ///
     /// The rescan is a forward half-neighborhood sweep (each unordered
     /// same-or-adjacent-cell pair examined exactly once, distances off
     /// the grid's SoA columns), sharded into axis-0 cell strips when
     /// [`DynamicGraph::set_step_threads`] asks for more than one
     /// worker. Disjoint strips examine disjoint pair sets, every
-    /// worker fills a private fragment buffer, and the merge consumes
-    /// fragments in shard order before one global row sort — so the
-    /// discovered pair set, the rows, the diff, and all counters are
-    /// bit-identical to the serial sweep at any thread count.
+    /// worker fills a private fragment buffer, and fragments
+    /// concatenate in shard order; packed pairs are unique, so the one
+    /// global unstable sort is a function of the pair *set* alone —
+    /// the rows, the diff, and all counters are bit-identical to the
+    /// serial sweep at any thread count.
     fn step_bulk(&mut self) {
+        self.ensure_edge_pairs();
         // Detach the fragment buffers before borrowing the grid: the
         // workers fill them while the grid is shared immutably.
         let mut frags = std::mem::take(&mut self.shard_pairs);
         let grid = self.grid.as_ref().expect("caller checked the grid"); // lint:allow(R3): step() dispatches here only when the grid exists
         let n = grid.len();
         let r2 = self.range * self.range;
-        self.diff.clear();
 
-        if self.next_rows.len() != n {
-            self.next_rows.resize_with(n, Vec::new);
-        }
-        for row in &mut self.next_rows {
-            row.clear();
-        }
-        let next = &mut self.next_rows;
+        self.new_pairs.clear();
         let cols = grid.cells_per_side();
         let n_shards = self.step_threads.min(cols).max(1);
-        let mut pairs = 0usize;
         let mut shard_scan = ShardScan::default();
         if n_shards == 1 {
-            // Serial sweep: emit straight into the rows, no fragments.
+            // Serial sweep: emit straight into the pair list.
+            let new_pairs = &mut self.new_pairs;
             let examined = grid.scan_forward_pairs(0, cols, r2, |a, b| {
-                next[a as usize].push(b);
-                next[b as usize].push(a);
-                pairs += 1;
+                new_pairs.push(pack_pair(a, b));
             });
-            shard_scan.absorb(examined, pairs as u64);
+            shard_scan.absorb(examined, new_pairs.len() as u64);
         } else {
             // Balanced axis-0 strips: base-width strips, the first
             // `rem` one cell wider — every cell covered exactly once.
@@ -722,42 +1321,46 @@ impl<const D: usize> DynamicGraph<D> {
                     let (x_lo, x_hi) = (lo, lo + base + usize::from(w < rem));
                     lo = x_hi;
                     move || {
-                        let examined =
-                            grid.scan_forward_pairs(x_lo, x_hi, r2, |a, b| buf.push((a, b)));
+                        let examined = grid
+                            .scan_forward_pairs(x_lo, x_hi, r2, |a, b| buf.push(pack_pair(a, b)));
                         (buf, examined)
                     }
                 })
                 .collect();
             debug_assert_eq!(lo, cols, "strips must partition the lattice");
-            // Fragments come back and are folded in shard order, so
-            // the row contents (and the ShardScan totals) match the
-            // serial sweep exactly.
             for (buf, examined) in parallel::run_jobs(jobs) {
                 shard_scan.absorb(examined, buf.len() as u64);
-                for &(a, b) in &buf {
-                    next[a as usize].push(b);
-                    next[b as usize].push(a);
-                }
-                pairs += buf.len();
+                self.new_pairs.extend_from_slice(&buf);
                 frags.push(buf);
             }
         }
-        for row in next.iter_mut() {
-            row.sort_unstable();
+        self.shard_pairs = frags;
+        self.new_pairs.sort_unstable();
+
+        if self.next_rows.len() != n {
+            self.next_rows.resize_with(n, Vec::new);
         }
-        // Row-by-row merge in ascending node order emits events
-        // already in the oracle's lexicographic order.
-        for (a, row) in next.iter().enumerate() {
-            merge_row_diff(self.graph.neighbors(a), row, a as u32, &mut self.diff);
+        for row in &mut self.next_rows {
+            row.clear();
         }
+        // Rows filled from the lex-sorted pair list come out sorted
+        // (see `cache_verify_pass` for the argument).
+        let next = &mut self.next_rows;
+        for &packed in &self.new_pairs {
+            let (a, b) = unpack_pair(packed);
+            next[a as usize].push(b);
+            next[b as usize].push(a);
+        }
+        merge_packed_diff(&self.edge_pairs, &self.new_pairs, &mut self.diff);
+        let pairs = self.new_pairs.len();
         self.graph.swap_neighbor_rows(&mut self.next_rows, pairs);
+        std::mem::swap(&mut self.edge_pairs, &mut self.new_pairs);
         // Counter compatibility: the historical bulk counter tallied
         // every occupant visit of every node's 3^D-cell neighborhood,
         // which is one self-visit per node plus both directions of
         // each examined unordered pair: `2·examined + n`.
         self.metrics.bulk_rescan_candidates += 2 * shard_scan.pairs_examined + n as u64;
         self.metrics.bulk_rescan_steps += 1;
-        self.shard_pairs = frags;
     }
 }
 
@@ -1029,10 +1632,14 @@ mod tests {
         let m = *dg.metrics();
         assert_eq!(m.steps, 40);
         assert_eq!(
-            m.incremental_steps + m.bulk_rescan_steps + m.fallback_steps,
+            m.incremental_steps + m.bulk_rescan_steps + m.cache_verify_steps + m.fallback_steps,
             m.steps,
             "every step commits through exactly one path"
         );
+        // No bound declared: the (default-auto) cache must never arm.
+        assert_eq!(m.cache_verify_steps, 0);
+        assert_eq!(m.cache_rebuilds, 0);
+        assert_eq!(dg.armed_skin(), None);
         assert!(m.incremental_steps > 0 && m.bulk_rescan_steps > 0);
         assert_eq!(m.moved_nodes, oracle_moved);
         assert_eq!(m.edges_added, oracle_added);
@@ -1118,10 +1725,11 @@ mod tests {
         );
     }
 
-    /// The shard-merge path feeds `merge_row_diff`, whose sortedness
-    /// check is the runtime guard against a corrupted merge: a row
-    /// that arrives unsorted (here injected directly into the
-    /// snapshot) must be caught on the next sharded bulk step.
+    /// The bulk path derives its packed edge list from the snapshot's
+    /// sorted rows; the sortedness check in that derivation is the
+    /// runtime guard against corrupted input: a row injected out of
+    /// order behind the kernel's back must be caught on the next
+    /// sharded bulk step.
     #[cfg(feature = "strict-invariants")]
     #[test]
     #[should_panic(expected = "unsorted neighbors")]
@@ -1144,5 +1752,269 @@ mod tests {
         // unsorted old row while merging shard fragments against it.
         let moved: Vec<Point<2>> = pts.iter().map(|p| *p + Point::new([0.3, 0.3])).collect();
         dg.step(&moved);
+    }
+
+    #[test]
+    fn skin_parses_and_displays() {
+        assert_eq!("auto".parse::<Skin>(), Ok(Skin::Auto));
+        assert_eq!("off".parse::<Skin>(), Ok(Skin::Off));
+        assert_eq!("0".parse::<Skin>(), Ok(Skin::Off));
+        assert_eq!("12.5".parse::<Skin>(), Ok(Skin::Fixed(12.5)));
+        assert!("-1".parse::<Skin>().is_err());
+        assert!("nan".parse::<Skin>().is_err());
+        assert!("inf".parse::<Skin>().is_err());
+        assert!("fast".parse::<Skin>().is_err());
+        for s in [Skin::Auto, Skin::Off, Skin::Fixed(7.25)] {
+            assert_eq!(s.to_string().parse::<Skin>(), Ok(s), "display round-trip");
+        }
+        assert_eq!(Skin::default(), Skin::Auto);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and strictly positive")]
+    fn zero_fixed_skin_rejected() {
+        let pts = pts1(&[0.0]);
+        let _ = DynamicGraph::new(&pts, 10.0, 1.0).with_skin(Skin::Fixed(0.0));
+    }
+
+    /// Drives an all-moving drift trajectory (every node steps by at
+    /// most `step_len`) and checks the kernel against the
+    /// from-scratch oracle every step. Returns the kernel.
+    fn drive_drift(
+        mut dg: DynamicGraph<2>,
+        side: f64,
+        r: f64,
+        steps: usize,
+        step_len: f64,
+        seed: u64,
+    ) -> DynamicGraph<2> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pts = dg.grid.as_ref().unwrap().points().to_vec();
+        let mut oracle = AdjacencyList::from_points(&pts, side, r);
+        for step in 0..steps {
+            for p in &mut pts {
+                let q = *p
+                    + Point::new([
+                        rng.random_range(-step_len..step_len),
+                        rng.random_range(-step_len..step_len),
+                    ]);
+                *p = Point::new([q.coord(0).clamp(0.0, side), q.coord(1).clamp(0.0, side)]);
+            }
+            dg.step(&pts);
+            let next = AdjacencyList::from_points(&pts, side, r);
+            assert_eq!(
+                dg.last_diff(),
+                &oracle.diff(&next),
+                "diff diverged at {step}"
+            );
+            assert_eq!(dg.graph(), &next, "snapshot diverged at {step}");
+            oracle = next;
+        }
+        dg
+    }
+
+    /// The armed cache must be bit-identical to the oracle while
+    /// actually taking the verify path, and its counters must keep the
+    /// four-way partition identity auditable.
+    #[test]
+    fn verlet_cache_matches_oracle_and_partitions_steps() {
+        let side = 100.0;
+        let r = 12.0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2020);
+        let pts: Vec<Point<2>> = (0..90)
+            .map(|_| Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)]))
+            .collect();
+        let step_len = 0.4;
+        let bound = (2.0f64 * step_len * step_len).sqrt();
+        let dg = DynamicGraph::new(&pts, side, r)
+            .with_displacement_bound(Some(bound))
+            .with_skin(Skin::Fixed(4.0));
+        let dg = drive_drift(dg, side, r, 40, step_len, 2021);
+        assert_eq!(dg.armed_skin(), Some(4.0));
+        let m = *dg.metrics();
+        assert_eq!(m.steps, 40);
+        assert_eq!(
+            m.incremental_steps + m.bulk_rescan_steps + m.cache_verify_steps + m.fallback_steps,
+            m.steps,
+            "path partition identity"
+        );
+        assert!(m.cache_verify_steps > 0, "verify path never taken");
+        assert!(m.cache_rebuilds >= 1, "cache never built");
+        assert!(
+            m.cache_rebuilds <= m.bulk_rescan_steps,
+            "rebuilds are a subset of the bulk bucket"
+        );
+        assert!(m.cached_pairs > 0 && m.verify_candidates > 0);
+        assert_eq!(m.fallback_steps, 0);
+        // Most steps must ride the cache, not rebuild it: with skin 4
+        // and steps <= ~0.57, the drift budget (2.0) buys >= 3 steps.
+        assert!(
+            m.cache_verify_steps >= 2 * m.cache_rebuilds,
+            "cache thrashing: {} rebuilds vs {} verifies",
+            m.cache_rebuilds,
+            m.cache_verify_steps
+        );
+    }
+
+    /// Auto skin arms only under a declared bound, and the armed
+    /// kernel keeps matching the oracle.
+    #[test]
+    fn auto_skin_arms_only_with_declared_bound() {
+        let side = 100.0;
+        let r = 12.0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let pts: Vec<Point<2>> = (0..90)
+            .map(|_| Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)]))
+            .collect();
+        let unbounded = DynamicGraph::new(&pts, side, r);
+        assert_eq!(unbounded.skin(), Skin::Auto, "auto is the default");
+        let unbounded = drive_drift(unbounded, side, r, 20, 0.3, 77);
+        assert_eq!(unbounded.armed_skin(), None, "no bound, no cache");
+        assert_eq!(unbounded.metrics().cache_verify_steps, 0);
+
+        let bound = (2.0f64 * 0.3 * 0.3).sqrt();
+        let bounded = DynamicGraph::new(&pts, side, r).with_displacement_bound(Some(bound));
+        let bounded = drive_drift(bounded, side, r, 20, 0.3, 77);
+        let skin = bounded.armed_skin().expect("auto skin should arm");
+        assert!(skin > 0.0 && skin.is_finite());
+        assert!(bounded.metrics().cache_verify_steps > 0);
+    }
+
+    /// A bound violation while armed must oracle that step, mark the
+    /// arena stale, and rebuild on the next in-bound step — snapshots
+    /// exact throughout.
+    #[test]
+    fn armed_bound_violation_falls_back_then_rebuilds() {
+        let side = 100.0;
+        let r = 10.0;
+        let mut pts: Vec<Point<2>> = (0..30)
+            .map(|i| Point::new([3.0 * i as f64, 50.0]))
+            .collect();
+        let mut dg = DynamicGraph::new(&pts, side, r)
+            .with_displacement_bound(Some(1.0))
+            .with_skin(Skin::Fixed(3.0));
+        let shift = |pts: &mut Vec<Point<2>>, dx: f64| {
+            for p in pts.iter_mut() {
+                *p = Point::new([(p.coord(0) + dx).clamp(0.0, side), p.coord(1)]);
+            }
+        };
+        // Arm on an all-moving in-bound step.
+        shift(&mut pts, 0.5);
+        dg.step(&pts);
+        assert!(dg.armed_skin().is_some());
+        assert_eq!(dg.metrics().cache_rebuilds, 1);
+        // Violate the declared bound: node 0 teleports.
+        let old = dg.graph().clone();
+        pts[0] = Point::new([80.0, 50.0]);
+        dg.step(&pts);
+        assert_eq!(dg.fallback_steps(), 1, "violation must oracle");
+        let next = AdjacencyList::from_points(&pts, side, r);
+        assert_eq!(dg.graph(), &next);
+        assert_eq!(dg.last_diff(), &old.diff(&next));
+        // The next in-bound step rebuilds the stale arena and keeps
+        // serving exact snapshots.
+        shift(&mut pts, 0.5);
+        dg.step(&pts);
+        assert_eq!(dg.metrics().cache_rebuilds, 2, "stale arena must rebuild");
+        assert_eq!(dg.graph(), &AdjacencyList::from_points(&pts, side, r));
+        // And a quiet follow-up step verifies off the fresh arena.
+        dg.step(&pts.clone());
+        assert!(dg.last_diff().is_empty());
+        assert!(dg.metrics().cache_verify_steps >= 1);
+    }
+
+    /// Armed-mode byte-identity across step-thread counts: snapshots,
+    /// diffs, and every counter, with rebuilds and verifies sharded.
+    #[test]
+    fn step_threads_invariant_with_cache_armed() {
+        let side = 60.0;
+        let r = 7.0;
+        let n = 80;
+        let step_len = 0.35;
+        let bound = (2.0f64 * step_len * step_len).sqrt();
+        let trajectory: Vec<Vec<Point<2>>> = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1212);
+            let mut pts: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([rng.random_range(0.0..side), rng.random_range(0.0..side)]))
+                .collect();
+            (0..30)
+                .map(|_| {
+                    for p in &mut pts {
+                        let q = *p
+                            + Point::new([
+                                rng.random_range(-step_len..step_len),
+                                rng.random_range(-step_len..step_len),
+                            ]);
+                        *p = Point::new([q.coord(0).clamp(0.0, side), q.coord(1).clamp(0.0, side)]);
+                    }
+                    pts.clone()
+                })
+                .collect()
+        };
+        let build = |threads: usize| {
+            DynamicGraph::new(&trajectory[0], side, r)
+                .with_displacement_bound(Some(bound))
+                .with_skin(Skin::Fixed(3.0))
+                .with_step_threads(threads)
+        };
+        let mut serial = build(1);
+        let mut replicas: Vec<_> = [2usize, 4, 7].into_iter().map(build).collect();
+        for pts in &trajectory[1..] {
+            serial.step(pts);
+            for dg in &mut replicas {
+                dg.step(pts);
+                assert_eq!(
+                    dg.graph(),
+                    serial.graph(),
+                    "{}-thread armed snapshot diverged",
+                    dg.step_threads()
+                );
+                assert_eq!(dg.last_diff(), serial.last_diff());
+                assert_eq!(
+                    dg.metrics(),
+                    serial.metrics(),
+                    "{}-thread armed counters diverged",
+                    dg.step_threads()
+                );
+            }
+        }
+        assert!(serial.metrics().cache_verify_steps > 0);
+        assert!(serial.metrics().cache_rebuilds > 0);
+    }
+
+    /// Corrupting the candidate arena (dropping the pair that covers a
+    /// true edge) must be caught by the strict-invariants cache
+    /// checker on the next verify step.
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    #[should_panic(expected = "missing from the Verlet candidate arena")]
+    fn strict_invariants_detects_corrupt_candidate_arena() {
+        let side = 100.0;
+        let r = 4.0;
+        let mut pts: Vec<Point<2>> = (0..20)
+            .map(|i| Point::new([2.0 * i as f64, 10.0]))
+            .collect();
+        let mut dg = DynamicGraph::new(&pts, side, r)
+            .with_displacement_bound(Some(0.5))
+            .with_skin(Skin::Fixed(2.0));
+        let shift = |pts: &mut Vec<Point<2>>, dy: f64| {
+            for p in pts.iter_mut() {
+                *p = Point::new([p.coord(0), p.coord(1) + dy]);
+            }
+        };
+        shift(&mut pts, 0.3);
+        dg.step(&pts);
+        assert!(dg.armed_skin().is_some(), "cache must arm first");
+        // Remove the arena entry covering true edge (0, 1) and patch
+        // the CSR offsets so the arena stays structurally consistent —
+        // only the coverage invariant is broken.
+        let idx = dg.cache.pairs.binary_search(&pack_pair(0, 1)).unwrap();
+        dg.cache.pairs.remove(idx);
+        for off in dg.cache.offsets.iter_mut().skip(1) {
+            *off -= 1;
+        }
+        // An in-bound verify step must now trip the coverage check.
+        shift(&mut pts, 0.3);
+        dg.step(&pts);
     }
 }

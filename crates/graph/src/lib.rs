@@ -65,7 +65,7 @@ mod parallel;
 pub use adjacency::AdjacencyList;
 pub use components::ComponentSummary;
 pub use dsu::UnionFind;
-pub use dynamic::{DynamicGraph, EdgeDiff};
+pub use dynamic::{DynamicGraph, EdgeDiff, Skin};
 pub use dynamic_components::{DynamicComponents, FULL_REBUILD_CHURN_FRACTION};
 pub use merge::MergeProfile;
 pub use mst::{critical_range, minimum_spanning_tree, MstEdge};

@@ -304,8 +304,14 @@ fn replay_exercises_partial_and_full_rebuild_paths_for_every_mobile_model() {
 // unbounded-displacement Gauss-Markov family).
 // ---------------------------------------------------------------------------
 
-use manet_graph::EdgeDiff;
+use manet_graph::{EdgeDiff, Skin};
 use manet_mobility::{ModelRegistry, PaperScale};
+
+/// The skin settings the kernel suite pins everywhere: the cache
+/// disabled (legacy paths byte-for-byte), the auto-tuned default, and a
+/// deliberately oversized fixed skin (cheap rebuild cadence, expensive
+/// verify sets — the worst case for arena coverage).
+const SKIN_SWEEP: [Skin; 3] = [Skin::Off, Skin::Auto, Skin::Fixed(25.0)];
 
 /// Replays `steps` of the named registry model through the incremental
 /// kernel, asserting at every step that the held diff and the
@@ -315,8 +321,8 @@ use manet_mobility::{ModelRegistry, PaperScale};
 /// counters (`dg.metrics()`) are cross-checked against brute-force
 /// recomputation: edge-event totals against summed oracle diff sizes,
 /// the moved-node total against a bitwise position comparison, and the
-/// step count against the path partition. Returns the kernel's
-/// (incremental, bulk, fallback) step counters.
+/// step count against the path partition (including the Verlet cache
+/// buckets). Returns the kernel's final counter block.
 fn replay_kernel_against_oracle(
     model_name: &str,
     n: usize,
@@ -324,8 +330,8 @@ fn replay_kernel_against_oracle(
     range: f64,
     steps: usize,
     seed: u64,
-    step_threads: usize,
-) -> Result<(u64, u64, u64), TestCaseError> {
+    (step_threads, skin): (usize, Skin),
+) -> Result<manet_obs::StepKernelMetrics, TestCaseError> {
     let registry = ModelRegistry::<2>::with_builtins();
     let scale = PaperScale::new(side).with_pause(3);
     let mut model = registry.build(model_name, &scale).expect("registry model");
@@ -337,7 +343,8 @@ fn replay_kernel_against_oracle(
 
     let mut dg = DynamicGraph::new(&positions, side, range)
         .with_displacement_bound(model.max_step_displacement())
-        .with_step_threads(step_threads);
+        .with_step_threads(step_threads)
+        .with_skin(skin);
     let mut oracle = AdjacencyList::from_points(&positions, side, range);
     prop_assert_eq!(dg.graph(), &oracle, "{}: initial snapshot", model_name);
 
@@ -379,11 +386,24 @@ fn replay_kernel_against_oracle(
     let m = *dg.metrics();
     prop_assert_eq!(m.steps, steps as u64, "{}: step counter", model_name);
     prop_assert_eq!(
-        m.incremental_steps + m.bulk_rescan_steps + m.fallback_steps,
+        m.incremental_steps + m.bulk_rescan_steps + m.cache_verify_steps + m.fallback_steps,
         m.steps,
         "{}: every step commits through exactly one path",
         model_name
     );
+    prop_assert!(
+        m.cache_rebuilds <= m.bulk_rescan_steps,
+        "{}: cache rebuilds must be a subset of the bulk bucket",
+        model_name
+    );
+    if skin == Skin::Off {
+        // Disabled cache degenerates to the legacy kernel: every cache
+        // counter stays zero and no step takes the verify path.
+        prop_assert_eq!(m.cache_verify_steps, 0, "{}: skin off", model_name);
+        prop_assert_eq!(m.cache_rebuilds, 0, "{}: skin off", model_name);
+        prop_assert_eq!(m.cached_pairs, 0, "{}: skin off", model_name);
+        prop_assert_eq!(m.verify_candidates, 0, "{}: skin off", model_name);
+    }
     prop_assert_eq!(
         m.edges_added,
         brute_added,
@@ -402,7 +422,7 @@ fn replay_kernel_against_oracle(
         "{}: moved_nodes vs bitwise position recount",
         model_name
     );
-    Ok((m.incremental_steps, m.bulk_rescan_steps, m.fallback_steps))
+    Ok(m)
 }
 
 /// The thread counts the sharded bulk rescan is pinned at everywhere
@@ -417,6 +437,7 @@ proptest! {
     fn step_kernel_matches_oracle_for_every_registry_model(
         model_idx in 0usize..13,
         threads_idx in 0usize..4,
+        skin_idx in 0usize..3,
         n in 2usize..48,
         range_frac in 0.02..0.4f64,
         steps in 1usize..30,
@@ -430,7 +451,8 @@ proptest! {
         // The oracle is single-threaded by construction, so every
         // sharded case in the sweep proves byte-equality with the
         // serial kernel transitively through the rebuild-and-diff
-        // stream.
+        // stream; the skin sweep does the same for every cache
+        // configuration (off, auto-tuned, oversized).
         replay_kernel_against_oracle(
             &names[model_idx % names.len()],
             n,
@@ -438,7 +460,7 @@ proptest! {
             range_frac * side,
             steps,
             seed,
-            STEP_THREAD_SWEEP[threads_idx],
+            (STEP_THREAD_SWEEP[threads_idx], SKIN_SWEEP[skin_idx]),
         )?;
     }
 }
@@ -459,9 +481,14 @@ fn step_kernel_paths_cover_every_registry_model_with_bounded_fallback() {
         // Rotate the thread sweep across the registry: the counters
         // (asserted inside the replay helper against brute-force
         // recomputation) are part of the thread-invariant surface.
+        // Skin stays off here — this test pins the legacy two-path
+        // split; the armed cache has its own coverage test below.
         let step_threads = STEP_THREAD_SWEEP[i % STEP_THREAD_SWEEP.len()];
+        let m =
+            replay_kernel_against_oracle(name, 40, 100.0, 18.0, 80, 99, (step_threads, Skin::Off))
+                .unwrap();
         let (incremental, bulk, fallback) =
-            replay_kernel_against_oracle(name, 40, 100.0, 18.0, 80, 99, step_threads).unwrap();
+            (m.incremental_steps, m.bulk_rescan_steps, m.fallback_steps);
         assert!(
             fallback <= 1,
             "{name}: steady-state steps must respect the declared bound \
@@ -481,6 +508,48 @@ fn step_kernel_paths_cover_every_registry_model_with_bounded_fallback() {
     }
     assert!(incremental_total > 0, "no model took the moved-node path");
     assert!(bulk_total > 0, "no model took the bulk-rescan path");
+}
+
+/// Deterministic armed-cache coverage across the registry: under the
+/// auto-tuned skin the all-moving, bound-declaring models must arm the
+/// Verlet cache and spend most post-arm steps on the verify path, while
+/// models that decline a displacement bound must never arm. Exactness
+/// is asserted inside the replay helper at every step either way.
+#[test]
+fn verlet_cache_arms_across_registry_models_under_auto_skin() {
+    let registry = ModelRegistry::<2>::with_builtins();
+    let scale = PaperScale::new(100.0).with_pause(3);
+    let mut armed_models = 0u32;
+    let mut verify_total = 0u64;
+    for name in registry.names() {
+        let bounded = registry
+            .build(name, &scale)
+            .expect("registry model")
+            .max_step_displacement()
+            .is_some();
+        let m =
+            replay_kernel_against_oracle(name, 40, 100.0, 18.0, 80, 99, (1, Skin::Auto)).unwrap();
+        if !bounded {
+            assert_eq!(
+                m.cache_verify_steps + m.cache_rebuilds,
+                0,
+                "{name}: no declared bound, the cache must never arm"
+            );
+        }
+        if m.cache_rebuilds > 0 {
+            armed_models += 1;
+            assert!(
+                m.cached_pairs > 0,
+                "{name}: armed cache recorded no arena pairs"
+            );
+        }
+        verify_total += m.cache_verify_steps;
+    }
+    assert!(
+        armed_models >= 2,
+        "auto skin armed on only {armed_models} registry models"
+    );
+    assert!(verify_total > 0, "no registry model took the verify path");
 }
 
 /// A model that teleports while declaring a tiny displacement bound:
@@ -540,7 +609,7 @@ fn kernel_observables(
     range: f64,
     steps: usize,
     seed: u64,
-    step_threads: usize,
+    (step_threads, skin): (usize, Skin),
 ) -> (Vec<EdgeDiff>, AdjacencyList, manet_obs::StepKernelMetrics) {
     let registry = ModelRegistry::<2>::with_builtins();
     let scale = PaperScale::new(side).with_pause(3);
@@ -553,7 +622,8 @@ fn kernel_observables(
 
     let mut dg = DynamicGraph::new(&positions, side, range)
         .with_displacement_bound(model.max_step_displacement())
-        .with_step_threads(step_threads);
+        .with_step_threads(step_threads)
+        .with_skin(skin);
     let mut diffs = Vec::with_capacity(steps);
     for _ in 0..steps {
         model.step(&mut positions, &region, &mut rng);
@@ -566,31 +636,35 @@ fn kernel_observables(
 }
 
 /// Direct (oracle-free) statement of the sharding contract: for every
-/// registry model, the sharded kernel's complete observable surface —
-/// diff stream, snapshot, and counters — is bit-identical at every
-/// thread count in the sweep. The oracle proptest above establishes
-/// correctness; this pins the stronger cross-thread equality the repo's
-/// byte-identical artifact gates rely on, deterministically for all 13
-/// models.
+/// registry model and every skin setting in the sweep, the sharded
+/// kernel's complete observable surface — diff stream, snapshot, and
+/// counters — is bit-identical at every thread count in the sweep. The
+/// oracle proptest above establishes correctness; this pins the
+/// stronger cross-thread equality the repo's byte-identical artifact
+/// gates rely on, deterministically for all 13 models, with the Verlet
+/// cache disabled, auto-armed, and oversized.
 #[test]
 fn sharded_step_observables_bit_identical_across_thread_counts_for_every_model() {
     let registry = ModelRegistry::<2>::with_builtins();
     for name in registry.names() {
-        let serial = kernel_observables(name, 36, 100.0, 17.0, 28, 20020623, 1);
-        for threads in STEP_THREAD_SWEEP.into_iter().skip(1) {
-            let sharded = kernel_observables(name, 36, 100.0, 17.0, 28, 20020623, threads);
-            assert_eq!(
-                serial.0, sharded.0,
-                "{name}: diff stream diverged at {threads} threads"
-            );
-            assert_eq!(
-                serial.1, sharded.1,
-                "{name}: snapshot diverged at {threads} threads"
-            );
-            assert_eq!(
-                serial.2, sharded.2,
-                "{name}: counters diverged at {threads} threads"
-            );
+        for skin in SKIN_SWEEP {
+            let serial = kernel_observables(name, 36, 100.0, 17.0, 28, 20020623, (1, skin));
+            for threads in STEP_THREAD_SWEEP.into_iter().skip(1) {
+                let sharded =
+                    kernel_observables(name, 36, 100.0, 17.0, 28, 20020623, (threads, skin));
+                assert_eq!(
+                    serial.0, sharded.0,
+                    "{name} skin {skin}: diff stream diverged at {threads} threads"
+                );
+                assert_eq!(
+                    serial.1, sharded.1,
+                    "{name} skin {skin}: snapshot diverged at {threads} threads"
+                );
+                assert_eq!(
+                    serial.2, sharded.2,
+                    "{name} skin {skin}: counters diverged at {threads} threads"
+                );
+            }
         }
     }
 }

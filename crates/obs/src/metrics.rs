@@ -45,8 +45,11 @@ impl GridMetrics {
 
 /// Counters for the zero-rebuild step kernel (`DynamicGraph::step`).
 ///
-/// `incremental_steps + bulk_rescan_steps + fallback_steps == steps`
-/// always holds: every step commits through exactly one path.
+/// `incremental_steps + bulk_rescan_steps + cache_verify_steps +
+/// fallback_steps == steps` always holds: every step commits through
+/// exactly one path. Verlet-cache rebuild steps are a subset of the
+/// bulk bucket (`cache_rebuilds <= bulk_rescan_steps`): a rebuild *is*
+/// a bulk rescan, just at the inflated `r + skin` radius.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StepKernelMetrics {
@@ -70,6 +73,16 @@ pub struct StepKernelMetrics {
     pub edges_added: u64,
     /// Directed edge removals applied across all step diffs.
     pub edges_removed: u64,
+    /// Steps served by streaming the Verlet candidate arena (no cell
+    /// neighborhood rescans).
+    pub cache_verify_steps: u64,
+    /// Verlet candidate-arena (re)builds; each such step is also
+    /// counted in `bulk_rescan_steps`.
+    pub cache_rebuilds: u64,
+    /// Candidate pairs stored by cache (re)builds (arena sizes).
+    pub cached_pairs: u64,
+    /// Candidate pairs streamed by cache-verify steps.
+    pub verify_candidates: u64,
 }
 
 impl StepKernelMetrics {
@@ -84,6 +97,10 @@ impl StepKernelMetrics {
         self.bulk_rescan_candidates += other.bulk_rescan_candidates;
         self.edges_added += other.edges_added;
         self.edges_removed += other.edges_removed;
+        self.cache_verify_steps += other.cache_verify_steps;
+        self.cache_rebuilds += other.cache_rebuilds;
+        self.cached_pairs += other.cached_pairs;
+        self.verify_candidates += other.verify_candidates;
     }
 
     /// Fraction of steps served by the incremental path (`0.0` when no
@@ -100,6 +117,12 @@ impl StepKernelMetrics {
     /// Fraction of steps that fell back to the rebuild oracle.
     pub fn fallback_fraction(&self) -> f64 {
         fraction(self.fallback_steps, self.steps)
+    }
+
+    /// Fraction of steps served by streaming the Verlet candidate
+    /// arena.
+    pub fn cache_verify_fraction(&self) -> f64 {
+        fraction(self.cache_verify_steps, self.steps)
     }
 }
 
@@ -214,6 +237,10 @@ impl KernelMetrics {
             "step_bulk_rescan_candidates",
             "step_edges_added",
             "step_edges_removed",
+            "step_cache_verify",
+            "step_cache_rebuilds",
+            "step_cached_pairs",
+            "step_verify_candidates",
             "comp_applies",
             "comp_dsu_merges",
             "comp_partial_rebuilds",
@@ -245,6 +272,10 @@ impl KernelMetrics {
             s.bulk_rescan_candidates,
             s.edges_added,
             s.edges_removed,
+            s.cache_verify_steps,
+            s.cache_rebuilds,
+            s.cached_pairs,
+            s.verify_candidates,
             c.applies,
             c.dsu_merges,
             c.partial_rebuilds,
@@ -272,7 +303,7 @@ mod tests {
             },
             step: StepKernelMetrics {
                 steps: 10 * k,
-                incremental_steps: 7 * k,
+                incremental_steps: 6 * k,
                 bulk_rescan_steps: 2 * k,
                 fallback_steps: k,
                 moved_nodes: 20 * k,
@@ -280,6 +311,10 @@ mod tests {
                 bulk_rescan_candidates: 50 * k,
                 edges_added: 5 * k,
                 edges_removed: 4 * k,
+                cache_verify_steps: k,
+                cache_rebuilds: k,
+                cached_pairs: 40 * k,
+                verify_candidates: 35 * k,
             },
             components: ComponentMetrics {
                 applies: 10 * k,
@@ -319,9 +354,14 @@ mod tests {
     #[test]
     fn fractions_partition_the_step_count() {
         let s = sample(4).step;
-        let total = s.incremental_fraction() + s.bulk_fraction() + s.fallback_fraction();
+        let total = s.incremental_fraction()
+            + s.bulk_fraction()
+            + s.cache_verify_fraction()
+            + s.fallback_fraction();
         assert!((total - 1.0).abs() < 1e-12);
+        assert!(s.cache_rebuilds <= s.bulk_rescan_steps);
         assert_eq!(StepKernelMetrics::default().fallback_fraction(), 0.0);
+        assert_eq!(StepKernelMetrics::default().cache_verify_fraction(), 0.0);
     }
 
     #[test]

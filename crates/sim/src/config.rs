@@ -2,6 +2,7 @@
 
 use crate::SimError;
 use manet_geom::Region;
+use manet_graph::Skin;
 
 /// Parameters of one simulation campaign, mirroring the inputs of the
 /// paper's simulator (`r` is *not* part of the config: the fixed-range
@@ -24,6 +25,10 @@ pub struct SimConfig<const D: usize> {
     profile_stride: usize,
     profile_bins: usize,
     profile_max_range: Option<f64>,
+    /// Verlet skin policy for the step kernel's candidate cache
+    /// (default [`Skin::Auto`]; a performance knob only — every
+    /// artifact is byte-identical across settings).
+    skin: Skin,
 }
 
 impl<const D: usize> SimConfig<D> {
@@ -91,6 +96,14 @@ impl<const D: usize> SimConfig<D> {
         self.profile_max_range.unwrap_or(self.side / 2.0)
     }
 
+    /// The step kernel's Verlet skin policy (see
+    /// [`DynamicGraph::with_skin`](manet_graph::DynamicGraph::with_skin)).
+    /// A performance knob only: every artifact is byte-identical
+    /// across settings.
+    pub fn skin(&self) -> Skin {
+        self.skin
+    }
+
     /// A copy of this config with a different seed — convenient for
     /// sensitivity checks across seeds.
     pub fn with_seed(&self, seed: u64) -> Self {
@@ -113,6 +126,7 @@ pub struct SimConfigBuilder<const D: usize> {
     profile_stride: usize,
     profile_bins: usize,
     profile_max_range: Option<f64>,
+    skin: Skin,
 }
 
 impl<const D: usize> Default for SimConfigBuilder<D> {
@@ -128,6 +142,7 @@ impl<const D: usize> Default for SimConfigBuilder<D> {
             profile_stride: 1,
             profile_bins: 1024,
             profile_max_range: None,
+            skin: Skin::Auto,
         }
     }
 }
@@ -194,6 +209,13 @@ impl<const D: usize> SimConfigBuilder<D> {
         self
     }
 
+    /// Sets the step kernel's Verlet skin policy (default
+    /// [`Skin::Auto`]).
+    pub fn skin(&mut self, skin: Skin) -> &mut Self {
+        self.skin = skin;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -254,6 +276,13 @@ impl<const D: usize> SimConfigBuilder<D> {
                 });
             }
         }
+        if let Skin::Fixed(s) = self.skin {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("fixed skin must be positive and finite, got {s}"),
+                });
+            }
+        }
         Ok(SimConfig {
             nodes: self.nodes,
             side: self.side,
@@ -265,6 +294,7 @@ impl<const D: usize> SimConfigBuilder<D> {
             profile_stride: self.profile_stride,
             profile_bins: self.profile_bins,
             profile_max_range: self.profile_max_range,
+            skin: self.skin,
         })
     }
 }
@@ -292,6 +322,7 @@ mod tests {
         assert_eq!(c.profile_stride(), 1);
         assert_eq!(c.profile_bins(), 1024);
         assert_eq!(c.profile_max_range(), 50.0);
+        assert_eq!(c.skin(), Skin::Auto);
     }
 
     #[test]
@@ -305,6 +336,9 @@ mod tests {
         assert!(base().profile_stride(0).build().is_err());
         assert!(base().profile_bins(1).build().is_err());
         assert!(base().profile_max_range(-1.0).build().is_err());
+        assert!(base().skin(Skin::Fixed(0.0)).build().is_err());
+        assert!(base().skin(Skin::Fixed(f64::NAN)).build().is_err());
+        assert!(base().skin(Skin::Fixed(3.5)).build().is_ok());
         let mut b = SimConfig::<2>::builder();
         b.nodes(5).side(f64::INFINITY);
         assert!(b.build().is_err());

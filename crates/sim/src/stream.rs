@@ -35,7 +35,7 @@ use crate::{
     SimError,
 };
 use manet_geom::Point;
-use manet_graph::{AdjacencyList, DynamicComponents, DynamicGraph, EdgeDiff};
+use manet_graph::{AdjacencyList, DynamicComponents, DynamicGraph, EdgeDiff, Skin};
 use manet_mobility::Mobility;
 use manet_obs::KernelMetrics;
 
@@ -185,6 +185,10 @@ pub struct ConnectivityStream<O, const D: usize> {
     /// Intra-step worker threads handed to the kernel's sharded bulk
     /// rescan (`>= 1`; a performance knob, never a semantic one).
     step_threads: usize,
+    /// Verlet skin policy handed to the kernel's candidate cache
+    /// (default [`Skin::Auto`]; a performance knob, never a semantic
+    /// one).
+    skin: Skin,
     state: Option<(DynamicGraph<D>, DynamicComponents)>,
     inner: O,
 }
@@ -236,6 +240,7 @@ impl<O, const D: usize> ConnectivityStream<O, D> {
             range,
             displacement_bound,
             step_threads: 1,
+            skin: Skin::default(),
             state: None,
             inner,
         }
@@ -253,6 +258,26 @@ impl<O, const D: usize> ConnectivityStream<O, D> {
     pub fn with_step_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "step_threads must be at least 1");
         self.step_threads = threads;
+        self
+    }
+
+    /// Sets the kernel's Verlet skin policy (chainable; default
+    /// [`Skin::Auto`]). Like the thread knob, purely a performance
+    /// setting: every observable is bit-identical across values (see
+    /// [`DynamicGraph::with_skin`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `skin` is [`Skin::Fixed`] with a non-finite or
+    /// non-positive radius.
+    pub fn with_skin(mut self, skin: Skin) -> Self {
+        if let Skin::Fixed(s) = skin {
+            assert!(
+                s.is_finite() && s > 0.0,
+                "fixed skin must be positive and finite, got {s}"
+            );
+        }
+        self.skin = skin;
         self
     }
 }
@@ -273,7 +298,8 @@ impl<const D: usize, O: ConnectivityObserver<D>> StepObserver<D> for Connectivit
             None => {
                 let dg = DynamicGraph::new(positions, self.side, range)
                     .with_displacement_bound(self.displacement_bound)
-                    .with_step_threads(self.step_threads);
+                    .with_step_threads(self.step_threads)
+                    .with_skin(self.skin);
                 self.state = Some((dg, DynamicComponents::new(positions.len())));
             }
             Some((dg, _)) => dg.step(positions),
@@ -357,9 +383,11 @@ where
     // kernel's contract check in every iteration's stream.
     let bound = model.max_step_displacement();
     let step_threads = config.step_threads().unwrap_or(1);
+    let skin = config.skin();
     run_simulation(config, model, move |iteration| {
         ConnectivityStream::with_displacement_bound(side, range, bound, make_observer(iteration))
             .with_step_threads(step_threads)
+            .with_skin(skin)
     })
 }
 
@@ -508,6 +536,43 @@ mod tests {
         for t in [2usize, 4, 7] {
             assert_eq!(run(Some(t)), serial, "step_threads={t} changed the stream");
         }
+    }
+
+    /// The Verlet skin is a throughput knob, not a semantic one: the
+    /// per-step connectivity fingerprint (components, largest, churn)
+    /// is identical whether the candidate cache is off, auto-armed, or
+    /// oversized.
+    #[test]
+    fn outputs_identical_across_skin_settings() {
+        use manet_graph::Skin;
+        struct Fingerprint(Vec<(usize, usize, usize)>);
+        impl<const D: usize> ConnectivityObserver<D> for Fingerprint {
+            type Output = Vec<(usize, usize, usize)>;
+            fn observe(&mut self, view: &StepView<'_, D>) {
+                let c = view.components();
+                let churn = view.diff().churn();
+                self.0.push((c.count(), c.largest_size(), churn));
+            }
+            fn finish(self) -> Self::Output {
+                self.0
+            }
+        }
+        // Zero pause: all-moving, the regime where the cache arms.
+        let model = RandomWaypoint::new(0.8, 6.0, 0, 0.0).unwrap();
+        let run = |skin: Skin| {
+            let mut b = SimConfig::<2>::builder();
+            b.nodes(24).side(120.0).iterations(3).steps(25).seed(808);
+            b.skin(skin);
+            let cfg = b.build().unwrap();
+            run_connectivity_stream(&cfg, &model, Some(35.0), |_| Fingerprint(Vec::new())).unwrap()
+        };
+        let off = run(Skin::Off);
+        assert_eq!(run(Skin::Auto), off, "auto skin changed the stream");
+        assert_eq!(
+            run(Skin::Fixed(20.0)),
+            off,
+            "oversized fixed skin changed the stream"
+        );
     }
 
     #[test]

@@ -172,12 +172,21 @@ fn kernel_counters_byte_identical_across_threads() {
     // advance it, and the component tracker applies all 60 diffs.
     assert_eq!(kernel.step.steps, 6 * 59);
     assert_eq!(
-        kernel.step.incremental_steps + kernel.step.bulk_rescan_steps + kernel.step.fallback_steps,
+        kernel.step.incremental_steps
+            + kernel.step.bulk_rescan_steps
+            + kernel.step.cache_verify_steps
+            + kernel.step.fallback_steps,
         kernel.step.steps
     );
     assert_eq!(kernel.components.applies, 6 * 60);
     assert!(kernel.step.moved_nodes > 0, "nothing moved?");
-    assert!(kernel.grid.relocations > 0, "grid never relocated");
+    // With the Verlet cache armed (the default), verify steps leave the
+    // grid frozen: movement shows up as relocations on legacy steps or
+    // as widened-cell rebuild resets, whichever path the run took.
+    assert!(
+        kernel.grid.relocations + kernel.grid.resets > 0,
+        "grid never touched"
+    );
 }
 
 /// Every registry model — including the zoo families added on top of
